@@ -1,0 +1,101 @@
+//! Ablation benches for the design choices called out in DESIGN.md §5:
+//!
+//! * lazy (CELF) vs plain evaluation in the exact greedy,
+//! * lazy vs full-sweep gain evaluation in the approximate greedy,
+//! * serial vs parallel index construction,
+//! * the combined-λ gain rule vs the pure rules (cost of the blend).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rwd_bench::small_synthetic;
+use rwd_core::algo::{select_from_index, ApproxGreedy, DpGreedy};
+use rwd_core::greedy::approx::GainRule;
+use rwd_core::problem::{Params, Problem};
+use rwd_walks::WalkIndex;
+
+fn bench_ablation(c: &mut Criterion) {
+    let g = small_synthetic();
+
+    // CELF vs plain on the exact objective.
+    let mut group = c.benchmark_group("ablation_dp_lazy");
+    group.sample_size(10);
+    for lazy in [false, true] {
+        let params = Params {
+            k: 10,
+            l: 5,
+            r: 1,
+            seed: 7,
+            lazy,
+            ..Params::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if lazy { "celf" } else { "plain" }),
+            &params,
+            |b, &p| {
+                b.iter(|| DpGreedy::new(Problem::MaxCoverage, p).run(&g).unwrap());
+            },
+        );
+    }
+    group.finish();
+
+    // Lazy vs full-sweep gain evaluation over a shared prebuilt index.
+    let idx = WalkIndex::build(&g, 6, 100, 7);
+    let mut group = c.benchmark_group("ablation_approx_lazy");
+    group.sample_size(20);
+    for lazy in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if lazy { "celf" } else { "sweep" }),
+            &lazy,
+            |b, &lazy| {
+                b.iter(|| select_from_index(&idx, GainRule::Coverage, 20, lazy, 0).unwrap());
+            },
+        );
+    }
+    group.finish();
+
+    // Serial vs parallel index build (same output, different wall clock).
+    let mut group = c.benchmark_group("ablation_index_threads");
+    group.sample_size(20);
+    for threads in [1usize, 0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if threads == 1 { "serial" } else { "all-cores" }),
+            &threads,
+            |b, &t| {
+                b.iter(|| WalkIndex::build_with_threads(&g, 6, 100, 7, t));
+            },
+        );
+    }
+    group.finish();
+
+    // Pure rules vs the combined blend (one vs two D tables per sweep).
+    let mut group = c.benchmark_group("ablation_gain_rule");
+    group.sample_size(20);
+    for (name, rule) in [
+        ("f1", GainRule::HittingTime),
+        ("f2", GainRule::Coverage),
+        ("combined", GainRule::Combined { lambda: 0.5 }),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &rule, |b, &rule| {
+            b.iter(|| select_from_index(&idx, rule, 10, true, 0).unwrap());
+        });
+    }
+    group.finish();
+
+    // End-to-end approx greedy (index build + selection) for reference.
+    c.bench_function("ablation_approx_end_to_end", |b| {
+        let params = Params {
+            k: 10,
+            l: 6,
+            r: 100,
+            seed: 7,
+            ..Params::default()
+        };
+        b.iter(|| {
+            ApproxGreedy::new(Problem::MaxCoverage, params)
+                .run(&g)
+                .unwrap()
+        });
+    });
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

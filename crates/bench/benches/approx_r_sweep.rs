@@ -1,0 +1,34 @@
+//! Microbench for Fig. 5: approximate-greedy cost as a function of R — the
+//! `O(kRLn)` linearity in R.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rwd_bench::small_synthetic;
+use rwd_core::algo::ApproxGreedy;
+use rwd_core::problem::{Params, Problem};
+
+fn bench_r_sweep(c: &mut Criterion) {
+    let g = small_synthetic();
+    let mut group = c.benchmark_group("approx_r_sweep_fig5");
+    group.sample_size(10);
+    for r in [50usize, 100, 200] {
+        let params = Params {
+            k: 10,
+            l: 5,
+            r,
+            seed: 7,
+            lazy: false,
+            ..Params::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(r), &params, |b, &p| {
+            b.iter(|| {
+                ApproxGreedy::new(Problem::MinHittingTime, p)
+                    .run(&g)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_r_sweep);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Microbench for Fig. 8's cost comparison: the baselines vs the
+//! approximate greedy at the same budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rwd_bench::paper_synthetic;
+use rwd_core::algo::ApproxGreedy;
+use rwd_core::baselines;
+use rwd_core::problem::{Params, Problem};
+
+fn bench_baselines(c: &mut Criterion) {
+    let g = paper_synthetic();
+    let k = 50;
+
+    let mut group = c.benchmark_group("baselines_fig8");
+    group.sample_size(20);
+    group.bench_function("Degree", |b| {
+        b.iter(|| baselines::degree_top_k(&g, k).unwrap());
+    });
+    group.bench_function("Dominate", |b| {
+        b.iter(|| baselines::dominate_greedy(&g, k).unwrap());
+    });
+    group.bench_function("Random", |b| {
+        b.iter(|| baselines::random_k(&g, k, 3).unwrap());
+    });
+    group.bench_function("PageRank", |b| {
+        b.iter(|| baselines::pagerank_top_k(&g, k).unwrap());
+    });
+    group.bench_function("ApproxF2", |b| {
+        let p = Params {
+            k,
+            l: 6,
+            r: 100,
+            seed: 7,
+            ..Params::default()
+        };
+        b.iter(|| ApproxGreedy::new(Problem::MaxCoverage, p).run(&g).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

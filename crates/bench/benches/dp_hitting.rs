@@ -1,0 +1,35 @@
+//! Microbench: the exact Eq. (4)/(8) dynamic programs. Cost must scale
+//! linearly in `L` at fixed graph size (the `O(mL)` claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rwd_bench::paper_synthetic;
+use rwd_graph::NodeId;
+use rwd_walks::{hitting, NodeSet};
+
+fn bench_dp(c: &mut Criterion) {
+    let g = paper_synthetic();
+    let set = NodeSet::from_nodes(g.n(), (0..30).map(NodeId));
+
+    let mut group = c.benchmark_group("dp_hitting_time");
+    for l in [2u32, 6, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, &l| {
+            b.iter(|| hitting::hitting_time_to_set(&g, &set, l));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("dp_hit_probability");
+    for l in [2u32, 6, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, &l| {
+            b.iter(|| hitting::hit_probability_to_set(&g, &set, l));
+        });
+    }
+    group.finish();
+
+    c.bench_function("dp_exact_f1_l6", |b| {
+        b.iter(|| hitting::exact_f1(&g, &set, 6));
+    });
+}
+
+criterion_group!(benches, bench_dp);
+criterion_main!(benches);

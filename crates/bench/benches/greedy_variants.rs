@@ -1,0 +1,33 @@
+//! Microbench for Fig. 4: exact DP greedy vs approximate greedy on the
+//! paper's synthetic graph (reduced k so Criterion can iterate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rwd_bench::small_synthetic;
+use rwd_core::algo::{ApproxGreedy, DpGreedy};
+use rwd_core::problem::{Params, Problem};
+
+fn bench_greedy(c: &mut Criterion) {
+    let g = small_synthetic();
+    let params = Params {
+        k: 10,
+        l: 5,
+        r: 100,
+        seed: 7,
+        ..Params::default()
+    };
+
+    let mut group = c.benchmark_group("greedy_variants_fig4");
+    group.sample_size(10);
+    for problem in [Problem::MinHittingTime, Problem::MaxCoverage] {
+        group.bench_function(format!("DP{}", problem.suffix()), |b| {
+            b.iter(|| DpGreedy::new(problem, params).run(&g).unwrap());
+        });
+        group.bench_function(format!("Approx{}", problem.suffix()), |b| {
+            b.iter(|| ApproxGreedy::new(problem, params).run(&g).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy);
+criterion_main!(benches);

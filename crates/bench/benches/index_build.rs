@@ -1,0 +1,31 @@
+//! Microbench: Algorithm 3 (inverted index construction) — the `O(nRL)`
+//! build that dominates Algorithm 6's preprocessing — plus index replay.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rwd_bench::paper_synthetic;
+use rwd_walks::WalkIndex;
+
+fn bench_index(c: &mut Criterion) {
+    let g = paper_synthetic();
+
+    let mut group = c.benchmark_group("invert_index_build");
+    group.sample_size(20);
+    for r in [25usize, 100] {
+        group.bench_with_input(BenchmarkId::new("parallel", r), &r, |b, &r| {
+            b.iter(|| WalkIndex::build(&g, 6, r, 7));
+        });
+        group.bench_with_input(BenchmarkId::new("serial", r), &r, |b, &r| {
+            b.iter(|| WalkIndex::build_with_threads(&g, 6, r, 7, 1));
+        });
+    }
+    group.finish();
+
+    let idx = WalkIndex::build(&g, 6, 100, 7);
+    let set = rwd_walks::NodeSet::from_nodes(g.n(), (0..30).map(rwd_graph::NodeId));
+    c.bench_function("index_replay_hit_times", |b| {
+        b.iter(|| idx.estimate_hit_times(&set));
+    });
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

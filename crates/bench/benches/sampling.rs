@@ -1,0 +1,30 @@
+//! Microbench: Algorithm 2 (Monte-Carlo estimation of F1/F2) — linear in R,
+//! and the parallel speedup over the serial form.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rwd_bench::small_synthetic;
+use rwd_graph::NodeId;
+use rwd_walks::estimate::SampleEstimator;
+use rwd_walks::NodeSet;
+
+fn bench_sampling(c: &mut Criterion) {
+    let g = small_synthetic();
+    let set = NodeSet::from_nodes(g.n(), (0..10).map(NodeId));
+
+    let mut group = c.benchmark_group("algorithm2_estimate");
+    group.sample_size(20);
+    for r in [50usize, 250, 500] {
+        group.bench_with_input(BenchmarkId::new("parallel", r), &r, |b, &r| {
+            let est = SampleEstimator::new(6, r, 1);
+            b.iter(|| est.estimate(&g, &set));
+        });
+        group.bench_with_input(BenchmarkId::new("serial", r), &r, |b, &r| {
+            let est = SampleEstimator::serial(6, r, 1);
+            b.iter(|| est.estimate(&g, &set));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

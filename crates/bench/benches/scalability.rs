@@ -1,0 +1,34 @@
+//! Microbench for Fig. 9: approximate-greedy cost vs graph size — the
+//! linear-in-n claim at Criterion scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rwd_core::algo::ApproxGreedy;
+use rwd_core::problem::{Params, Problem};
+use rwd_graph::generators::barabasi_albert;
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability_fig9");
+    group.sample_size(10);
+    for n in [2_000usize, 4_000, 8_000] {
+        let g = barabasi_albert(n, 10, 0x5CA1E).unwrap();
+        let params = Params {
+            k: 20,
+            l: 6,
+            r: 50,
+            seed: 7,
+            ..Params::default()
+        };
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                ApproxGreedy::new(Problem::MaxCoverage, params)
+                    .run(g)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

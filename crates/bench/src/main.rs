@@ -1,0 +1,94 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro all            # everything at default (laptop) scale
+//! repro fig6 fig7      # selected experiments
+//! repro fig9 --full    # paper-scale datasets (needs several GB of RAM)
+//! ```
+//!
+//! Output: aligned tables on stdout plus TSVs under `results/`. The
+//! paper-vs-measured comparison for each experiment is recorded in
+//! `EXPERIMENTS.md`.
+
+use std::process::ExitCode;
+
+use rwd_bench::experiments::{self, Options};
+
+const USAGE: &str = "\
+repro — regenerate the tables and figures of
+  'Random-walk domination in large graphs' (ICDE 2014)
+
+USAGE: repro <experiment>... [--full]
+
+EXPERIMENTS:
+  table1   inverted index of Example 3.1
+  table2   dataset summary
+  fig2     DPF1 vs ApproxF1 effectiveness vs R
+  fig3     DPF2 vs ApproxF2 effectiveness vs R
+  fig4     running time: DP greedy vs approximate greedy
+  fig5     approximate greedy running time vs R
+  fig6     AHT vs k on the four datasets
+  fig7     EHN vs k on the four datasets
+  fig8     running time vs k and vs L (Epinions)
+  fig9     scalability over the G_1..G_10 series
+  fig10    effect of L on AHT and EHN
+  all      everything above
+
+FLAGS:
+  --full   paper-scale datasets (Fig. 9 full series needs ~6 GB RAM)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let opts = Options { full };
+    let selected: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    if selected.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+
+    let all = [
+        "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+    ];
+    let run_list: Vec<&str> = if selected.iter().any(|s| s.as_str() == "all") {
+        all.to_vec()
+    } else {
+        let mut list = Vec::new();
+        for s in &selected {
+            if all.contains(&s.as_str()) {
+                list.push(s.as_str());
+            } else {
+                eprintln!("unknown experiment `{s}`\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+        list
+    };
+
+    let started = std::time::Instant::now();
+    for name in &run_list {
+        let t0 = std::time::Instant::now();
+        match *name {
+            "table1" => experiments::table1(opts),
+            "table2" => experiments::table2(opts),
+            "fig2" => experiments::fig2(opts),
+            "fig3" => experiments::fig3(opts),
+            "fig4" => experiments::fig4(opts),
+            "fig5" => experiments::fig5(opts),
+            "fig6" => experiments::fig6(opts),
+            "fig7" => experiments::fig7(opts),
+            "fig8" => experiments::fig8(opts),
+            "fig9" => experiments::fig9(opts),
+            "fig10" => experiments::fig10(opts),
+            _ => unreachable!("validated above"),
+        }
+        eprintln!("[{name} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
+    }
+    eprintln!(
+        "all requested experiments done in {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,491 @@
+//! `rwdom` — command-line interface for random-walk domination.
+//!
+//! ```text
+//! rwdom gen      --model ba --nodes 1000 --degree 10 --seed 42 --out g.edges
+//! rwdom stats    g.edges
+//! rwdom select   g.edges --algo approx-f2 --k 30 --l 6 --r 100 [--eval]
+//! rwdom eval     g.edges --nodes 5,17,99 --l 6 --r 500
+//! rwdom cover    g.edges --alpha 0.9 --l 6 --r 100
+//! rwdom demo
+//! ```
+//!
+//! Every subcommand is a thin veneer over the library crates; the CLI holds
+//! no algorithmic logic of its own.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use rwd_core::algo::{ApproxGreedy, DpGreedy, SamplingGreedy};
+use rwd_core::baselines;
+use rwd_core::coverage::{min_nodes_for_coverage, CoverageParams};
+use rwd_core::metrics::{self, MetricParams};
+use rwd_core::problem::{Params, Problem, Selection};
+use rwd_core::report::{fmt_f, fmt_secs, Table};
+use rwd_graph::edgelist;
+use rwd_graph::generators;
+use rwd_graph::{CsrGraph, NodeId};
+
+const USAGE: &str = "\
+rwdom — random-walk domination in large graphs (ICDE 2014 reproduction)
+
+USAGE:
+  rwdom gen    --model <ba|gnm|gnp|ws|regular|powerlaw> --nodes <n> [model args] --out <file>
+  rwdom stats  <edge-list>
+  rwdom select <edge-list> --algo <algo> --k <k> [--l <L>] [--r <R>] [--seed <s>] [--eval]
+  rwdom eval   <edge-list> --nodes <id,id,...> [--l <L>] [--r <R>]
+  rwdom cover  <edge-list> --alpha <0..1] [--l <L>] [--r <R>] [--max-k <k>]
+  rwdom demo
+
+MODELS (gen):
+  ba        --degree <m_attach>            Barabási–Albert
+  gnm       --edges <m>                    uniform G(n, m)
+  gnp       --p <prob>                     G(n, p)
+  ws        --degree <k even> --beta <b>   Watts–Strogatz
+  regular   --degree <d>                   random d-regular
+  powerlaw  --edges <m> --gamma <g>        Chung–Lu power law
+
+ALGORITHMS (select):
+  approx-f1 approx-f2       Algorithm 6 (linear time; the paper's ApproxF1/F2)
+  dp-f1 dp-f2               exact DP greedy (small graphs; DPF1/DPF2)
+  sampling-f1 sampling-f2   §3.1 sampling greedy (medium graphs)
+  degree dominate random pagerank          baselines
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Splits `args` into positional arguments and `--flag value` pairs.
+fn parse(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>), String> {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            // Boolean flags take no value; detect by peeking.
+            let is_bool = matches!(name, "eval" | "connected");
+            if is_bool {
+                flags.insert(name.to_string(), "true".to_string());
+            } else {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                flags.insert(name.to_string(), v.clone());
+            }
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn get<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: Option<T>,
+) -> Result<T, String> {
+    match flags.get(name) {
+        Some(v) => v
+            .parse::<T>()
+            .map_err(|_| format!("flag --{name}: cannot parse `{v}`")),
+        None => default.ok_or_else(|| format!("missing required flag --{name}")),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("no subcommand given".into());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "gen" => cmd_gen(rest),
+        "stats" => cmd_stats(rest),
+        "select" => cmd_select(rest),
+        "eval" => cmd_eval(rest),
+        "cover" => cmd_cover(rest),
+        "demo" => cmd_demo(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn load(path: &str) -> Result<CsrGraph, String> {
+    let loaded = edgelist::read_edge_list(path).map_err(|e| e.to_string())?;
+    Ok(loaded.graph)
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let (_, flags) = parse(args)?;
+    let model: String = get(&flags, "model", None)?;
+    let n: usize = get(&flags, "nodes", None)?;
+    let seed: u64 = get(&flags, "seed", Some(42))?;
+    let out: String = get(&flags, "out", None)?;
+
+    let g = match model.as_str() {
+        "ba" => {
+            let d: usize = get(&flags, "degree", Some(4))?;
+            generators::barabasi_albert(n, d, seed)
+        }
+        "gnm" => {
+            let m: usize = get(&flags, "edges", None)?;
+            generators::erdos_renyi_gnm(n, m, seed)
+        }
+        "gnp" => {
+            let p: f64 = get(&flags, "p", None)?;
+            generators::erdos_renyi_gnp(n, p, seed)
+        }
+        "ws" => {
+            let d: usize = get(&flags, "degree", Some(4))?;
+            let beta: f64 = get(&flags, "beta", Some(0.2))?;
+            generators::watts_strogatz(n, d, beta, seed)
+        }
+        "regular" => {
+            let d: usize = get(&flags, "degree", Some(4))?;
+            generators::random_regular(n, d, seed)
+        }
+        "powerlaw" => {
+            let m: usize = get(&flags, "edges", None)?;
+            let gamma: f64 = get(&flags, "gamma", Some(2.3))?;
+            generators::power_law_cl(n, m, gamma, seed)
+        }
+        other => return Err(format!("unknown model `{other}`")),
+    }
+    .map_err(|e| e.to_string())?;
+
+    edgelist::write_edge_list(&g, &out).map_err(|e| e.to_string())?;
+    println!("wrote {} (n = {}, m = {})", out, g.n(), g.m());
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let (pos, _) = parse(args)?;
+    let path = pos.first().ok_or("stats needs an edge-list path")?;
+    let g = load(path)?;
+    let s = rwd_graph::stats::degree_stats(&g);
+    let comps = rwd_graph::traversal::connected_components(&g);
+    let mut t = Table::new(["property", "value"]);
+    t.row(["nodes", &g.n().to_string()]);
+    t.row(["edges", &g.m().to_string()]);
+    t.row(["min degree", &s.min.to_string()]);
+    t.row(["median degree", &s.median.to_string()]);
+    t.row(["mean degree", &fmt_f(s.mean, 2)]);
+    t.row(["max degree", &s.max.to_string()]);
+    t.row(["components", &comps.count.to_string()]);
+    t.row([
+        "largest component",
+        &comps.sizes.iter().max().copied().unwrap_or(0).to_string(),
+    ]);
+    if g.n() <= 100_000 {
+        t.row([
+            "clustering",
+            &fmt_f(rwd_graph::stats::global_clustering(&g), 4),
+        ]);
+    }
+    println!("{}", t.render());
+    Ok(())
+}
+
+fn cmd_select(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse(args)?;
+    let path = pos.first().ok_or("select needs an edge-list path")?;
+    let g = load(path)?;
+    let algo: String = get(&flags, "algo", None)?;
+    let params = Params {
+        k: get(&flags, "k", None)?,
+        l: get(&flags, "l", Some(6))?,
+        r: get(&flags, "r", Some(100))?,
+        seed: get(&flags, "seed", Some(0))?,
+        ..Params::default()
+    };
+
+    let sel: Selection = match algo.as_str() {
+        "approx-f1" => ApproxGreedy::new(Problem::MinHittingTime, params).run(&g),
+        "approx-f2" => ApproxGreedy::new(Problem::MaxCoverage, params).run(&g),
+        "dp-f1" => DpGreedy::new(Problem::MinHittingTime, params).run(&g),
+        "dp-f2" => DpGreedy::new(Problem::MaxCoverage, params).run(&g),
+        "sampling-f1" => SamplingGreedy::new(Problem::MinHittingTime, params).run(&g),
+        "sampling-f2" => SamplingGreedy::new(Problem::MaxCoverage, params).run(&g),
+        "degree" => baselines::degree_top_k(&g, params.k),
+        "dominate" => baselines::dominate_greedy(&g, params.k),
+        "random" => baselines::random_k(&g, params.k, params.seed),
+        "pagerank" => baselines::pagerank_top_k(&g, params.k),
+        other => return Err(format!("unknown algorithm `{other}`")),
+    }
+    .map_err(|e| e.to_string())?;
+
+    println!(
+        "# {} selected {} nodes in {}s",
+        sel.algorithm,
+        sel.nodes.len(),
+        fmt_secs(sel.elapsed)
+    );
+    let ids: Vec<String> = sel.nodes.iter().map(|u| u.to_string()).collect();
+    println!("{}", ids.join(","));
+
+    if flags.contains_key("eval") {
+        let m = metrics::evaluate(
+            &g,
+            &sel.nodes,
+            MetricParams {
+                l: params.l,
+                r: 500,
+                seed: params.seed ^ 0xE7A1,
+            },
+        );
+        println!("# AHT = {} EHN = {}", fmt_f(m.aht, 4), fmt_f(m.ehn, 2));
+    }
+    Ok(())
+}
+
+fn cmd_eval(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse(args)?;
+    let path = pos.first().ok_or("eval needs an edge-list path")?;
+    let g = load(path)?;
+    let nodes_arg: String = get(&flags, "nodes", None)?;
+    let nodes: Vec<NodeId> = nodes_arg
+        .split(',')
+        .map(|tok| {
+            tok.trim()
+                .parse::<u32>()
+                .map(NodeId)
+                .map_err(|_| format!("bad node id `{tok}`"))
+        })
+        .collect::<Result<_, _>>()?;
+    for u in &nodes {
+        g.check_node(*u).map_err(|e| e.to_string())?;
+    }
+    let l: u32 = get(&flags, "l", Some(6))?;
+    let r: usize = get(&flags, "r", Some(500))?;
+    let m = metrics::evaluate(&g, &nodes, MetricParams { l, r, seed: 0xE7A1 });
+    println!("AHT = {} (lower better)", fmt_f(m.aht, 4));
+    println!(
+        "EHN = {} of {} nodes (higher better)",
+        fmt_f(m.ehn, 2),
+        g.n()
+    );
+    Ok(())
+}
+
+fn cmd_cover(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse(args)?;
+    let path = pos.first().ok_or("cover needs an edge-list path")?;
+    let g = load(path)?;
+    let p = CoverageParams {
+        alpha: get(&flags, "alpha", Some(0.9))?,
+        l: get(&flags, "l", Some(6))?,
+        r: get(&flags, "r", Some(100))?,
+        seed: get(&flags, "seed", Some(0))?,
+        max_k: get(&flags, "max-k", Some(0))?,
+        threads: 0,
+    };
+    let res = min_nodes_for_coverage(&g, p).map_err(|e| e.to_string())?;
+    println!(
+        "target {} nodes ({}% of {}): {} — {} selections, achieved {}",
+        fmt_f(res.target, 1),
+        fmt_f(p.alpha * 100.0, 0),
+        g.n(),
+        if res.reached {
+            "REACHED"
+        } else {
+            "NOT reached"
+        },
+        res.k(),
+        fmt_f(res.achieved(), 1)
+    );
+    let ids: Vec<String> = res.nodes.iter().map(|u| u.to_string()).collect();
+    println!("{}", ids.join(","));
+    Ok(())
+}
+
+/// Walks through the paper's Example 3.1 with full intermediate output.
+fn cmd_demo() -> Result<(), String> {
+    use rwd_core::greedy::approx::{GainEngine, GainRule};
+    use rwd_graph::generators::paper_example::{figure1, v};
+    use rwd_walks::WalkIndex;
+
+    println!("Example 3.1 of the paper: R = 1, L = 2, k = 2 on Figure 1\n");
+    let g = figure1();
+    println!("graph: n = {}, m = {} (v1..v8 = ids 0..7)\n", g.n(), g.m());
+
+    let walks: Vec<Vec<NodeId>> = [
+        [1usize, 2, 3],
+        [2, 3, 5],
+        [3, 2, 5],
+        [4, 7, 5],
+        [5, 2, 6],
+        [6, 7, 5],
+        [7, 5, 7],
+        [8, 7, 4],
+    ]
+    .iter()
+    .map(|w| w.iter().map(|&x| v(x)).collect())
+    .collect();
+    let idx = WalkIndex::from_walks(8, 2, &walks);
+
+    println!("Table 1 — inverted index:");
+    for owner in 1..=8 {
+        let entries: Vec<String> = idx
+            .postings(0, v(owner))
+            .iter()
+            .map(|p| format!("<v{}, {}>", p.id.index() + 1, p.weight))
+            .collect();
+        println!("  v{owner}: {}", entries.join(", "));
+    }
+
+    let mut engine = GainEngine::new(&idx, GainRule::HittingTime);
+    let gains = engine.gains_all();
+    println!("\nfirst-round marginal gains σ_u(∅):");
+    let pretty: Vec<String> = (1..=8)
+        .map(|i| format!("v{i}={}", gains[v(i).index()]))
+        .collect();
+    println!("  {}", pretty.join("  "));
+
+    engine.update(v(2));
+    println!("\nselected v2 (ties break to the smaller id, as in the paper);");
+    let d = engine.hit_times();
+    let pretty: Vec<String> = (1..=8)
+        .map(|i| format!("D[v{i}]={}", d[v(i).index()]))
+        .collect();
+    println!("updated D: {}", pretty.join("  "));
+
+    let gains = engine.gains_all();
+    let best = (0..8)
+        .filter(|&u| !engine.selected().contains(NodeId(u)))
+        .max_by(|&a, &b| {
+            gains[a as usize]
+                .total_cmp(&gains[b as usize])
+                .then(b.cmp(&a))
+        })
+        .unwrap();
+    println!(
+        "\nsecond round selects v{} — final S = {{v2, v7}}",
+        best + 1
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_splits_positional_and_flags() {
+        let (pos, flags) = parse(&argv(&["file.edges", "--k", "10", "--algo", "degree"])).unwrap();
+        assert_eq!(pos, vec!["file.edges"]);
+        assert_eq!(flags.get("k").unwrap(), "10");
+        assert_eq!(flags.get("algo").unwrap(), "degree");
+    }
+
+    #[test]
+    fn parse_boolean_flags_take_no_value() {
+        let (pos, flags) = parse(&argv(&["f", "--eval", "--k", "3"])).unwrap();
+        assert_eq!(pos, vec!["f"]);
+        assert_eq!(flags.get("eval").unwrap(), "true");
+        assert_eq!(flags.get("k").unwrap(), "3");
+    }
+
+    #[test]
+    fn parse_rejects_dangling_flag() {
+        assert!(parse(&argv(&["--k"])).is_err());
+    }
+
+    #[test]
+    fn get_applies_defaults_and_validates() {
+        let (_, flags) = parse(&argv(&["--k", "7"])).unwrap();
+        assert_eq!(get::<usize>(&flags, "k", None).unwrap(), 7);
+        assert_eq!(get::<u32>(&flags, "l", Some(6)).unwrap(), 6);
+        assert!(get::<usize>(&flags, "missing", None).is_err());
+        let (_, flags) = parse(&argv(&["--k", "notanumber"])).unwrap();
+        assert!(get::<usize>(&flags, "k", None).is_err());
+    }
+
+    #[test]
+    fn run_rejects_unknown_subcommand() {
+        assert!(run(&argv(&["frobnicate"])).is_err());
+        assert!(run(&argv(&[])).is_err());
+    }
+
+    #[test]
+    fn demo_runs_clean() {
+        assert!(cmd_demo().is_ok());
+    }
+
+    #[test]
+    fn gen_stats_select_round_trip() {
+        let dir = std::env::temp_dir().join("rwdom_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.edges");
+        let path_s = path.to_str().unwrap();
+        run(&argv(&[
+            "gen", "--model", "ba", "--nodes", "200", "--degree", "3", "--seed", "5", "--out",
+            path_s,
+        ]))
+        .unwrap();
+        run(&argv(&["stats", path_s])).unwrap();
+        run(&argv(&[
+            "select",
+            path_s,
+            "--algo",
+            "approx-f2",
+            "--k",
+            "5",
+            "--l",
+            "4",
+            "--r",
+            "25",
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "eval", path_s, "--nodes", "0,1,2", "--l", "4", "--r", "50",
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "cover", path_s, "--alpha", "0.5", "--l", "4", "--r", "25",
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn select_rejects_unknown_algorithm() {
+        let dir = std::env::temp_dir().join("rwdom_cli_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.edges");
+        let path_s = path.to_str().unwrap();
+        run(&argv(&[
+            "gen", "--model", "gnm", "--nodes", "50", "--edges", "100", "--out", path_s,
+        ]))
+        .unwrap();
+        assert!(run(&argv(&["select", path_s, "--algo", "magic", "--k", "3"])).is_err());
+        assert!(run(&argv(&["eval", path_s, "--nodes", "999", "--l", "3"])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gen_rejects_unknown_model() {
+        assert!(run(&argv(&[
+            "gen",
+            "--model",
+            "nope",
+            "--nodes",
+            "10",
+            "--out",
+            "/tmp/never.edges"
+        ]))
+        .is_err());
+    }
+}

@@ -1,0 +1,310 @@
+//! Baseline selection algorithms from the paper's experimental setup.
+//!
+//! * [`degree_top_k`] — the `Degree` baseline: the `k` highest-degree nodes,
+//! * [`dominate_greedy`] — the `Dominate` baseline: greedy k-max-coverage
+//!   over one-hop neighborhoods (classic dominating-set greedy under a
+//!   cardinality budget),
+//! * [`random_k`] — uniform random selection (sanity floor),
+//! * [`pagerank_top_k`] — an extra centrality baseline (power iteration),
+//!   not in the paper but a natural competitor.
+//!
+//! All baselines return the same [`Selection`] shape as the greedy solvers
+//! so the harness can evaluate every algorithm identically.
+
+use std::time::Instant;
+
+use rwd_graph::{CsrGraph, NodeId};
+use rwd_walks::rng::WalkRng;
+use rwd_walks::NodeSet;
+
+use crate::problem::Selection;
+use crate::Result;
+
+fn check_k(k: usize, n: usize) -> Result<()> {
+    if k == 0 || k > n {
+        return Err(crate::CoreError::InvalidParams(format!(
+            "k = {k} outside [1, n = {n}]"
+        )));
+    }
+    Ok(())
+}
+
+fn selection(nodes: Vec<NodeId>, start: Instant, algorithm: &str) -> Selection {
+    Selection {
+        nodes,
+        gain_trace: Vec::new(),
+        objective_trace: Vec::new(),
+        evaluations: 0,
+        elapsed: start.elapsed(),
+        algorithm: algorithm.to_string(),
+    }
+}
+
+/// `Degree`: top-`k` nodes by degree, ties broken toward smaller ids
+/// (deterministic).
+///
+/// ```
+/// use rwd_core::baselines::degree_top_k;
+/// use rwd_graph::generators::classic::star;
+/// use rwd_graph::NodeId;
+///
+/// let g = star(6).unwrap();
+/// let sel = degree_top_k(&g, 1).unwrap();
+/// assert_eq!(sel.nodes, vec![NodeId(0)]); // the hub
+/// ```
+pub fn degree_top_k(g: &CsrGraph, k: usize) -> Result<Selection> {
+    check_k(k, g.n())?;
+    let start = Instant::now();
+    let mut order: Vec<NodeId> = g.nodes().collect();
+    // Sort by (degree desc, id asc); a full sort keeps the code simple and
+    // is far from the bottleneck at the paper's scales.
+    order.sort_by(|&a, &b| g.degree(b).cmp(&g.degree(a)).then(a.cmp(&b)));
+    order.truncate(k);
+    Ok(selection(order, start, "Degree"))
+}
+
+/// `Dominate`: `k` rounds of max-coverage over closed one-hop neighborhoods
+/// `N[u] = {u} ∪ N(u)` — each round picks the node covering the most
+/// not-yet-covered nodes (lazy evaluation inside, selections identical to
+/// the naive rescan).
+pub fn dominate_greedy(g: &CsrGraph, k: usize) -> Result<Selection> {
+    check_k(k, g.n())?;
+    let start = Instant::now();
+    let n = g.n();
+    let mut covered = NodeSet::new(n);
+    let mut nodes = Vec::with_capacity(k);
+
+    // CELF over the coverage gains: cached values only shrink as coverage
+    // grows, so stale-top re-evaluation is exact.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let gain = |u: NodeId, covered: &NodeSet| -> usize {
+        usize::from(!covered.contains(u))
+            + g.neighbors(u)
+                .iter()
+                .filter(|&&v| !covered.contains(v))
+                .count()
+    };
+    let mut heap: BinaryHeap<(usize, Reverse<u32>, usize)> = g
+        .nodes()
+        .map(|u| (g.degree(u) + 1, Reverse(u.raw()), 0usize))
+        .collect();
+    let mut selected = NodeSet::new(n);
+
+    for round in 1..=k {
+        loop {
+            let (_cached, Reverse(u), at) = heap.pop().expect("candidates remain");
+            let u = NodeId(u);
+            if selected.contains(u) {
+                continue;
+            }
+            if at == round {
+                selected.insert(u);
+                covered.insert(u);
+                for &v in g.neighbors(u) {
+                    covered.insert(v);
+                }
+                nodes.push(u);
+                break;
+            }
+            heap.push((gain(u, &covered), Reverse(u.raw()), round));
+        }
+    }
+    Ok(selection(nodes, start, "Dominate"))
+}
+
+/// Uniform random selection of `k` distinct nodes (deterministic per seed).
+pub fn random_k(g: &CsrGraph, k: usize, seed: u64) -> Result<Selection> {
+    check_k(k, g.n())?;
+    let start = Instant::now();
+    let n = g.n();
+    // Partial Fisher–Yates over the id range.
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    let mut rng = WalkRng::from_seed(seed ^ 0x5EED_BA5E);
+    for i in 0..k {
+        let j = i + rng.gen_index(n - i);
+        ids.swap(i, j);
+    }
+    let nodes = ids[..k].iter().map(|&u| NodeId(u)).collect();
+    Ok(selection(nodes, start, "Random"))
+}
+
+/// PageRank scores by power iteration with uniform teleport.
+///
+/// Isolated nodes redistribute their mass uniformly (standard dangling-node
+/// handling). Returns per-node scores summing to 1.
+pub fn pagerank_scores(g: &CsrGraph, damping: f64, iterations: usize) -> Vec<f64> {
+    let n = g.n();
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!((0.0..1.0).contains(&damping), "damping must be in [0, 1)");
+    let uniform = 1.0 / n as f64;
+    let mut rank = vec![uniform; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iterations {
+        let mut dangling = 0.0;
+        next.fill(0.0);
+        for u in g.nodes() {
+            let share = rank[u.index()];
+            let nbrs = g.neighbors(u);
+            if nbrs.is_empty() {
+                dangling += share;
+            } else {
+                let out = share / nbrs.len() as f64;
+                for &v in nbrs {
+                    next[v.index()] += out;
+                }
+            }
+        }
+        let base = (1.0 - damping) * uniform + damping * dangling * uniform;
+        for x in next.iter_mut() {
+            *x = damping * *x + base;
+        }
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+/// PageRank baseline: top-`k` nodes by PageRank score (damping 0.85, 50
+/// iterations), ties toward smaller ids.
+pub fn pagerank_top_k(g: &CsrGraph, k: usize) -> Result<Selection> {
+    check_k(k, g.n())?;
+    let start = Instant::now();
+    let scores = pagerank_scores(g, 0.85, 50);
+    let mut order: Vec<NodeId> = g.nodes().collect();
+    order.sort_by(|&a, &b| {
+        scores[b.index()]
+            .total_cmp(&scores[a.index()])
+            .then(a.cmp(&b))
+    });
+    order.truncate(k);
+    Ok(selection(order, start, "PageRank"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rwd_graph::generators::{barabasi_albert, classic, paper_example};
+
+    #[test]
+    fn degree_picks_hubs() {
+        let g = paper_example::figure1();
+        let sel = degree_top_k(&g, 2).unwrap();
+        // v2 and v7 (ids 1, 6) have degree 4.
+        assert_eq!(sel.nodes, vec![NodeId(1), NodeId(6)]);
+        assert_eq!(sel.algorithm, "Degree");
+    }
+
+    #[test]
+    fn degree_tie_break_is_id_order() {
+        let g = classic::cycle(5).unwrap();
+        let sel = degree_top_k(&g, 3).unwrap();
+        assert_eq!(sel.nodes, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn dominate_covers_star_with_hub() {
+        let g = classic::star(9).unwrap();
+        let sel = dominate_greedy(&g, 1).unwrap();
+        assert_eq!(sel.nodes, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn dominate_prefers_fresh_coverage() {
+        // Two stars joined by an edge between hubs 0 and 5.
+        let g = CsrGraph::from_edges(
+            10,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (5, 6),
+                (5, 7),
+                (5, 8),
+                (5, 9),
+                (0, 5),
+            ],
+        )
+        .unwrap();
+        let sel = dominate_greedy(&g, 2).unwrap();
+        assert_eq!(sel.nodes, vec![NodeId(0), NodeId(5)]);
+    }
+
+    #[test]
+    fn dominate_matches_naive_rescan() {
+        let g = barabasi_albert(200, 3, 4).unwrap();
+        let lazy = dominate_greedy(&g, 10).unwrap();
+        // Naive reference implementation.
+        let mut covered = NodeSet::new(g.n());
+        let mut picked = NodeSet::new(g.n());
+        let mut reference = Vec::new();
+        for _ in 0..10 {
+            let mut best = (0usize, NodeId(0));
+            let mut best_set = false;
+            for u in g.nodes() {
+                if picked.contains(u) {
+                    continue;
+                }
+                let mut gain = usize::from(!covered.contains(u));
+                gain += g
+                    .neighbors(u)
+                    .iter()
+                    .filter(|&&v| !covered.contains(v))
+                    .count();
+                if !best_set || gain > best.0 {
+                    best = (gain, u);
+                    best_set = true;
+                }
+            }
+            picked.insert(best.1);
+            covered.insert(best.1);
+            for &v in g.neighbors(best.1) {
+                covered.insert(v);
+            }
+            reference.push(best.1);
+        }
+        assert_eq!(lazy.nodes, reference);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_distinct() {
+        let g = barabasi_albert(100, 2, 0).unwrap();
+        let a = random_k(&g, 20, 5).unwrap();
+        let b = random_k(&g, 20, 5).unwrap();
+        let c = random_k(&g, 20, 6).unwrap();
+        assert_eq!(a.nodes, b.nodes);
+        assert_ne!(a.nodes, c.nodes);
+        let set: std::collections::HashSet<_> = a.nodes.iter().collect();
+        assert_eq!(set.len(), 20, "no duplicates");
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_ranks_hub_first() {
+        let g = classic::star(20).unwrap();
+        let scores = pagerank_scores(&g, 0.85, 50);
+        let total: f64 = scores.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        let sel = pagerank_top_k(&g, 1).unwrap();
+        assert_eq!(sel.nodes, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn pagerank_handles_isolated_nodes() {
+        let g = CsrGraph::from_edges(4, &[(0, 1)]).unwrap();
+        let scores = pagerank_scores(&g, 0.85, 30);
+        assert!((scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(scores.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn bad_k_rejected() {
+        let g = classic::path(3).unwrap();
+        assert!(degree_top_k(&g, 0).is_err());
+        assert!(degree_top_k(&g, 4).is_err());
+        assert!(dominate_greedy(&g, 0).is_err());
+        assert!(random_k(&g, 9, 0).is_err());
+        assert!(pagerank_top_k(&g, 0).is_err());
+    }
+}

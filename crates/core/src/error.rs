@@ -1,0 +1,60 @@
+//! Error types for the algorithm layer.
+
+use std::fmt;
+
+use rwd_graph::GraphError;
+
+/// Errors produced by solvers and metrics.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Parameters are structurally invalid (k = 0, k > n, r = 0, …).
+    InvalidParams(String),
+    /// An underlying graph error.
+    Graph(GraphError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for CoreError {
+    fn from(e: GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CoreError::InvalidParams("k = 0".into())
+            .to_string()
+            .contains("k = 0"));
+        let e: CoreError = GraphError::InvalidInput("bad".into()).into();
+        assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn source_chain() {
+        use std::error::Error;
+        let e: CoreError = GraphError::InvalidInput("x".into()).into();
+        assert!(e.source().is_some());
+        assert!(CoreError::InvalidParams("y".into()).source().is_none());
+    }
+}

@@ -1,0 +1,287 @@
+//! Generic greedy maximization (the paper's Algorithm 1).
+//!
+//! `greedy_plain` re-evaluates every candidate each round — the literal
+//! Algorithm 1. `greedy_lazy` is the CELF accelerration of Leskovec et al.
+//! (the paper's \[19\], recommended in §3.1): cached gains are upper bounds
+//! under submodularity, so a candidate whose cached gain tops the heap only
+//! needs re-evaluation, not the whole population. Both produce identical
+//! selections for deterministic objectives (asserted in tests) because ties
+//! break identically (smaller node id wins).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rwd_graph::NodeId;
+use rwd_walks::NodeSet;
+
+use crate::objective::Objective;
+
+/// Result of a greedy run (solver-agnostic part of
+/// [`crate::problem::Selection`]).
+#[derive(Clone, Debug)]
+pub struct GreedyOutcome {
+    /// Selected nodes in pick order.
+    pub nodes: Vec<NodeId>,
+    /// Marginal gain of each pick.
+    pub gain_trace: Vec<f64>,
+    /// Objective value after each pick.
+    pub objective_trace: Vec<f64>,
+    /// Number of marginal-gain evaluations performed.
+    pub evaluations: usize,
+}
+
+/// Runs greedy with either strategy.
+pub fn greedy(obj: &impl Objective, k: usize, lazy: bool) -> GreedyOutcome {
+    if lazy {
+        greedy_lazy(obj, k)
+    } else {
+        greedy_plain(obj, k)
+    }
+}
+
+/// Algorithm 1 verbatim: `k` rounds, each scanning every remaining
+/// candidate for the maximal marginal gain.
+pub fn greedy_plain(obj: &impl Objective, k: usize) -> GreedyOutcome {
+    let n = obj.universe();
+    assert!(k <= n, "budget exceeds universe");
+    let mut set = NodeSet::new(n);
+    let mut base = obj.eval(&set);
+    let mut out = GreedyOutcome {
+        nodes: Vec::with_capacity(k),
+        gain_trace: Vec::with_capacity(k),
+        objective_trace: Vec::with_capacity(k),
+        evaluations: 0,
+    };
+
+    for _round in 0..k {
+        let mut best: Option<(NodeId, f64)> = None;
+        for u in 0..n {
+            let u = NodeId::new(u);
+            if set.contains(u) {
+                continue;
+            }
+            let gain = obj.gain(&set, u, base);
+            out.evaluations += 1;
+            // Strict `>` keeps the smallest id on ties (ids scan upward).
+            if best.is_none_or(|(_, bg)| gain > bg) {
+                best = Some((u, gain));
+            }
+        }
+        let (pick, gain) = best.expect("k <= n guarantees a candidate");
+        set.insert(pick);
+        base += gain;
+        out.nodes.push(pick);
+        out.gain_trace.push(gain);
+        out.objective_trace.push(base);
+    }
+    out
+}
+
+/// Heap entry for CELF. Ordered by gain descending, then node id ascending,
+/// so ties resolve exactly like the plain scan.
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    gain: f64,
+    node: u32,
+    round: usize,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.gain
+            .total_cmp(&other.gain)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// CELF lazy greedy: re-evaluates only heap tops whose cached gain is stale.
+pub fn greedy_lazy(obj: &impl Objective, k: usize) -> GreedyOutcome {
+    let n = obj.universe();
+    assert!(k <= n, "budget exceeds universe");
+    let mut set = NodeSet::new(n);
+    let mut base = obj.eval(&set);
+    let mut out = GreedyOutcome {
+        nodes: Vec::with_capacity(k),
+        gain_trace: Vec::with_capacity(k),
+        objective_trace: Vec::with_capacity(k),
+        evaluations: 0,
+    };
+
+    let mut heap = BinaryHeap::with_capacity(n);
+    for u in 0..n {
+        let u_id = NodeId::new(u);
+        let gain = obj.gain(&set, u_id, base);
+        out.evaluations += 1;
+        heap.push(Entry {
+            gain,
+            node: u as u32,
+            round: 0,
+        });
+    }
+
+    for round in 1..=k {
+        loop {
+            let top = heap.pop().expect("heap holds all unselected candidates");
+            if top.round == round {
+                let pick = NodeId(top.node);
+                set.insert(pick);
+                base += top.gain;
+                out.nodes.push(pick);
+                out.gain_trace.push(top.gain);
+                out.objective_trace.push(base);
+                break;
+            }
+            let gain = obj.gain(&set, NodeId(top.node), base);
+            out.evaluations += 1;
+            heap.push(Entry {
+                gain,
+                node: top.node,
+                round,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::{ExactF1, ExactF2};
+    use rwd_graph::generators::{classic, paper_example};
+
+    /// Deterministic toy coverage objective: F(S) = |⋃_{u∈S} cover(u)|.
+    struct Cover {
+        sets: Vec<Vec<u32>>,
+    }
+    impl Objective for Cover {
+        fn eval(&self, set: &NodeSet) -> f64 {
+            let mut covered = std::collections::HashSet::new();
+            for u in set.iter() {
+                covered.extend(self.sets[u.index()].iter().copied());
+            }
+            covered.len() as f64
+        }
+        fn universe(&self) -> usize {
+            self.sets.len()
+        }
+        fn name(&self) -> String {
+            "Cover".into()
+        }
+    }
+
+    fn toy() -> Cover {
+        Cover {
+            sets: vec![
+                vec![0, 1, 2, 3], // node 0 covers 4
+                vec![3, 4, 5],    // node 1 covers 3 (1 overlaps 0)
+                vec![6, 7],       // node 2 covers 2
+                vec![0, 1],       // node 3 subsumed by 0
+            ],
+        }
+    }
+
+    #[test]
+    fn plain_picks_greedy_order() {
+        let out = greedy_plain(&toy(), 3);
+        assert_eq!(
+            out.nodes,
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+            "coverage greedy order"
+        );
+        assert_eq!(out.gain_trace, vec![4.0, 2.0, 2.0]);
+        assert_eq!(out.objective_trace, vec![4.0, 6.0, 8.0]);
+        assert_eq!(out.evaluations, 4 + 3 + 2);
+    }
+
+    #[test]
+    fn lazy_matches_plain_selection() {
+        let plain = greedy_plain(&toy(), 4);
+        let lazy = greedy_lazy(&toy(), 4);
+        assert_eq!(plain.nodes, lazy.nodes);
+        assert_eq!(plain.gain_trace, lazy.gain_trace);
+        assert!(lazy.evaluations <= plain.evaluations);
+    }
+
+    #[test]
+    fn lazy_matches_plain_on_exact_objectives() {
+        let g = paper_example::figure1();
+        for l in [2u32, 5] {
+            let f1 = ExactF1::new(&g, l);
+            assert_eq!(
+                greedy_plain(&f1, 3).nodes,
+                greedy_lazy(&f1, 3).nodes,
+                "F1 l={l}"
+            );
+            let f2 = ExactF2::new(&g, l);
+            assert_eq!(
+                greedy_plain(&f2, 3).nodes,
+                greedy_lazy(&f2, 3).nodes,
+                "F2 l={l}"
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_saves_evaluations_on_larger_instances() {
+        let g = rwd_graph::generators::barabasi_albert(150, 3, 5).unwrap();
+        let f2 = ExactF2::new(&g, 4);
+        let plain = greedy_plain(&f2, 8);
+        let lazy = greedy_lazy(&f2, 8);
+        assert_eq!(plain.nodes, lazy.nodes);
+        assert!(
+            lazy.evaluations * 2 < plain.evaluations,
+            "lazy {} vs plain {}",
+            lazy.evaluations,
+            plain.evaluations
+        );
+    }
+
+    #[test]
+    fn star_hub_selected_first() {
+        let g = classic::star(10).unwrap();
+        let f2 = ExactF2::new(&g, 2);
+        let out = greedy(&f2, 1, true);
+        assert_eq!(out.nodes, vec![NodeId(0)], "hub dominates everything");
+    }
+
+    #[test]
+    fn ties_break_to_smaller_id() {
+        // Two disjoint equal-size covers: plain and lazy must both pick 0.
+        let obj = Cover {
+            sets: vec![vec![0, 1], vec![2, 3], vec![9]],
+        };
+        assert_eq!(greedy_plain(&obj, 1).nodes, vec![NodeId(0)]);
+        assert_eq!(greedy_lazy(&obj, 1).nodes, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn gain_traces_are_non_increasing_for_submodular_objectives() {
+        let g = paper_example::figure1();
+        let f2 = ExactF2::new(&g, 4);
+        let out = greedy_plain(&f2, 6);
+        for w in out.gain_trace.windows(2) {
+            assert!(
+                w[0] >= w[1] - 1e-9,
+                "greedy gains must shrink: {:?}",
+                out.gain_trace
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "budget exceeds universe")]
+    fn oversized_budget_panics() {
+        let _ = greedy_plain(&toy(), 5);
+    }
+}

@@ -1,0 +1,13 @@
+//! Greedy selection machinery.
+//!
+//! * [`driver`] — the paper's Algorithm 1: generic greedy over any
+//!   [`crate::objective::Objective`], in plain (full rescan) and lazy (CELF,
+//!   the `[19]` acceleration the paper recommends) forms,
+//! * [`approx`] — the Algorithm 4/5 gain engine over the inverted walk
+//!   index, powering the approximate greedy of Algorithm 6.
+
+pub mod approx;
+pub mod driver;
+
+pub use approx::{GainEngine, GainRule};
+pub use driver::{greedy, greedy_lazy, greedy_plain, GreedyOutcome};

@@ -1,0 +1,56 @@
+//! # rwd-core
+//!
+//! Random-walk domination in large graphs — the primary contribution of
+//! Li, Yu, Huang, Cheng (ICDE 2014), implemented end to end:
+//!
+//! * [`problem`] — the two random-walk domination problems:
+//!   **Problem 1** (minimize total L-truncated hitting time, Eq. 6) and
+//!   **Problem 2** (maximize expected number of dominated nodes, Eq. 7),
+//! * [`objective`] — monotone submodular objectives `F1`, `F2` (exact DP and
+//!   sampled forms), plus the paper's future-work extensions: a combined
+//!   objective and an edge-coverage objective,
+//! * [`greedy`] — the generic greedy of Algorithm 1 with optional lazy
+//!   (CELF) evaluation, and the Algorithm 4/5 gain engine over the inverted
+//!   walk index,
+//! * [`algo`] — user-facing solvers: [`algo::DpGreedy`] (`DPF1`/`DPF2`),
+//!   [`algo::SamplingGreedy`], and [`algo::ApproxGreedy`]
+//!   (`ApproxF1`/`ApproxF2`, Algorithm 6, `O(kRLn)` time),
+//! * [`baselines`] — the paper's `Degree` and `Dominate` baselines plus
+//!   `Random` and PageRank,
+//! * [`metrics`] — the evaluation metrics `AHT` (`M1`) and `EHN` (`M2`),
+//! * [`coverage`] — the future-work partial-cover problem (min `|S|` to
+//!   dominate `α·n` nodes in expectation),
+//! * [`report`] — small table/TSV helpers shared by the harness, CLI and
+//!   examples.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rwd_core::algo::ApproxGreedy;
+//! use rwd_core::problem::{Params, Problem};
+//! use rwd_graph::generators::barabasi_albert;
+//!
+//! let g = barabasi_albert(300, 3, 7).unwrap();
+//! let params = Params { k: 5, l: 6, r: 50, seed: 1, ..Params::default() };
+//! let sel = ApproxGreedy::new(Problem::MaxCoverage, params).run(&g).unwrap();
+//! assert_eq!(sel.nodes.len(), 5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod algo;
+pub mod baselines;
+pub mod coverage;
+pub mod error;
+pub mod greedy;
+pub mod metrics;
+pub mod objective;
+pub mod problem;
+pub mod report;
+
+pub use error::CoreError;
+pub use problem::{Params, Problem, Selection};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,169 @@
+//! Problem definitions and shared parameter/result types.
+
+use std::time::Duration;
+
+use rwd_graph::NodeId;
+
+/// The two random-walk domination problems of the paper (§2.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Problem {
+    /// **Problem 1** (Eq. 6): choose `|S| ≤ k` maximizing
+    /// `F1(S) = nL − Σ_{u∈V\S} h^L_uS` — equivalently, minimizing the total
+    /// expected truncated hitting time from the remaining nodes to `S`.
+    MinHittingTime,
+    /// **Problem 2** (Eq. 7): choose `|S| ≤ k` maximizing
+    /// `F2(S) = E[Σ_u X^L_uS]` — the expected number of nodes whose
+    /// L-length random walk hits `S`.
+    MaxCoverage,
+}
+
+impl Problem {
+    /// Short display name matching the paper's algorithm naming
+    /// (`…F1` / `…F2`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Problem::MinHittingTime => "F1",
+            Problem::MaxCoverage => "F2",
+        }
+    }
+}
+
+/// Shared solver parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Params {
+    /// Number of nodes to select (cardinality budget `k`).
+    pub k: usize,
+    /// Walk-length bound `L`.
+    pub l: u32,
+    /// Walks per node `R` (sampling-based solvers only).
+    pub r: usize,
+    /// Base RNG seed; selections are pure functions of
+    /// `(graph, problem, params)`.
+    pub seed: u64,
+    /// Worker threads (`0` = all cores).
+    pub threads: usize,
+    /// Use lazy (CELF) evaluation where the solver supports it.
+    pub lazy: bool,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        // L = 6 and R = 100 are the paper's defaults for the real-data
+        // experiments (Figs. 6–9).
+        Params {
+            k: 10,
+            l: 6,
+            r: 100,
+            seed: 0,
+            threads: 0,
+            lazy: true,
+        }
+    }
+}
+
+impl Params {
+    /// Validates the budget against a graph of `n` nodes.
+    pub fn validate(&self, n: usize) -> crate::Result<()> {
+        if self.k == 0 {
+            return Err(crate::CoreError::InvalidParams("k must be >= 1".into()));
+        }
+        if self.k > n {
+            return Err(crate::CoreError::InvalidParams(format!(
+                "k = {} exceeds n = {n}",
+                self.k
+            )));
+        }
+        if self.r == 0 {
+            return Err(crate::CoreError::InvalidParams("r must be >= 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Result of a selection algorithm.
+#[derive(Clone, Debug)]
+pub struct Selection {
+    /// Chosen nodes in selection order.
+    pub nodes: Vec<NodeId>,
+    /// Marginal gain recorded at each pick (objective units of the solver).
+    pub gain_trace: Vec<f64>,
+    /// Objective value after each pick (when the solver tracks it).
+    pub objective_trace: Vec<f64>,
+    /// Number of marginal-gain evaluations performed (lazy-evaluation
+    /// ablations compare this across drivers).
+    pub evaluations: usize,
+    /// Wall-clock time of the selection (excluding graph construction).
+    pub elapsed: Duration,
+    /// Human-readable algorithm label, e.g. `"ApproxF2"`.
+    pub algorithm: String,
+}
+
+impl Selection {
+    /// The selected set as a bitset over `n` nodes.
+    pub fn to_set(&self, n: usize) -> rwd_walks::NodeSet {
+        rwd_walks::NodeSet::from_nodes(n, self.nodes.iter().copied())
+    }
+
+    /// Final objective value, if tracked.
+    pub fn objective(&self) -> Option<f64> {
+        self.objective_trace.last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_validation() {
+        let p = Params {
+            k: 5,
+            ..Params::default()
+        };
+        assert!(p.validate(10).is_ok());
+        assert!(p.validate(4).is_err());
+        assert!(Params {
+            k: 0,
+            ..Params::default()
+        }
+        .validate(10)
+        .is_err());
+        assert!(Params {
+            r: 0,
+            k: 1,
+            ..Params::default()
+        }
+        .validate(10)
+        .is_err());
+    }
+
+    #[test]
+    fn problem_suffixes() {
+        assert_eq!(Problem::MinHittingTime.suffix(), "F1");
+        assert_eq!(Problem::MaxCoverage.suffix(), "F2");
+    }
+
+    #[test]
+    fn selection_helpers() {
+        let sel = Selection {
+            nodes: vec![NodeId(3), NodeId(1)],
+            gain_trace: vec![2.0, 1.0],
+            objective_trace: vec![2.0, 3.0],
+            evaluations: 10,
+            elapsed: Duration::from_millis(1),
+            algorithm: "test".into(),
+        };
+        let set = sel.to_set(5);
+        assert!(set.contains(NodeId(1)));
+        assert!(set.contains(NodeId(3)));
+        assert_eq!(set.len(), 2);
+        assert_eq!(sel.objective(), Some(3.0));
+    }
+
+    #[test]
+    fn default_params_match_paper() {
+        let p = Params::default();
+        assert_eq!(p.l, 6);
+        assert_eq!(p.r, 100);
+    }
+}

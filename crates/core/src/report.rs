@@ -1,0 +1,151 @@
+//! Text-table and TSV formatting shared by the harness, CLI and examples.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple aligned text table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with space-aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>width$}", width = widths[c]);
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &mut out);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders as TSV (headers first).
+    pub fn to_tsv(&self) -> String {
+        let mut out = self.headers.join("\t");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the TSV form to a file, creating parent directories.
+    pub fn write_tsv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        if let Some(parent) = path.as_ref().parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_tsv())
+    }
+}
+
+/// Formats a float with fixed precision, trimming noise digits — the shape
+/// the paper's plots report.
+pub fn fmt_f(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}
+
+/// Formats a `Duration` as fractional seconds.
+pub fn fmt_secs(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(["k", "AHT"]);
+        t.row(["20", "5.41"]);
+        t.row(["100", "5.2"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('k') && lines[0].contains("AHT"));
+        assert!(lines[2].trim_start().starts_with("20"));
+    }
+
+    #[test]
+    fn tsv_round_trip_shape() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["1", "2"]);
+        assert_eq!(t.to_tsv(), "a\tb\n1\t2\n");
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn write_tsv_creates_dirs() {
+        let dir = std::env::temp_dir().join("rwd_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/out.tsv");
+        let mut t = Table::new(["x"]);
+        t.row(["1"]);
+        t.write_tsv(&path).unwrap();
+        assert!(path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_f(2.71828, 2), "2.72");
+        assert_eq!(fmt_secs(std::time::Duration::from_millis(1500)), "1.500");
+    }
+}

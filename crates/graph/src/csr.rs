@@ -1,0 +1,252 @@
+//! Compressed-sparse-row graph storage.
+
+use crate::error::GraphError;
+use crate::node::NodeId;
+use crate::Result;
+
+/// Whether arcs are stored for one direction or both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GraphKind {
+    /// Every edge `{u, v}` is stored as the two arcs `u→v` and `v→u`.
+    Undirected,
+    /// Arcs are stored exactly as given.
+    Directed,
+}
+
+/// An immutable graph in compressed-sparse-row form.
+///
+/// All algorithm layers in this workspace run against this structure: the
+/// random-walk engine needs nothing more than *degree* and a *neighbor
+/// slice*, both O(1) here. Neighbor lists are sorted, which additionally
+/// gives O(log d) [`CsrGraph::has_edge`] checks and linear-time sorted-list
+/// intersections for triangle counting.
+///
+/// Construct via [`crate::GraphBuilder`], [`CsrGraph::from_edges`], the
+/// [`crate::generators`], or [`crate::edgelist`].
+#[derive(Clone, Debug)]
+pub struct CsrGraph {
+    kind: GraphKind,
+    /// `offsets[u]..offsets[u+1]` delimits `targets` entries of node `u`.
+    offsets: Vec<usize>,
+    /// Concatenated, per-node-sorted adjacency targets.
+    targets: Vec<NodeId>,
+    /// Logical edge count: undirected edges or directed arcs.
+    num_edges: usize,
+}
+
+impl CsrGraph {
+    /// Builds an undirected simple graph (self-loops and duplicate edges
+    /// removed) over nodes `0..n` from an edge list.
+    ///
+    /// This is the convenience constructor used throughout tests and
+    /// examples; use [`crate::GraphBuilder`] for policy control.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Result<Self> {
+        let mut b = crate::GraphBuilder::undirected().with_nodes(n);
+        for &(u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// Internal constructor from already-validated CSR parts.
+    ///
+    /// `targets` within each node range must be sorted. `num_edges` is the
+    /// logical count (arcs for directed graphs, edges for undirected).
+    pub(crate) fn from_parts(
+        kind: GraphKind,
+        offsets: Vec<usize>,
+        targets: Vec<NodeId>,
+        num_edges: usize,
+    ) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap(), targets.len());
+        CsrGraph {
+            kind,
+            offsets,
+            targets,
+            num_edges,
+        }
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of logical edges `m` (undirected edges, or directed arcs).
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Storage directionality.
+    #[inline]
+    pub fn kind(&self) -> GraphKind {
+        self.kind
+    }
+
+    /// Out-degree of `u` (== degree for undirected graphs).
+    ///
+    /// # Panics
+    /// Panics if `u` is out of range (debug builds; release indexes).
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        let i = u.index();
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// Sorted slice of `u`'s (out-)neighbors.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        let i = u.index();
+        &self.targets[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Iterator over all node ids `0..n`.
+    #[inline]
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.n() as u32).map(NodeId)
+    }
+
+    /// True if the arc `u→v` exists (for undirected graphs this is edge
+    /// membership). O(log deg(u)) via binary search on the sorted slice.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over logical edges.
+    ///
+    /// Undirected: each edge yielded once with `u <= v`. Directed: every arc.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| self.kind == GraphKind::Directed || u <= v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Sum of all stored arc slots (2m for undirected simple graphs).
+    #[inline]
+    pub fn arc_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// True when the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n() == 0
+    }
+
+    /// Returns the maximum degree over all nodes (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|u| self.degree(u)).max().unwrap_or(0)
+    }
+
+    /// Validates an externally supplied node id against this graph.
+    pub fn check_node(&self, u: NodeId) -> Result<()> {
+        if u.index() < self.n() {
+            Ok(())
+        } else {
+            Err(GraphError::InvalidInput(format!(
+                "node {u} out of range (n = {})",
+                self.n()
+            )))
+        }
+    }
+
+    /// Raw offsets (mainly for serialization and tests).
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Raw target array (mainly for serialization and tests).
+    pub fn targets(&self) -> &[NodeId] {
+        &self.targets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> CsrGraph {
+        CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap()
+    }
+
+    #[test]
+    fn triangle_basics() {
+        let g = triangle();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.arc_count(), 6);
+        assert_eq!(g.kind(), GraphKind::Undirected);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 2);
+        }
+        assert!(g.has_edge(NodeId(0), NodeId(2)));
+        assert!(!g.has_edge(NodeId(0), NodeId(0)));
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = CsrGraph::from_edges(5, &[(0, 4), (0, 2), (0, 1), (0, 3)]).unwrap();
+        assert_eq!(
+            g.neighbors(NodeId(0)),
+            &[NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+        );
+        assert_eq!(g.degree(NodeId(0)), 4);
+        assert_eq!(g.degree(NodeId(1)), 1);
+    }
+
+    #[test]
+    fn edges_yields_each_once_undirected() {
+        let g = triangle();
+        let mut es: Vec<_> = g.edges().collect();
+        es.sort();
+        assert_eq!(
+            es,
+            vec![
+                (NodeId(0), NodeId(1)),
+                (NodeId(0), NodeId(2)),
+                (NodeId(1), NodeId(2))
+            ]
+        );
+    }
+
+    #[test]
+    fn isolated_nodes_have_zero_degree() {
+        let g = CsrGraph::from_edges(4, &[(0, 1)]).unwrap();
+        assert_eq!(g.degree(NodeId(2)), 0);
+        assert_eq!(g.degree(NodeId(3)), 0);
+        assert!(g.neighbors(NodeId(3)).is_empty());
+        assert_eq!(g.max_degree(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, &[]).unwrap();
+        assert!(g.is_empty());
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn check_node_bounds() {
+        let g = triangle();
+        assert!(g.check_node(NodeId(2)).is_ok());
+        assert!(g.check_node(NodeId(3)).is_err());
+    }
+
+    #[test]
+    fn dedup_and_self_loop_removal_in_from_edges() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 0), (0, 0), (0, 1)]).unwrap();
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.degree(NodeId(0)), 1);
+        assert_eq!(g.degree(NodeId(2)), 0);
+    }
+}

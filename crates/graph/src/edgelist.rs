@@ -1,0 +1,227 @@
+//! Whitespace edge-list I/O.
+//!
+//! The format matches the SNAP collection the paper draws its datasets from:
+//! one `u v` pair per line, `#` or `%` starting a comment line, arbitrary
+//! non-negative integer ids. Ids are relabeled into a dense `[0, n)` range
+//! on read; the mapping is returned so selections can be reported in the
+//! original id space.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+use crate::Result;
+
+/// Result of reading an edge list: the graph plus the id mapping.
+#[derive(Debug)]
+pub struct LoadedGraph {
+    /// The parsed graph (undirected, simple).
+    pub graph: CsrGraph,
+    /// `original_ids[dense] = original` — dense id to input id.
+    pub original_ids: Vec<u64>,
+}
+
+impl LoadedGraph {
+    /// Maps a dense node index back to the id used in the input file.
+    pub fn original_id(&self, dense: usize) -> u64 {
+        self.original_ids[dense]
+    }
+}
+
+/// Reads an undirected edge list from a file path.
+pub fn read_edge_list(path: impl AsRef<Path>) -> Result<LoadedGraph> {
+    let file = File::open(path.as_ref())?;
+    read_edge_list_from(BufReader::new(file))
+}
+
+/// Reads a **directed** edge list (each `u v` line is the arc `u→v`) from a
+/// file path.
+pub fn read_directed_edge_list(path: impl AsRef<Path>) -> Result<LoadedGraph> {
+    let file = File::open(path.as_ref())?;
+    read_impl(BufReader::new(file), true)
+}
+
+/// Reads an undirected edge list from any buffered reader.
+pub fn read_edge_list_from(reader: impl BufRead) -> Result<LoadedGraph> {
+    read_impl(reader, false)
+}
+
+/// Reads a directed edge list from any buffered reader.
+pub fn read_directed_edge_list_from(reader: impl BufRead) -> Result<LoadedGraph> {
+    read_impl(reader, true)
+}
+
+fn read_impl(reader: impl BufRead, directed: bool) -> Result<LoadedGraph> {
+    let mut relabel: HashMap<u64, u32> = HashMap::new();
+    let mut original_ids: Vec<u64> = Vec::new();
+    let mut builder = if directed {
+        GraphBuilder::directed()
+    } else {
+        GraphBuilder::undirected()
+    };
+
+    let mut dense = |raw: u64, original_ids: &mut Vec<u64>| -> u32 {
+        *relabel.entry(raw).or_insert_with(|| {
+            let id = original_ids.len() as u32;
+            original_ids.push(raw);
+            id
+        })
+    };
+
+    for (line_no, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>, line_no: usize| -> Result<u64> {
+            let tok = tok.ok_or_else(|| GraphError::Parse {
+                line: line_no + 1,
+                message: "expected two node ids".into(),
+            })?;
+            tok.parse::<u64>().map_err(|_| GraphError::Parse {
+                line: line_no + 1,
+                message: format!("invalid node id `{tok}`"),
+            })
+        };
+        let u = parse(it.next(), line_no)?;
+        let v = parse(it.next(), line_no)?;
+        let du = dense(u, &mut original_ids);
+        let dv = dense(v, &mut original_ids);
+        builder.add_edge(du, dv);
+    }
+
+    let graph = builder.with_nodes(original_ids.len()).build()?;
+    Ok(LoadedGraph {
+        graph,
+        original_ids,
+    })
+}
+
+/// Writes a graph as a `u v` edge list (dense ids, one edge per line,
+/// `u <= v` for undirected graphs), preceded by a summary comment.
+pub fn write_edge_list(graph: &CsrGraph, path: impl AsRef<Path>) -> Result<()> {
+    let file = File::create(path.as_ref())?;
+    write_edge_list_to(graph, BufWriter::new(file))
+}
+
+/// Writes a graph as an edge list to any writer.
+pub fn write_edge_list_to(graph: &CsrGraph, mut w: impl Write) -> Result<()> {
+    writeln!(w, "# nodes {} edges {}", graph.n(), graph.m())?;
+    for (u, v) in graph.edges() {
+        writeln!(w, "{u}\t{v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads an edge list from an in-memory string (tests, fixtures).
+pub fn parse_edge_list(text: &str) -> Result<LoadedGraph> {
+    read_edge_list_from(io::Cursor::new(text.as_bytes()))
+}
+
+/// Reads a directed edge list from an in-memory string.
+pub fn parse_directed_edge_list(text: &str) -> Result<LoadedGraph> {
+    read_directed_edge_list_from(io::Cursor::new(text.as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+
+    #[test]
+    fn parses_with_comments_and_blank_lines() {
+        let text = "# a comment\n\n10 20\n20 30\n% another\n30 10\n";
+        let loaded = parse_edge_list(text).unwrap();
+        assert_eq!(loaded.graph.n(), 3);
+        assert_eq!(loaded.graph.m(), 3);
+        assert_eq!(loaded.original_id(0), 10);
+        assert_eq!(loaded.original_id(1), 20);
+        assert_eq!(loaded.original_id(2), 30);
+    }
+
+    #[test]
+    fn relabeling_is_first_appearance_order() {
+        let loaded = parse_edge_list("7 3\n3 100\n").unwrap();
+        assert_eq!(loaded.original_ids, vec![7, 3, 100]);
+        assert!(loaded.graph.has_edge(NodeId(0), NodeId(1)));
+        assert!(loaded.graph.has_edge(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_edge_list("1 x\n").is_err());
+        assert!(parse_edge_list("42\n").is_err());
+        match parse_edge_list("0 1\nbroken\n") {
+            Err(GraphError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_and_reverse_edges_collapse() {
+        let loaded = parse_edge_list("1 2\n2 1\n1 2\n").unwrap();
+        assert_eq!(loaded.graph.m(), 1);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list_to(&g, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let reloaded = parse_edge_list(&text).unwrap();
+        assert_eq!(reloaded.graph.n(), g.n());
+        assert_eq!(reloaded.graph.m(), g.m());
+        for (u, v) in g.edges() {
+            // Dense ids are assigned in appearance order = edge order here,
+            // so membership must be checked via the original-id mapping.
+            let du = reloaded
+                .original_ids
+                .iter()
+                .position(|&x| x == u.index() as u64)
+                .unwrap();
+            let dv = reloaded
+                .original_ids
+                .iter()
+                .position(|&x| x == v.index() as u64)
+                .unwrap();
+            assert!(reloaded.graph.has_edge(NodeId::new(du), NodeId::new(dv)));
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let loaded = parse_edge_list("# nothing\n").unwrap();
+        assert_eq!(loaded.graph.n(), 0);
+        assert_eq!(loaded.graph.m(), 0);
+    }
+
+    #[test]
+    fn directed_parse_keeps_orientation() {
+        let loaded = parse_directed_edge_list("0 1\n1 2\n").unwrap();
+        let g = &loaded.graph;
+        assert_eq!(g.kind(), crate::GraphKind::Directed);
+        assert_eq!(g.m(), 2);
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(
+            !g.has_edge(NodeId(1), NodeId(0)),
+            "reverse arc must be absent"
+        );
+        assert_eq!(g.degree(NodeId(2)), 0, "sink has out-degree 0");
+    }
+
+    #[test]
+    fn directed_parse_distinguishes_antiparallel_arcs() {
+        let loaded = parse_directed_edge_list("5 9\n9 5\n").unwrap();
+        assert_eq!(loaded.graph.m(), 2, "u→v and v→u are distinct arcs");
+        let undirected = parse_edge_list("5 9\n9 5\n").unwrap();
+        assert_eq!(undirected.graph.m(), 1, "undirected collapses them");
+    }
+}

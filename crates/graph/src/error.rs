@@ -1,0 +1,74 @@
+//! Error types for graph construction and I/O.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced by graph building, parsing and validation.
+#[derive(Debug)]
+pub enum GraphError {
+    /// Underlying I/O failure while reading or writing an edge list.
+    Io(io::Error),
+    /// A malformed line in an edge-list file.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// Structurally invalid request (e.g. a generator with impossible
+    /// parameters, or an edge referencing a node outside `[0, n)`).
+    InvalidInput(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = GraphError::InvalidInput("k > n".into());
+        assert!(e.to_string().contains("k > n"));
+        let e = GraphError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        let e = GraphError::from(io::Error::new(io::ErrorKind::NotFound, "nope"));
+        assert!(e.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        use std::error::Error;
+        let e = GraphError::from(io::Error::other("disk"));
+        assert!(e.source().is_some());
+        assert!(GraphError::InvalidInput("x".into()).source().is_none());
+    }
+}

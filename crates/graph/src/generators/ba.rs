@@ -1,0 +1,128 @@
+//! Barabási–Albert preferential attachment.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+use crate::Result;
+
+/// Generates a Barabási–Albert preferential-attachment graph.
+///
+/// Starts from a complete graph on `m_attach + 1` seed nodes; every later
+/// node attaches to `m_attach` *distinct* existing nodes chosen with
+/// probability proportional to their current degree (implemented with the
+/// standard repeated-endpoints trick, O(m) memory, O(m) expected time).
+///
+/// Resulting edge count: `C(m_attach+1, 2) + (n - m_attach - 1) * m_attach`.
+/// The paper's synthetic graph (n = 1000, m ≈ 9,956) corresponds to
+/// `barabasi_albert(1000, 10, seed)` → m = 9,945.
+///
+/// The graph is connected by construction.
+pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Result<CsrGraph> {
+    if m_attach == 0 {
+        return Err(GraphError::InvalidInput("m_attach must be >= 1".into()));
+    }
+    let m0 = m_attach + 1;
+    if n < m0 {
+        return Err(GraphError::InvalidInput(format!(
+            "n = {n} must be at least m_attach + 1 = {m0}"
+        )));
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let expected_edges = m0 * (m0 - 1) / 2 + (n - m0) * m_attach;
+    let mut builder = crate::GraphBuilder::undirected()
+        .with_nodes(n)
+        .with_edge_capacity(expected_edges);
+
+    // Each edge pushes both endpoints; sampling an entry uniformly samples a
+    // node with probability proportional to its degree.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(expected_edges * 2);
+
+    for u in 0..m0 as u32 {
+        for v in (u + 1)..m0 as u32 {
+            builder.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+
+    let mut picks: Vec<u32> = Vec::with_capacity(m_attach);
+    for u in m0 as u32..n as u32 {
+        picks.clear();
+        while picks.len() < m_attach {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !picks.contains(&t) {
+                picks.push(t);
+            }
+        }
+        for &v in &picks {
+            builder.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::connected_components;
+
+    #[test]
+    fn edge_count_formula() {
+        let g = barabasi_albert(100, 3, 7).unwrap();
+        assert_eq!(g.n(), 100);
+        assert_eq!(g.m(), 4 * 3 / 2 + 96 * 3);
+    }
+
+    #[test]
+    fn paper_scale_graph() {
+        let g = barabasi_albert(1000, 10, 42).unwrap();
+        assert_eq!(g.n(), 1000);
+        assert_eq!(g.m(), 55 + 989 * 10); // 9,945 ≈ paper's 9,956
+    }
+
+    #[test]
+    fn connected_by_construction() {
+        let g = barabasi_albert(500, 2, 1).unwrap();
+        assert!(connected_components(&g).is_connected());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = barabasi_albert(200, 4, 9).unwrap();
+        let b = barabasi_albert(200, 4, 9).unwrap();
+        let c = barabasi_albert(200, 4, 10).unwrap();
+        assert_eq!(a.targets(), b.targets());
+        assert_ne!(a.targets(), c.targets());
+    }
+
+    #[test]
+    fn heavy_tail_present() {
+        // Preferential attachment must produce hubs: max degree far above mean.
+        let g = barabasi_albert(2000, 5, 3).unwrap();
+        let stats = crate::stats::degree_stats(&g);
+        assert!(
+            stats.max as f64 > 4.0 * stats.mean,
+            "max {} mean {}",
+            stats.max,
+            stats.mean
+        );
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(barabasi_albert(5, 0, 0).is_err());
+        assert!(barabasi_albert(3, 3, 0).is_err());
+    }
+
+    #[test]
+    fn minimum_size_is_seed_clique() {
+        let g = barabasi_albert(4, 3, 0).unwrap();
+        assert_eq!(g.m(), 6); // K4
+    }
+}

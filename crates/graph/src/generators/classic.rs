@@ -1,0 +1,172 @@
+//! Deterministic classic topologies.
+
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+use crate::Result;
+
+/// Path graph `0 - 1 - … - (n-1)`.
+pub fn path(n: usize) -> Result<CsrGraph> {
+    let mut b = crate::GraphBuilder::undirected().with_nodes(n);
+    for u in 1..n as u32 {
+        b.add_edge(u - 1, u);
+    }
+    b.build()
+}
+
+/// Cycle graph on `n >= 3` nodes.
+pub fn cycle(n: usize) -> Result<CsrGraph> {
+    if n < 3 {
+        return Err(GraphError::InvalidInput(format!(
+            "cycle needs n >= 3 (got {n})"
+        )));
+    }
+    let mut b = crate::GraphBuilder::undirected().with_nodes(n);
+    for u in 0..n as u32 {
+        b.add_edge(u, (u + 1) % n as u32);
+    }
+    b.build()
+}
+
+/// Star: node 0 is the hub, nodes `1..n` are leaves.
+pub fn star(n: usize) -> Result<CsrGraph> {
+    if n == 0 {
+        return Err(GraphError::InvalidInput("star needs n >= 1".into()));
+    }
+    let mut b = crate::GraphBuilder::undirected().with_nodes(n);
+    for u in 1..n as u32 {
+        b.add_edge(0, u);
+    }
+    b.build()
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Result<CsrGraph> {
+    let mut b = crate::GraphBuilder::undirected().with_nodes(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// 2-D grid of `rows × cols` nodes with 4-neighborhoods; node `(r, c)` has
+/// id `r * cols + c`.
+pub fn grid(rows: usize, cols: usize) -> Result<CsrGraph> {
+    let n = rows
+        .checked_mul(cols)
+        .ok_or_else(|| GraphError::InvalidInput("grid size overflows".into()))?;
+    let mut b = crate::GraphBuilder::undirected().with_nodes(n);
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = (r * cols + c) as u32;
+            if c + 1 < cols {
+                b.add_edge(id, id + 1);
+            }
+            if r + 1 < rows {
+                b.add_edge(id, id + cols as u32);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Complete `branching`-ary tree of the given `depth` (depth 0 = single
+/// root). Node 0 is the root; children are laid out level by level.
+pub fn balanced_tree(branching: usize, depth: usize) -> Result<CsrGraph> {
+    if branching == 0 {
+        return Err(GraphError::InvalidInput("branching must be >= 1".into()));
+    }
+    // n = (b^(depth+1) - 1) / (b - 1), or depth+1 for b = 1.
+    let mut n: usize = 1;
+    let mut level = 1usize;
+    for _ in 0..depth {
+        level = level
+            .checked_mul(branching)
+            .ok_or_else(|| GraphError::InvalidInput("tree size overflows".into()))?;
+        n = n
+            .checked_add(level)
+            .ok_or_else(|| GraphError::InvalidInput("tree size overflows".into()))?;
+    }
+    let mut b = crate::GraphBuilder::undirected().with_nodes(n);
+    for parent in 0..n {
+        for c in 0..branching {
+            let child = parent * branching + 1 + c;
+            if child < n {
+                b.add_edge(parent as u32, child as u32);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+    use crate::traversal::{bfs_distances, connected_components};
+
+    #[test]
+    fn path_shape() {
+        let g = path(5).unwrap();
+        assert_eq!((g.n(), g.m()), (5, 4));
+        assert_eq!(g.degree(NodeId(0)), 1);
+        assert_eq!(g.degree(NodeId(2)), 2);
+        assert_eq!(bfs_distances(&g, NodeId(0))[4], 4);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6).unwrap();
+        assert_eq!((g.n(), g.m()), (6, 6));
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 2);
+        }
+        assert!(cycle(2).is_err());
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(7).unwrap();
+        assert_eq!((g.n(), g.m()), (7, 6));
+        assert_eq!(g.degree(NodeId(0)), 6);
+        assert_eq!(g.degree(NodeId(3)), 1);
+        assert!(star(0).is_err());
+        assert_eq!(star(1).unwrap().m(), 0);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(6).unwrap();
+        assert_eq!(g.m(), 15);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 5);
+        }
+        assert_eq!(complete(0).unwrap().n(), 0);
+        assert_eq!(complete(1).unwrap().m(), 0);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4).unwrap();
+        assert_eq!(g.n(), 12);
+        // Edges: rows*(cols-1) + cols*(rows-1) = 3*3 + 4*2 = 17.
+        assert_eq!(g.m(), 17);
+        assert_eq!(g.degree(NodeId(0)), 2); // corner
+        assert_eq!(g.degree(NodeId(5)), 4); // interior (1,1)
+        assert!(connected_components(&g).is_connected());
+    }
+
+    #[test]
+    fn balanced_tree_shape() {
+        let g = balanced_tree(2, 3).unwrap();
+        assert_eq!(g.n(), 15);
+        assert_eq!(g.m(), 14);
+        assert_eq!(g.degree(NodeId(0)), 2);
+        assert!(connected_components(&g).is_connected());
+        // Depth 0 tree is a single node.
+        let g = balanced_tree(3, 0).unwrap();
+        assert_eq!((g.n(), g.m()), (1, 0));
+        assert!(balanced_tree(0, 2).is_err());
+    }
+}

@@ -1,0 +1,161 @@
+//! Erdős–Rényi random graphs.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+use crate::Result;
+
+/// G(n, m): a uniform random simple graph with exactly `m` edges.
+pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> Result<CsrGraph> {
+    let max_edges = if n < 2 { 0 } else { n * (n - 1) / 2 };
+    if m > max_edges {
+        return Err(GraphError::InvalidInput(format!(
+            "m = {m} exceeds C(n,2) = {max_edges}"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = crate::GraphBuilder::undirected()
+        .with_nodes(n)
+        .with_edge_capacity(m);
+
+    if m > max_edges / 2 && max_edges > 0 {
+        // Dense regime: sample which edges to *exclude* via a partial
+        // Fisher–Yates over the full edge universe.
+        let mut universe: Vec<(u32, u32)> = Vec::with_capacity(max_edges);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                universe.push((u, v));
+            }
+        }
+        for i in 0..m {
+            let j = rng.gen_range(i..universe.len());
+            universe.swap(i, j);
+        }
+        for &(u, v) in &universe[..m] {
+            builder.add_edge(u, v);
+        }
+        return builder.build();
+    }
+
+    let mut seen: HashSet<u64> = HashSet::with_capacity(m * 2);
+    let mut produced = 0usize;
+    while produced < m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+        let key = (lo as u64) << 32 | hi as u64;
+        if seen.insert(key) {
+            builder.add_edge(lo, hi);
+            produced += 1;
+        }
+    }
+    builder.build()
+}
+
+/// G(n, p): each of the `C(n,2)` edges present independently with
+/// probability `p`, generated with geometric skipping in O(n + m) expected
+/// time.
+pub fn erdos_renyi_gnp(n: usize, p: f64, seed: u64) -> Result<CsrGraph> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::InvalidInput(format!("p = {p} outside [0, 1]")));
+    }
+    let mut builder = crate::GraphBuilder::undirected().with_nodes(n);
+    if p == 0.0 || n < 2 {
+        return builder.build();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    if p == 1.0 {
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                builder.add_edge(u, v);
+            }
+        }
+        return builder.build();
+    }
+
+    // Enumerate present edges by jumping over absent ones: skip lengths are
+    // geometric with parameter p (Batagelj–Brandes).
+    let log_q = (1.0 - p).ln();
+    let mut v: i64 = 1;
+    let mut w: i64 = -1;
+    let n_i = n as i64;
+    while v < n_i {
+        let r: f64 = rng.gen::<f64>();
+        let skip = ((1.0 - r).ln() / log_q).floor() as i64;
+        w += 1 + skip;
+        while w >= v && v < n_i {
+            w -= v;
+            v += 1;
+        }
+        if v < n_i {
+            builder.add_edge(w as u32, v as u32);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_exact_count() {
+        let g = erdos_renyi_gnm(100, 300, 4).unwrap();
+        assert_eq!(g.n(), 100);
+        assert_eq!(g.m(), 300);
+    }
+
+    #[test]
+    fn gnm_dense_regime() {
+        // m > C(n,2)/2 exercises the Fisher–Yates path.
+        let g = erdos_renyi_gnm(20, 150, 4).unwrap();
+        assert_eq!(g.m(), 150);
+        let g = erdos_renyi_gnm(10, 45, 0).unwrap(); // complete
+        assert_eq!(g.m(), 45);
+    }
+
+    #[test]
+    fn gnm_rejects_impossible() {
+        assert!(erdos_renyi_gnm(10, 46, 0).is_err());
+        assert!(erdos_renyi_gnm(1, 1, 0).is_err());
+    }
+
+    #[test]
+    fn gnp_expected_count_within_tolerance() {
+        let n = 400;
+        let p = 0.05;
+        let g = erdos_renyi_gnp(n, p, 9).unwrap();
+        let expected = (n * (n - 1) / 2) as f64 * p;
+        let sd = (expected * (1.0 - p)).sqrt();
+        assert!(
+            (g.m() as f64 - expected).abs() < 6.0 * sd,
+            "m = {} expected {expected}",
+            g.m()
+        );
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(erdos_renyi_gnp(50, 0.0, 1).unwrap().m(), 0);
+        assert_eq!(erdos_renyi_gnp(10, 1.0, 1).unwrap().m(), 45);
+        assert!(erdos_renyi_gnp(10, 1.5, 1).is_err());
+        assert!(erdos_renyi_gnp(10, -0.1, 1).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = erdos_renyi_gnm(100, 200, 3).unwrap();
+        let b = erdos_renyi_gnm(100, 200, 3).unwrap();
+        assert_eq!(a.targets(), b.targets());
+        let a = erdos_renyi_gnp(100, 0.1, 3).unwrap();
+        let b = erdos_renyi_gnp(100, 0.1, 3).unwrap();
+        assert_eq!(a.targets(), b.targets());
+    }
+}

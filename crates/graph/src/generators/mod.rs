@@ -1,0 +1,29 @@
+//! Synthetic graph generators.
+//!
+//! All generators are deterministic given a `seed`, so every experiment in
+//! the repository is reproducible bit-for-bit. Models:
+//!
+//! * [`barabasi_albert`] — the power-law preferential-attachment model the
+//!   paper cites as \[1\] and uses for its synthetic graphs (Figs. 2–5, 9),
+//! * [`power_law_cl`] — Chung–Lu-style expected-degree sampling used by
+//!   `rwd-datasets` to build SNAP stand-ins with an exact edge count,
+//! * [`erdos_renyi_gnm`] / [`erdos_renyi_gnp`] — uniform random graphs,
+//! * [`watts_strogatz`] — small-world rewiring model,
+//! * [`random_regular`] — configuration model with edge-swap repair,
+//! * [`classic`] — deterministic topologies (path, cycle, star, …),
+//! * [`paper_example::figure1`] — the 8-node running example of the paper.
+
+mod ba;
+mod chung_lu;
+pub mod classic;
+mod erdos_renyi;
+pub mod paper_example;
+mod random_regular;
+mod watts_strogatz;
+
+pub use ba::barabasi_albert;
+pub use chung_lu::power_law_cl;
+pub use classic::{balanced_tree, complete, cycle, grid, path, star};
+pub use erdos_renyi::{erdos_renyi_gnm, erdos_renyi_gnp};
+pub use random_regular::random_regular;
+pub use watts_strogatz::watts_strogatz;

@@ -1,0 +1,156 @@
+//! Random d-regular graphs (configuration model with repair).
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+use crate::Result;
+
+/// Generates a random `d`-regular simple graph on `n` nodes.
+///
+/// Pairs degree stubs uniformly (configuration model), then repairs
+/// self-loops and duplicate edges with random double-edge swaps, which keeps
+/// the distribution close to uniform and terminates fast in the sparse
+/// regimes used here. Requires `n·d` even and `d < n`.
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<CsrGraph> {
+    if d >= n {
+        return Err(GraphError::InvalidInput(format!(
+            "d = {d} must be < n = {n}"
+        )));
+    }
+    if !(n * d).is_multiple_of(2) {
+        return Err(GraphError::InvalidInput(format!(
+            "n*d = {} must be even",
+            n * d
+        )));
+    }
+    if d == 0 {
+        return crate::GraphBuilder::undirected().with_nodes(n).build();
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Stubs: node u appears d times; a uniform shuffle then pairs 2i, 2i+1.
+    let mut stubs: Vec<u32> = Vec::with_capacity(n * d);
+    for u in 0..n as u32 {
+        stubs.extend(std::iter::repeat_n(u, d));
+    }
+    for i in (1..stubs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        stubs.swap(i, j);
+    }
+
+    let key = |u: u32, v: u32| -> u64 {
+        let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+        (lo as u64) << 32 | hi as u64
+    };
+
+    let mut edges: Vec<(u32, u32)> = stubs.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+
+    let mut present: HashSet<u64> = HashSet::with_capacity(edges.len() * 2);
+    let mut bad: Vec<usize> = Vec::new();
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        if u == v || !present.insert(key(u, v)) {
+            bad.push(i);
+        }
+    }
+
+    // Repair: swap a bad pair's endpoint with a random other edge when the
+    // two resulting edges are both simple and new.
+    let mut guard = 0usize;
+    let max_guard = 200 * edges.len().max(64);
+    while let Some(&i) = bad.last() {
+        guard += 1;
+        if guard > max_guard {
+            return Err(GraphError::InvalidInput(format!(
+                "random_regular({n}, {d}) repair did not converge"
+            )));
+        }
+        let j = rng.gen_range(0..edges.len());
+        if j == i {
+            continue;
+        }
+        let (a, b) = edges[i];
+        let (c, dd) = edges[j];
+        // Proposed rewiring: (a, c) and (b, dd).
+        if a == c || b == dd {
+            continue;
+        }
+        let k1 = key(a, c);
+        let k2 = key(b, dd);
+        if k1 == k2 || present.contains(&k1) || present.contains(&k2) {
+            continue;
+        }
+        // The j edge is currently valid (present) unless it is itself bad.
+        let j_was_bad = c == dd || !present.contains(&key(c, dd));
+        if !j_was_bad {
+            present.remove(&key(c, dd));
+        }
+        present.insert(k1);
+        present.insert(k2);
+        edges[i] = (a, c);
+        edges[j] = (b, dd);
+        bad.pop();
+        if j_was_bad {
+            // j happened to also be in the bad list; it is fixed now.
+            bad.retain(|&x| x != j);
+        }
+    }
+
+    let mut builder = crate::GraphBuilder::undirected()
+        .with_nodes(n)
+        .with_edge_capacity(edges.len());
+    for (u, v) in edges {
+        builder.add_edge(u, v);
+    }
+    let g = builder.build()?;
+    debug_assert_eq!(g.m(), n * d / 2);
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::connected_components;
+
+    #[test]
+    fn every_node_has_degree_d() {
+        let g = random_regular(100, 4, 5).unwrap();
+        assert_eq!(g.m(), 200);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 4, "node {u}");
+        }
+    }
+
+    #[test]
+    fn large_instance_converges() {
+        let g = random_regular(2000, 6, 1).unwrap();
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 6);
+        }
+        // d >= 3 random regular graphs are connected w.h.p.
+        assert!(connected_components(&g).is_connected());
+    }
+
+    #[test]
+    fn degree_zero_graph() {
+        let g = random_regular(5, 0, 0).unwrap();
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(random_regular(5, 3, 0).is_err()); // odd n*d
+        assert!(random_regular(4, 4, 0).is_err()); // d >= n
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_regular(60, 4, 2).unwrap();
+        let b = random_regular(60, 4, 2).unwrap();
+        assert_eq!(a.targets(), b.targets());
+    }
+}

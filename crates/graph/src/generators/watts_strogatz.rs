@@ -1,0 +1,125 @@
+//! Watts–Strogatz small-world graphs.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+use crate::Result;
+
+/// Watts–Strogatz small-world model.
+///
+/// Starts from a ring lattice where each node connects to its `k` nearest
+/// neighbors (`k` even, `k < n`), then rewires the far endpoint of each
+/// lattice edge with probability `beta` to a uniform random node, skipping
+/// rewires that would create self-loops or duplicates. `beta = 0` is the
+/// pure lattice; `beta = 1` approaches a random graph. A useful P2P-overlay
+/// stand-in for the paper's resource-placement scenario.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Result<CsrGraph> {
+    if !k.is_multiple_of(2) || k == 0 {
+        return Err(GraphError::InvalidInput(format!(
+            "k = {k} must be even and positive"
+        )));
+    }
+    if k >= n {
+        return Err(GraphError::InvalidInput(format!(
+            "k = {k} must be < n = {n}"
+        )));
+    }
+    if !(0.0..=1.0).contains(&beta) {
+        return Err(GraphError::InvalidInput(format!(
+            "beta = {beta} outside [0, 1]"
+        )));
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let half = k / 2;
+
+    // Edge set keyed canonically so rewires can check duplicates in O(1).
+    let key = |u: u32, v: u32| -> u64 {
+        let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+        (lo as u64) << 32 | hi as u64
+    };
+    let mut present: HashSet<u64> = HashSet::with_capacity(n * half * 2);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * half);
+    for u in 0..n as u32 {
+        for j in 1..=half as u32 {
+            let v = (u + j) % n as u32;
+            edges.push((u, v));
+            present.insert(key(u, v));
+        }
+    }
+
+    for edge in edges.iter_mut() {
+        if rng.gen::<f64>() >= beta {
+            continue;
+        }
+        let (u, old_v) = *edge;
+        // Give up after a few tries in pathological densities; the lattice
+        // edge is simply kept.
+        for _ in 0..32 {
+            let new_v = rng.gen_range(0..n as u32);
+            if new_v == u || present.contains(&key(u, new_v)) {
+                continue;
+            }
+            present.remove(&key(u, old_v));
+            present.insert(key(u, new_v));
+            *edge = (u, new_v);
+            break;
+        }
+    }
+
+    let mut builder = crate::GraphBuilder::undirected()
+        .with_nodes(n)
+        .with_edge_capacity(edges.len());
+    for (u, v) in edges {
+        builder.add_edge(u, v);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::connected_components;
+
+    #[test]
+    fn beta_zero_is_ring_lattice() {
+        let g = watts_strogatz(20, 4, 0.0, 1).unwrap();
+        assert_eq!(g.m(), 20 * 2);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 4);
+        }
+        assert!(connected_components(&g).is_connected());
+    }
+
+    #[test]
+    fn edge_count_preserved_under_rewiring() {
+        let g = watts_strogatz(100, 6, 0.3, 7).unwrap();
+        assert_eq!(g.m(), 100 * 3);
+    }
+
+    #[test]
+    fn rewiring_changes_graph() {
+        let lattice = watts_strogatz(100, 4, 0.0, 7).unwrap();
+        let rewired = watts_strogatz(100, 4, 0.5, 7).unwrap();
+        assert_ne!(lattice.targets(), rewired.targets());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = watts_strogatz(60, 4, 0.2, 3).unwrap();
+        let b = watts_strogatz(60, 4, 0.2, 3).unwrap();
+        assert_eq!(a.targets(), b.targets());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(watts_strogatz(10, 3, 0.1, 0).is_err()); // odd k
+        assert!(watts_strogatz(10, 0, 0.1, 0).is_err());
+        assert!(watts_strogatz(4, 4, 0.1, 0).is_err()); // k >= n
+        assert!(watts_strogatz(10, 2, 1.5, 0).is_err());
+    }
+}

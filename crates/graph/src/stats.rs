@@ -1,0 +1,216 @@
+//! Degree and clustering statistics.
+
+use crate::csr::CsrGraph;
+use crate::node::NodeId;
+
+/// Summary of a graph's degree distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Mean degree (2m/n for undirected simple graphs).
+    pub mean: f64,
+    /// Median degree.
+    pub median: usize,
+}
+
+/// Computes degree summary statistics. Returns zeros for an empty graph.
+pub fn degree_stats(g: &CsrGraph) -> DegreeStats {
+    if g.n() == 0 {
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            median: 0,
+        };
+    }
+    let mut degrees: Vec<usize> = g.nodes().map(|u| g.degree(u)).collect();
+    degrees.sort_unstable();
+    let sum: usize = degrees.iter().sum();
+    DegreeStats {
+        min: degrees[0],
+        max: *degrees.last().unwrap(),
+        mean: sum as f64 / g.n() as f64,
+        median: degrees[g.n() / 2],
+    }
+}
+
+/// Degree histogram: `hist[d]` = number of nodes with degree `d`.
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for u in g.nodes() {
+        hist[g.degree(u)] += 1;
+    }
+    hist
+}
+
+/// Exact triangle count (each triangle counted once).
+///
+/// Uses the sorted-adjacency merge: for each edge `(u, v)` with `u < v`,
+/// intersect the neighbor lists above `v`. O(Σ d(u)·d(v)) worst case — fine
+/// at the dataset scales used here.
+pub fn triangle_count(g: &CsrGraph) -> u64 {
+    let mut count = 0u64;
+    for u in g.nodes() {
+        let nu = g.neighbors(u);
+        for &v in nu.iter().filter(|&&v| v > u) {
+            let nv = g.neighbors(v);
+            count += sorted_intersection_above(nu, nv, v);
+        }
+    }
+    count
+}
+
+/// Counts elements `> floor` present in both sorted slices.
+fn sorted_intersection_above(a: &[NodeId], b: &[NodeId], floor: NodeId) -> u64 {
+    let mut i = a.partition_point(|&x| x <= floor);
+    let mut j = b.partition_point(|&x| x <= floor);
+    let mut count = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Hill estimator of the degree-distribution tail exponent `γ`
+/// (`P[deg ≥ d] ∝ d^{-(γ-1)}`), computed over the top `tail_fraction` of
+/// degrees. Used to validate that the synthetic SNAP stand-ins carry the
+/// heavy tail the real graphs have. Returns `None` when the tail is too
+/// small to estimate (fewer than 8 samples above the cutoff).
+pub fn degree_tail_exponent(g: &CsrGraph, tail_fraction: f64) -> Option<f64> {
+    assert!(
+        (0.0..=1.0).contains(&tail_fraction),
+        "fraction outside [0, 1]"
+    );
+    let mut degrees: Vec<usize> = g.nodes().map(|u| g.degree(u)).filter(|&d| d > 0).collect();
+    if degrees.is_empty() {
+        return None;
+    }
+    degrees.sort_unstable_by(|a, b| b.cmp(a));
+    let k = ((degrees.len() as f64 * tail_fraction) as usize).max(8);
+    if k >= degrees.len() || degrees[k] == 0 {
+        return None;
+    }
+    let x_min = degrees[k] as f64;
+    let mean_log: f64 = degrees[..k]
+        .iter()
+        .map(|&d| (d as f64 / x_min).ln())
+        .sum::<f64>()
+        / k as f64;
+    if mean_log <= 0.0 {
+        return None;
+    }
+    // Hill: α̂ = 1 + 1/mean_log estimates the CCDF exponent (γ − 1); the
+    // density exponent γ is one larger than the CCDF's.
+    Some(1.0 + 1.0 / mean_log)
+}
+
+/// Global clustering coefficient: `3·triangles / open-or-closed wedges`.
+/// Returns 0 when the graph has no wedges.
+pub fn global_clustering(g: &CsrGraph) -> f64 {
+    let wedges: u64 = g
+        .nodes()
+        .map(|u| {
+            let d = g.degree(u) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        return 0.0;
+    }
+    3.0 * triangle_count(g) as f64 / wedges as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_star() {
+        // Star: center 0 with 4 leaves.
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-12);
+        assert_eq!(triangle_count(&g), 0);
+        assert_eq!(global_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn histogram_matches_degrees() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        let h = degree_histogram(&g);
+        assert_eq!(h, vec![0, 4, 0, 0, 1]);
+    }
+
+    #[test]
+    fn triangles_in_complete_graph() {
+        // K4 has C(4,3) = 4 triangles; clustering = 1.
+        let mut edges = Vec::new();
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                edges.push((u, v));
+            }
+        }
+        let g = CsrGraph::from_edges(4, &edges).unwrap();
+        assert_eq!(triangle_count(&g), 4);
+        assert!((global_clustering(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_plus_tail() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]).unwrap();
+        assert_eq!(triangle_count(&g), 1);
+        // Wedges: d=2,2,3,1 → 1 + 1 + 3 + 0 = 5; clustering = 3/5.
+        assert!((global_clustering(&g) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = CsrGraph::from_edges(0, &[]).unwrap();
+        assert_eq!(
+            degree_stats(&g),
+            DegreeStats {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                median: 0
+            }
+        );
+        assert_eq!(triangle_count(&g), 0);
+        assert_eq!(degree_tail_exponent(&g, 0.1), None);
+    }
+
+    #[test]
+    fn tail_exponent_detects_heavy_tails() {
+        // BA graphs have γ ≈ 3; a regular-ish graph has no power tail.
+        let ba = crate::generators::barabasi_albert(5000, 4, 9).unwrap();
+        let gamma = degree_tail_exponent(&ba, 0.1).expect("tail exists");
+        assert!(
+            (2.0..4.5).contains(&gamma),
+            "BA tail exponent {gamma} outside plausible range"
+        );
+        // Uniform-degree graph: the "tail" is flat, mean_log ≈ 0 ⇒ either
+        // None or a huge exponent.
+        let ring = crate::generators::classic::cycle(500).unwrap();
+        let flat = degree_tail_exponent(&ring, 0.1);
+        assert!(flat.is_none() || flat.unwrap() > 10.0, "{flat:?}");
+    }
+
+    #[test]
+    fn tail_exponent_small_graph_returns_none() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(degree_tail_exponent(&g, 0.5), None);
+    }
+}

@@ -1,0 +1,67 @@
+//! Induced subgraphs.
+
+use crate::csr::CsrGraph;
+use crate::node::NodeId;
+
+/// Builds the subgraph induced by `nodes` (duplicates ignored).
+///
+/// Returns the new graph plus `mapping[new] = old`. New ids follow the order
+/// of first appearance in `nodes`, which keeps extraction deterministic.
+pub fn induced(g: &CsrGraph, nodes: &[NodeId]) -> (CsrGraph, Vec<NodeId>) {
+    let mut old_to_new = vec![u32::MAX; g.n()];
+    let mut mapping = Vec::with_capacity(nodes.len());
+    for &u in nodes {
+        if old_to_new[u.index()] == u32::MAX {
+            old_to_new[u.index()] = mapping.len() as u32;
+            mapping.push(u);
+        }
+    }
+
+    let mut b = crate::GraphBuilder::undirected().with_nodes(mapping.len());
+    for &u in &mapping {
+        let nu = old_to_new[u.index()];
+        for &v in g.neighbors(u) {
+            let nv = old_to_new[v.index()];
+            // Emit each kept edge once (from its lower old endpoint).
+            if nv != u32::MAX && u < v {
+                b.add_edge(nu, nv);
+            }
+        }
+    }
+    (
+        b.build().expect("induced subgraph edges are in range"),
+        mapping,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn induced_keeps_internal_edges_only() {
+        // Square 0-1-2-3 plus diagonal 0-2.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+        let (s, mapping) = induced(&g, &[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(s.n(), 3);
+        assert_eq!(s.m(), 3); // 0-1, 1-2, 0-2
+        assert_eq!(mapping, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn induced_respects_order_and_dedups() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2)]).unwrap();
+        let (s, mapping) = induced(&g, &[NodeId(2), NodeId(0), NodeId(2)]);
+        assert_eq!(mapping, vec![NodeId(2), NodeId(0)]);
+        assert_eq!(s.n(), 2);
+        assert_eq!(s.m(), 0); // 0 and 2 not adjacent
+    }
+
+    #[test]
+    fn induced_empty_selection() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]).unwrap();
+        let (s, mapping) = induced(&g, &[]);
+        assert_eq!(s.n(), 0);
+        assert!(mapping.is_empty());
+    }
+}

@@ -1,0 +1,169 @@
+//! Breadth-first search and connected components.
+
+use std::collections::VecDeque;
+
+use crate::csr::CsrGraph;
+use crate::node::NodeId;
+
+/// Distance marker for unreachable nodes in [`bfs_distances`].
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// BFS hop distances from `source` to every node (`UNREACHABLE` when
+/// disconnected). O(n + m).
+pub fn bfs_distances(g: &CsrGraph, source: NodeId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.n()];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for &v in g.neighbors(u) {
+            if dist[v.index()] == UNREACHABLE {
+                dist[v.index()] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected-component labeling of an undirected graph.
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// `labels[u]` = component id of node `u`, ids dense in `[0, count)`.
+    pub labels: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+    /// `sizes[c]` = node count of component `c`.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Id of the largest component (ties broken by smaller id).
+    pub fn largest(&self) -> u32 {
+        self.sizes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0)
+    }
+
+    /// True when the whole graph is one component (or empty).
+    pub fn is_connected(&self) -> bool {
+        self.count <= 1
+    }
+}
+
+/// Labels connected components via repeated BFS. O(n + m).
+pub fn connected_components(g: &CsrGraph) -> Components {
+    let n = g.n();
+    let mut labels = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut queue = VecDeque::new();
+    let mut next = 0u32;
+    for s in 0..n {
+        if labels[s] != u32::MAX {
+            continue;
+        }
+        let mut size = 0usize;
+        labels[s] = next;
+        queue.push_back(NodeId::new(s));
+        while let Some(u) = queue.pop_front() {
+            size += 1;
+            for &v in g.neighbors(u) {
+                if labels[v.index()] == u32::MAX {
+                    labels[v.index()] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        sizes.push(size);
+        next += 1;
+    }
+    Components {
+        labels,
+        count: next as usize,
+        sizes,
+    }
+}
+
+/// Extracts the largest connected component as a new graph.
+///
+/// Returns the component graph and `mapping[new] = old` node ids. The paper's
+/// experiments implicitly assume connectivity (random walks cannot cross
+/// components), so generators route through this when asked for connected
+/// output.
+pub fn largest_component(g: &CsrGraph) -> (CsrGraph, Vec<NodeId>) {
+    let comps = connected_components(g);
+    if comps.is_connected() {
+        let mapping = g.nodes().collect();
+        return (g.clone(), mapping);
+    }
+    let keep = comps.largest();
+    let nodes: Vec<NodeId> = g
+        .nodes()
+        .filter(|u| comps.labels[u.index()] == keep)
+        .collect();
+    crate::subgraph::induced(g, &nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_on_path() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(bfs_distances(&g, NodeId(0)), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_distances(&g, NodeId(2)), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn bfs_marks_unreachable() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count, 3); // {0,1,2}, {3,4}, {5}
+        assert_eq!(c.sizes.iter().sum::<usize>(), 6);
+        assert_eq!(c.labels[0], c.labels[2]);
+        assert_ne!(c.labels[0], c.labels[3]);
+        assert!(!c.is_connected());
+        assert_eq!(c.largest(), c.labels[0]);
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4)]).unwrap();
+        let (lcc, mapping) = largest_component(&g);
+        assert_eq!(lcc.n(), 3);
+        assert_eq!(lcc.m(), 3);
+        let mut orig: Vec<usize> = mapping.iter().map(|u| u.index()).collect();
+        orig.sort_unstable();
+        assert_eq!(orig, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn largest_component_of_connected_graph_is_identity() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let (lcc, mapping) = largest_component(&g);
+        assert_eq!(lcc.n(), 3);
+        assert_eq!(mapping, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn empty_graph_components() {
+        let g = CsrGraph::from_edges(0, &[]).unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count, 0);
+        assert!(c.is_connected());
+    }
+}

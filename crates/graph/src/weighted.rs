@@ -1,0 +1,200 @@
+//! Weighted graph extension.
+//!
+//! The paper notes its techniques "can also be easily extended to directed
+//! and weighted graphs": the only change is the transition probability
+//! `p_uw = w(u,w) / strength(u)` in place of `1/deg(u)`. This module supplies
+//! the weighted substrate; `rwd-walks` contains the matching walker and DP.
+
+use crate::error::GraphError;
+use crate::node::NodeId;
+use crate::Result;
+
+/// An immutable weighted graph in CSR form with per-node cumulative weights
+/// for O(log d) neighbor sampling.
+///
+/// Undirected: each edge `{u, v, w}` is stored as both arcs with weight `w`.
+#[derive(Clone, Debug)]
+pub struct WeightedCsrGraph {
+    offsets: Vec<usize>,
+    targets: Vec<NodeId>,
+    weights: Vec<f64>,
+    /// `cumulative[offsets[u]..offsets[u+1]]` is the inclusive prefix sum of
+    /// `weights` within `u`'s range; its last entry equals `strength(u)`.
+    cumulative: Vec<f64>,
+    num_edges: usize,
+}
+
+impl WeightedCsrGraph {
+    /// Builds an undirected weighted simple graph over nodes `0..n`.
+    ///
+    /// Duplicate edges are rejected; weights must be strictly positive and
+    /// finite; self-loops are rejected.
+    pub fn from_weighted_edges(n: usize, edges: &[(u32, u32, f64)]) -> Result<Self> {
+        let mut arcs: Vec<(u32, u32, f64)> = Vec::with_capacity(edges.len() * 2);
+        for &(u, v, w) in edges {
+            if u as usize >= n || v as usize >= n {
+                return Err(GraphError::InvalidInput(format!(
+                    "edge ({u}, {v}) out of range (n = {n})"
+                )));
+            }
+            if u == v {
+                return Err(GraphError::InvalidInput(format!("self-loop at {u}")));
+            }
+            if !(w.is_finite() && w > 0.0) {
+                return Err(GraphError::InvalidInput(format!(
+                    "edge ({u}, {v}) has non-positive weight {w}"
+                )));
+            }
+            arcs.push((u, v, w));
+            arcs.push((v, u, w));
+        }
+        arcs.sort_unstable_by_key(|a| (a.0, a.1));
+        if arcs
+            .windows(2)
+            .any(|p| (p[0].0, p[0].1) == (p[1].0, p[1].1))
+        {
+            return Err(GraphError::InvalidInput("duplicate weighted edge".into()));
+        }
+
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, _, _) in &arcs {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets: Vec<NodeId> = arcs.iter().map(|&(_, v, _)| NodeId(v)).collect();
+        let weights: Vec<f64> = arcs.iter().map(|&(_, _, w)| w).collect();
+
+        let mut cumulative = vec![0.0; weights.len()];
+        for u in 0..n {
+            let mut acc = 0.0;
+            for i in offsets[u]..offsets[u + 1] {
+                acc += weights[i];
+                cumulative[i] = acc;
+            }
+        }
+
+        Ok(WeightedCsrGraph {
+            offsets,
+            targets,
+            weights,
+            cumulative,
+            num_edges: edges.len(),
+        })
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Degree (number of incident edges) of `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.offsets[u.index() + 1] - self.offsets[u.index()]
+    }
+
+    /// Total incident weight of `u` (the random-walk normalizer).
+    #[inline]
+    pub fn strength(&self, u: NodeId) -> f64 {
+        let (lo, hi) = (self.offsets[u.index()], self.offsets[u.index() + 1]);
+        if lo == hi {
+            0.0
+        } else {
+            self.cumulative[hi - 1]
+        }
+    }
+
+    /// Neighbor/weight pairs of `u`.
+    pub fn neighbors(&self, u: NodeId) -> impl ExactSizeIterator<Item = (NodeId, f64)> + '_ {
+        let (lo, hi) = (self.offsets[u.index()], self.offsets[u.index() + 1]);
+        self.targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weights[lo..hi].iter().copied())
+    }
+
+    /// Samples a neighbor of `u` with probability proportional to edge
+    /// weight, given a uniform draw `x ∈ [0, 1)`. Returns `None` for
+    /// isolated nodes.
+    pub fn pick_neighbor(&self, u: NodeId, x: f64) -> Option<NodeId> {
+        let (lo, hi) = (self.offsets[u.index()], self.offsets[u.index() + 1]);
+        if lo == hi {
+            return None;
+        }
+        let total = self.cumulative[hi - 1];
+        let needle = x * total;
+        let range = &self.cumulative[lo..hi];
+        let idx = range.partition_point(|&c| c <= needle).min(range.len() - 1);
+        Some(self.targets[lo + idx])
+    }
+
+    /// Iterator over node ids.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.n() as u32).map(NodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wg() -> WeightedCsrGraph {
+        WeightedCsrGraph::from_weighted_edges(3, &[(0, 1, 1.0), (0, 2, 3.0)]).unwrap()
+    }
+
+    #[test]
+    fn strength_and_degree() {
+        let g = wg();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.degree(NodeId(0)), 2);
+        assert!((g.strength(NodeId(0)) - 4.0).abs() < 1e-12);
+        assert!((g.strength(NodeId(1)) - 1.0).abs() < 1e-12);
+        assert_eq!(g.degree(NodeId(1)), 1);
+    }
+
+    #[test]
+    fn pick_neighbor_respects_weights() {
+        let g = wg();
+        // Node 0 neighbors: 1 (w=1), 2 (w=3); cumulative [1, 4].
+        assert_eq!(g.pick_neighbor(NodeId(0), 0.0), Some(NodeId(1)));
+        assert_eq!(g.pick_neighbor(NodeId(0), 0.24), Some(NodeId(1)));
+        assert_eq!(g.pick_neighbor(NodeId(0), 0.26), Some(NodeId(2)));
+        assert_eq!(g.pick_neighbor(NodeId(0), 0.999), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn isolated_node_has_no_neighbor() {
+        let g = WeightedCsrGraph::from_weighted_edges(2, &[]).unwrap();
+        assert_eq!(g.pick_neighbor(NodeId(0), 0.5), None);
+        assert_eq!(g.strength(NodeId(0)), 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(WeightedCsrGraph::from_weighted_edges(2, &[(0, 0, 1.0)]).is_err());
+        assert!(WeightedCsrGraph::from_weighted_edges(2, &[(0, 1, 0.0)]).is_err());
+        assert!(WeightedCsrGraph::from_weighted_edges(2, &[(0, 1, f64::NAN)]).is_err());
+        assert!(WeightedCsrGraph::from_weighted_edges(2, &[(0, 3, 1.0)]).is_err());
+        assert!(
+            WeightedCsrGraph::from_weighted_edges(2, &[(0, 1, 1.0), (1, 0, 2.0)]).is_err(),
+            "duplicate across orientations must be rejected"
+        );
+    }
+
+    #[test]
+    fn neighbors_iterate_with_weights() {
+        let g = wg();
+        let nbrs: Vec<_> = g.neighbors(NodeId(0)).collect();
+        assert_eq!(nbrs, vec![(NodeId(1), 1.0), (NodeId(2), 3.0)]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the graph substrate: CSR invariants, builder
+//! policies, generator guarantees, I/O round-trips, traversal consistency.
+
+// Indexing parallel arrays by position is clearer than zipped iterators
+// in these oracle comparisons.
+#![allow(clippy::needless_range_loop)]
+
+use proptest::prelude::*;
+use rwd_graph::generators::{barabasi_albert, erdos_renyi_gnm, random_regular, watts_strogatz};
+use rwd_graph::traversal::{bfs_distances, connected_components, UNREACHABLE};
+use rwd_graph::{CsrGraph, NodeId};
+
+/// Strategy: arbitrary edge lists over up to 12 nodes.
+fn edge_lists() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..=12).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n as u32, 0..n as u32), 0..40),
+        )
+    })
+}
+
+proptest! {
+    /// CSR structural invariants hold for any input edge list.
+    #[test]
+    fn csr_invariants((n, edges) in edge_lists()) {
+        let g = CsrGraph::from_edges(n, &edges).unwrap();
+        prop_assert_eq!(g.n(), n);
+        // Degree sum = 2m for undirected simple graphs.
+        let degree_sum: usize = g.nodes().map(|u| g.degree(u)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.m());
+        prop_assert_eq!(g.arc_count(), 2 * g.m());
+        // Neighbor lists sorted, deduped, no self-loops, symmetric.
+        for u in g.nodes() {
+            let nbrs = g.neighbors(u);
+            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "sorted+dedup");
+            prop_assert!(!nbrs.contains(&u), "no self-loop");
+            for &v in nbrs {
+                prop_assert!(g.has_edge(v, u), "symmetry {u} {v}");
+            }
+        }
+        // edges() yields exactly m pairs with u <= v.
+        let listed: Vec<_> = g.edges().collect();
+        prop_assert_eq!(listed.len(), g.m());
+        prop_assert!(listed.iter().all(|&(u, v)| u <= v));
+    }
+
+    /// Edge-list I/O round-trips any graph (up to relabeling, which is
+    /// identity here because ids are dense and edges() emits sorted pairs).
+    #[test]
+    fn edgelist_round_trip((n, edges) in edge_lists()) {
+        let g = CsrGraph::from_edges(n, &edges).unwrap();
+        prop_assume!(g.m() > 0);
+        let mut buf = Vec::new();
+        rwd_graph::edgelist::write_edge_list_to(&g, &mut buf).unwrap();
+        let reloaded = rwd_graph::edgelist::parse_edge_list(
+            std::str::from_utf8(&buf).unwrap(),
+        )
+        .unwrap();
+        prop_assert_eq!(reloaded.graph.m(), g.m());
+        // Every original edge must exist under the relabeling.
+        for (u, v) in g.edges() {
+            let du = reloaded.original_ids.iter()
+                .position(|&x| x == u.index() as u64).unwrap();
+            let dv = reloaded.original_ids.iter()
+                .position(|&x| x == v.index() as u64).unwrap();
+            prop_assert!(reloaded.graph.has_edge(NodeId::new(du), NodeId::new(dv)));
+        }
+    }
+
+    /// BFS distances satisfy the triangle property along edges: adjacent
+    /// nodes' distances differ by at most 1.
+    #[test]
+    fn bfs_is_metric_consistent((n, edges) in edge_lists(), src in 0u32..12) {
+        let g = CsrGraph::from_edges(n, &edges).unwrap();
+        let src = NodeId(src % n as u32);
+        let d = bfs_distances(&g, src);
+        prop_assert_eq!(d[src.index()], 0);
+        for (u, v) in g.edges() {
+            let (du, dv) = (d[u.index()], d[v.index()]);
+            match (du == UNREACHABLE, dv == UNREACHABLE) {
+                (true, true) => {}
+                (false, false) => {
+                    prop_assert!(du.abs_diff(dv) <= 1, "edge {u}-{v}: {du} vs {dv}");
+                }
+                _ => prop_assert!(false, "edge crossing reachability boundary"),
+            }
+        }
+    }
+
+    /// Components partition the nodes; nodes share a label iff connected.
+    #[test]
+    fn components_partition((n, edges) in edge_lists()) {
+        let g = CsrGraph::from_edges(n, &edges).unwrap();
+        let c = connected_components(&g);
+        prop_assert_eq!(c.sizes.iter().sum::<usize>(), n);
+        prop_assert_eq!(c.sizes.len(), c.count);
+        for (u, v) in g.edges() {
+            prop_assert_eq!(c.labels[u.index()], c.labels[v.index()]);
+        }
+        // BFS reachability agrees with labels.
+        let d = bfs_distances(&g, NodeId(0));
+        for u in 0..n {
+            prop_assert_eq!(
+                d[u] != UNREACHABLE,
+                c.labels[u] == c.labels[0],
+                "node {} reachability vs label", u
+            );
+        }
+    }
+
+    /// Generators produce simple graphs of the promised size, connected
+    /// where guaranteed.
+    #[test]
+    fn generators_keep_promises(seed in 0u64..200) {
+        let ba = barabasi_albert(60, 3, seed).unwrap();
+        prop_assert_eq!(ba.n(), 60);
+        prop_assert_eq!(ba.m(), 6 + 56 * 3);
+        prop_assert!(connected_components(&ba).is_connected());
+
+        let gnm = erdos_renyi_gnm(40, 70, seed).unwrap();
+        prop_assert_eq!(gnm.m(), 70);
+
+        let ws = watts_strogatz(40, 4, 0.3, seed).unwrap();
+        prop_assert_eq!(ws.m(), 80);
+
+        let rr = random_regular(30, 4, seed).unwrap();
+        for u in rr.nodes() {
+            prop_assert_eq!(rr.degree(u), 4);
+        }
+    }
+
+    /// Induced subgraphs keep exactly the internal edges.
+    #[test]
+    fn induced_subgraph_edge_set((n, edges) in edge_lists(), keep_mask in 0u32..4096) {
+        let g = CsrGraph::from_edges(n, &edges).unwrap();
+        let keep: Vec<NodeId> = (0..n)
+            .filter(|&i| keep_mask >> (i % 12) & 1 == 1)
+            .map(NodeId::new)
+            .collect();
+        let (sub, mapping) = rwd_graph::subgraph::induced(&g, &keep);
+        prop_assert_eq!(sub.n(), mapping.len());
+        // Every subgraph edge maps to an original edge.
+        for (a, b) in sub.edges() {
+            prop_assert!(g.has_edge(mapping[a.index()], mapping[b.index()]));
+        }
+        // Count internal original edges = subgraph edges.
+        let kept: std::collections::HashSet<NodeId> = keep.iter().copied().collect();
+        let internal = g
+            .edges()
+            .filter(|(u, v)| kept.contains(u) && kept.contains(v))
+            .count();
+        prop_assert_eq!(sub.m(), internal);
+    }
+}

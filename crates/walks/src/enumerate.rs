@@ -1,0 +1,145 @@
+//! Brute-force walk enumeration — an independent test oracle.
+//!
+//! For tiny graphs it is feasible to enumerate *every* realization of an
+//! L-length random walk together with its probability and compute exact
+//! expectations directly from the definition (Eq. 3), with no dynamic
+//! programming involved. The property tests compare [`crate::hitting`]
+//! against these values; agreement to 1e-10 on random small graphs is strong
+//! evidence both are right, since the two code paths share nothing.
+//!
+//! The recursion tracks the *partial* expectation `E[t_hit · 1{hit}]`
+//! together with the hit probability: both compose linearly over neighbor
+//! choices, and the truncated expectation follows as
+//! `E[T^L] = E[t_hit · 1{hit}] + (1 − p) · L`.
+
+use rwd_graph::{CsrGraph, NodeId};
+
+use crate::nodeset::NodeSet;
+
+/// Returns `(E[t_hit · 1{hit within l}], Pr[hit within l])` for a walk at
+/// `u` with `l` hops remaining, where `t_hit` counts hops from now.
+/// Cost `O(maxdeg^l)` — keep the graph tiny.
+fn explore(g: &CsrGraph, u: NodeId, set: &NodeSet, l: u32) -> (f64, f64) {
+    if set.contains(u) {
+        return (0.0, 1.0);
+    }
+    if l == 0 {
+        return (0.0, 0.0);
+    }
+    let nbrs = g.neighbors(u);
+    if nbrs.is_empty() {
+        // Stay-put convention: burn a hop at u.
+        let (pe, pp) = explore(g, u, set, l - 1);
+        return (pe + pp, pp); // every hit path is one hop longer
+    }
+    let share = 1.0 / nbrs.len() as f64;
+    let mut partial = 0.0;
+    let mut prob = 0.0;
+    for &w in nbrs {
+        let (pe, pp) = explore(g, w, set, l - 1);
+        partial += share * (pe + pp);
+        prob += share * pp;
+    }
+    (partial, prob)
+}
+
+/// Exact `E[T^L_uS]` (the generalized hitting time, Eq. 3) by enumeration.
+pub fn hit_expectation(g: &CsrGraph, start: NodeId, set: &NodeSet, l: u32) -> f64 {
+    let (partial, prob) = explore(g, start, set, l);
+    partial + (1.0 - prob) * l as f64
+}
+
+/// Exact `p^L_uS = Pr[walk from u hits S within L]` by enumeration.
+pub fn hit_probability(g: &CsrGraph, start: NodeId, set: &NodeSet, l: u32) -> f64 {
+    explore(g, start, set, l).1
+}
+
+/// Exact `F1(S) = nL − Σ_{u∉S} E[T^L_uS]` by enumeration.
+pub fn f1(g: &CsrGraph, set: &NodeSet, l: u32) -> f64 {
+    let miss: f64 = g
+        .nodes()
+        .filter(|u| !set.contains(*u))
+        .map(|u| hit_expectation(g, u, set, l))
+        .sum();
+    g.n() as f64 * l as f64 - miss
+}
+
+/// Exact `F2(S) = Σ_u p^L_uS` by enumeration (members count 1).
+pub fn f2(g: &CsrGraph, set: &NodeSet, l: u32) -> f64 {
+    g.nodes().map(|u| hit_probability(g, u, set, l)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hitting;
+    use rwd_graph::generators::{classic, paper_example};
+
+    fn set_of(n: usize, nodes: &[u32]) -> NodeSet {
+        NodeSet::from_nodes(n, nodes.iter().map(|&u| NodeId(u)))
+    }
+
+    #[test]
+    fn path_hand_computed_values() {
+        // Path 0-1-2, target {2}, l = 2. From 1: step to 0 or 2 equally;
+        // hit at t=1 w.p. 1/2, else t truncates at 2. E = 1/2·1 + 1/2·2 = 1.5.
+        let g = classic::path(3).unwrap();
+        let s = set_of(3, &[2]);
+        assert!((hit_expectation(&g, NodeId(1), &s, 2) - 1.5).abs() < 1e-12);
+        assert!((hit_probability(&g, NodeId(1), &s, 2) - 0.5).abs() < 1e-12);
+        // From 0: forced to 1, then 1/2 to hit at t=2. E = 1/2·2 + 1/2·2 = 2.
+        assert!((hit_expectation(&g, NodeId(0), &s, 2) - 2.0).abs() < 1e-12);
+        assert!((hit_probability(&g, NodeId(0), &s, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_dp_on_figure1() {
+        let g = paper_example::figure1();
+        let s = set_of(8, &[4, 5]);
+        for l in 0..=5 {
+            let dp = hitting::hitting_time_to_set(&g, &s, l);
+            let pp = hitting::hit_probability_to_set(&g, &s, l);
+            for u in g.nodes() {
+                let e = hit_expectation(&g, u, &s, l);
+                let p = hit_probability(&g, u, &s, l);
+                assert!(
+                    (e - dp[u.index()]).abs() < 1e-10,
+                    "E mismatch u={u} l={l}: enum {e} dp {}",
+                    dp[u.index()]
+                );
+                assert!((p - pp[u.index()]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_dp_with_isolated_node() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2)]).unwrap();
+        let s = set_of(4, &[0]);
+        for l in 0..=4 {
+            let dp = hitting::hitting_time_to_set(&g, &s, l);
+            for u in g.nodes() {
+                let e = hit_expectation(&g, u, &s, l);
+                assert!((e - dp[u.index()]).abs() < 1e-10, "u={u} l={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn f1_f2_match_dp_on_small_cycle() {
+        let g = classic::cycle(5).unwrap();
+        let s = set_of(5, &[0, 2]);
+        for l in 0..=5 {
+            assert!((f1(&g, &s, l) - hitting::exact_f1(&g, &s, l)).abs() < 1e-10);
+            assert!((f2(&g, &s, l) - hitting::exact_f2(&g, &s, l)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn empty_set_expectation_is_l() {
+        let g = classic::cycle(4).unwrap();
+        let s = NodeSet::new(4);
+        assert!((hit_expectation(&g, NodeId(0), &s, 3) - 3.0).abs() < 1e-12);
+        assert_eq!(hit_probability(&g, NodeId(0), &s, 3), 0.0);
+    }
+}

@@ -1,0 +1,646 @@
+//! The inverted walk index — the paper's Algorithm 3 (`Invert_Index`).
+//!
+//! For every node `w` the builder runs `R` L-length walks; walk `i` from `w`
+//! contributes a posting `⟨w, j⟩` to list `I[i][v]` when it *first* visits
+//! `v` at hop `j` (repeated visits are dropped, matching the definition of
+//! hitting time). Postings are materialized per layer (one layer = one walk
+//! index `i` across all sources) as a CSR-packed posting file: a flat
+//! `Vec<Posting>` plus per-node offsets — `O(nRL)` space total, one
+//! allocation per layer.
+//!
+//! A single index serves *both* problems: Problem 1 consumes the true hop
+//! weights, Problem 2 treats any posting as the indicator "source hits `v`"
+//! (the paper's `weight ← 1` comment in Algorithm 3).
+
+use rwd_graph::{CsrGraph, NodeId};
+
+use crate::nodeset::NodeSet;
+use crate::rng::WalkRng;
+use crate::walker;
+
+/// One inverted-list entry: the walk from `id` first reaches the list's
+/// owner node at hop `weight` (`1 ≤ weight ≤ L`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Posting {
+    /// Source node whose walk produced this posting.
+    pub id: NodeId,
+    /// Hop at which the source's walk first visits the owner node.
+    pub weight: u32,
+}
+
+/// One walk layer: the inverted lists `I[i][·]` for a fixed walk index `i`,
+/// CSR-packed by owner node.
+#[derive(Clone, Debug)]
+struct Layer {
+    offsets: Vec<usize>,
+    postings: Vec<Posting>,
+}
+
+impl Layer {
+    fn from_triples(n: usize, mut triples: Vec<(u32, Posting)>) -> Layer {
+        // Counting sort by owner node keeps construction O(n + entries).
+        let mut counts = vec![0usize; n + 1];
+        for &(v, _) in &triples {
+            counts[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut postings = vec![
+            Posting {
+                id: NodeId(0),
+                weight: 0
+            };
+            triples.len()
+        ];
+        for (v, p) in triples.drain(..) {
+            postings[counts[v as usize]] = p;
+            counts[v as usize] += 1;
+        }
+        Layer { offsets, postings }
+    }
+
+    #[inline]
+    fn postings(&self, v: NodeId) -> &[Posting] {
+        &self.postings[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+}
+
+/// The materialized sample store `I[1:R][1:n]` of Algorithm 3.
+#[derive(Clone, Debug)]
+pub struct WalkIndex {
+    n: usize,
+    l: u32,
+    layers: Vec<Layer>,
+    seed: u64,
+}
+
+impl WalkIndex {
+    /// Builds the index by running `r` walks per node (Algorithm 3),
+    /// parallelized over layers; the result is a pure function of
+    /// `(graph, l, r, seed)` regardless of thread count.
+    ///
+    /// ```
+    /// use rwd_graph::generators::paper_example::figure1;
+    /// use rwd_walks::WalkIndex;
+    ///
+    /// let g = figure1();
+    /// let idx = WalkIndex::build(&g, 4, 16, 7);
+    /// assert_eq!((idx.n(), idx.l(), idx.r()), (8, 4, 16));
+    /// assert!(idx.total_postings() <= 8 * 16 * 4); // ≤ nRL
+    /// ```
+    pub fn build(g: &CsrGraph, l: u32, r: usize, seed: u64) -> WalkIndex {
+        Self::build_with_threads(g, l, r, seed, 0)
+    }
+
+    /// [`WalkIndex::build`] with an explicit worker count (`0` = all cores).
+    pub fn build_with_threads(
+        g: &CsrGraph,
+        l: u32,
+        r: usize,
+        seed: u64,
+        threads: usize,
+    ) -> WalkIndex {
+        assert!(r > 0, "need at least one walk per node");
+        let n = g.n();
+        let hw = if threads > 0 {
+            threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |t| t.get())
+        };
+        let workers = hw.max(1).min(r);
+
+        let mut layers: Vec<Option<Layer>> = (0..r).map(|_| None).collect();
+        let chunk = r.div_ceil(workers);
+        crossbeam::thread::scope(|scope| {
+            for (ci, slot) in layers.chunks_mut(chunk).enumerate() {
+                scope.spawn(move |_| {
+                    for (j, out) in slot.iter_mut().enumerate() {
+                        let layer_idx = ci * chunk + j;
+                        *out = Some(build_layer(g, l, layer_idx, seed));
+                    }
+                });
+            }
+        })
+        .expect("index worker panicked");
+
+        WalkIndex {
+            n,
+            l,
+            layers: layers
+                .into_iter()
+                .map(|o| o.expect("layer built"))
+                .collect(),
+            seed,
+        }
+    }
+
+    /// Builds the index over a weighted graph: identical structure, walk
+    /// steps drawn with probability proportional to edge weight (the
+    /// paper's weighted extension; Algorithm 6 then works unchanged because
+    /// it only ever touches the index).
+    pub fn build_weighted(
+        g: &rwd_graph::weighted::WeightedCsrGraph,
+        l: u32,
+        r: usize,
+        seed: u64,
+    ) -> WalkIndex {
+        assert!(r > 0, "need at least one walk per node");
+        let n = g.n();
+        let layers = (0..r)
+            .map(|layer_idx| {
+                let mut triples: Vec<(u32, Posting)> = Vec::new();
+                let mut visited = vec![u32::MAX; n];
+                for w in 0..n {
+                    let mut rng = WalkRng::for_stream(seed, w as u64, layer_idx as u64);
+                    let mut u = NodeId::new(w);
+                    visited[w] = w as u32;
+                    for j in 1..=l {
+                        u = walker::step_weighted(g, u, &mut rng);
+                        if visited[u.index()] != w as u32 {
+                            visited[u.index()] = w as u32;
+                            triples.push((
+                                u.raw(),
+                                Posting {
+                                    id: NodeId::new(w),
+                                    weight: j,
+                                },
+                            ));
+                        }
+                    }
+                }
+                Layer::from_triples(n, triples)
+            })
+            .collect();
+        WalkIndex { n, l, layers, seed }
+    }
+
+    /// Builds an index from explicitly supplied walks: `walks[w]` is the
+    /// recorded sequence (including the start, `l + 1` entries) of the
+    /// single walk from node `w` — the `R = 1` case used by the paper's
+    /// Example 3.1. See [`WalkIndex::from_walk_layers`] for general `R`.
+    pub fn from_walks(n: usize, l: u32, walks: &[Vec<NodeId>]) -> WalkIndex {
+        Self::from_walk_layers(n, l, std::slice::from_ref(&walks.to_vec()))
+    }
+
+    /// Builds an index from explicit walk layers:
+    /// `layers[i][w]` = recorded walk `i` from node `w` (`l + 1` entries).
+    pub fn from_walk_layers(n: usize, l: u32, layers: &[Vec<Vec<NodeId>>]) -> WalkIndex {
+        assert!(!layers.is_empty());
+        let built = layers
+            .iter()
+            .map(|layer_walks| {
+                assert_eq!(layer_walks.len(), n, "one walk per node required");
+                let mut triples: Vec<(u32, Posting)> = Vec::new();
+                let mut visited = vec![u32::MAX; n];
+                for (w, walk) in layer_walks.iter().enumerate() {
+                    assert_eq!(
+                        walk.len(),
+                        l as usize + 1,
+                        "walk from node {w} must have l + 1 = {} entries",
+                        l + 1
+                    );
+                    assert_eq!(walk[0], NodeId::new(w), "walk must start at its source");
+                    visited[w] = w as u32;
+                    for (j, &v) in walk.iter().enumerate().skip(1) {
+                        if visited[v.index()] != w as u32 {
+                            visited[v.index()] = w as u32;
+                            triples.push((
+                                v.raw(),
+                                Posting {
+                                    id: NodeId::new(w),
+                                    weight: j as u32,
+                                },
+                            ));
+                        }
+                    }
+                }
+                Layer::from_triples(n, triples)
+            })
+            .collect();
+        WalkIndex {
+            n,
+            l,
+            layers: built,
+            seed: 0,
+        }
+    }
+
+    /// Node-universe size.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Walk-length bound `L`.
+    #[inline]
+    pub fn l(&self) -> u32 {
+        self.l
+    }
+
+    /// Number of walk layers `R`.
+    #[inline]
+    pub fn r(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Seed the index was built with (0 for explicit-walk indexes).
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The inverted list `I[layer][v]`: all sources whose `layer`-th walk
+    /// visits `v`, each with its first-visit hop.
+    #[inline]
+    pub fn postings(&self, layer: usize, v: NodeId) -> &[Posting] {
+        self.layers[layer].postings(v)
+    }
+
+    /// Total number of stored postings (≤ nRL).
+    pub fn total_postings(&self) -> usize {
+        self.layers.iter().map(|l| l.postings.len()).sum()
+    }
+
+    /// Approximate resident bytes of the index (postings + offsets).
+    pub fn memory_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| {
+                l.postings.len() * std::mem::size_of::<Posting>()
+                    + l.offsets.len() * std::mem::size_of::<usize>()
+            })
+            .sum()
+    }
+
+    /// Replays the index against an arbitrary target set: returns per-layer
+    /// first-hit times `D[i][u] = min(L, min_{s∈S} firsthit_i(u → s))`
+    /// averaged over layers — the index-based estimate of `h^L_uS`.
+    ///
+    /// This is the batch (non-incremental) form of what Algorithm 5
+    /// maintains; `rwd-core` uses the incremental form inside the greedy
+    /// loop and the tests assert the two agree.
+    pub fn estimate_hit_times(&self, set: &NodeSet) -> Vec<f64> {
+        let mut acc = vec![0.0f64; self.n];
+        let mut d = vec![0u32; self.n];
+        for layer in &self.layers {
+            d.fill(self.l);
+            for s in set.iter() {
+                d[s.index()] = 0;
+                for p in layer.postings(s) {
+                    let slot = &mut d[p.id.index()];
+                    if p.weight < *slot {
+                        *slot = p.weight;
+                    }
+                }
+            }
+            for (a, &v) in acc.iter_mut().zip(d.iter()) {
+                *a += v as f64;
+            }
+        }
+        let r = self.layers.len() as f64;
+        acc.iter_mut().for_each(|a| *a /= r);
+        acc
+    }
+
+    /// Persists the index to disk (the paper's "sample materialization"
+    /// made durable): magic + header + per-layer CSR blocks, little-endian.
+    /// A paper-scale index builds in seconds but is reused across many
+    /// `k`/`λ` sweeps — saving it makes experiment suites restartable.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        use std::io::Write;
+        let file = std::fs::File::create(path)?;
+        let mut w = std::io::BufWriter::new(file);
+        w.write_all(b"RWDIDX1\0")?;
+        w.write_all(&(self.n as u64).to_le_bytes())?;
+        w.write_all(&(self.l as u64).to_le_bytes())?;
+        w.write_all(&(self.layers.len() as u64).to_le_bytes())?;
+        w.write_all(&self.seed.to_le_bytes())?;
+        for layer in &self.layers {
+            w.write_all(&(layer.postings.len() as u64).to_le_bytes())?;
+            for &off in &layer.offsets {
+                w.write_all(&(off as u64).to_le_bytes())?;
+            }
+            for p in &layer.postings {
+                w.write_all(&p.id.raw().to_le_bytes())?;
+                w.write_all(&p.weight.to_le_bytes())?;
+            }
+        }
+        w.flush()
+    }
+
+    /// Loads an index previously written by [`WalkIndex::save`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<WalkIndex> {
+        use std::io::Read;
+        let file = std::fs::File::open(path)?;
+        let mut r = std::io::BufReader::new(file);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != b"RWDIDX1\0" {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "not a walk-index file (bad magic)",
+            ));
+        }
+        let mut u64buf = [0u8; 8];
+        let mut read_u64 = |r: &mut dyn Read| -> std::io::Result<u64> {
+            r.read_exact(&mut u64buf)?;
+            Ok(u64::from_le_bytes(u64buf))
+        };
+        let n = read_u64(&mut r)? as usize;
+        let l = read_u64(&mut r)? as u32;
+        let layer_count = read_u64(&mut r)? as usize;
+        let seed = read_u64(&mut r)?;
+        let mut layers = Vec::with_capacity(layer_count);
+        for _ in 0..layer_count {
+            let postings_len = read_u64(&mut r)? as usize;
+            let mut offsets = Vec::with_capacity(n + 1);
+            for _ in 0..=n {
+                offsets.push(read_u64(&mut r)? as usize);
+            }
+            if *offsets.last().unwrap_or(&0) != postings_len {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "corrupt walk-index file (offset/posting mismatch)",
+                ));
+            }
+            let mut postings = Vec::with_capacity(postings_len);
+            let mut u32buf = [0u8; 4];
+            for _ in 0..postings_len {
+                r.read_exact(&mut u32buf)?;
+                let id = NodeId(u32::from_le_bytes(u32buf));
+                r.read_exact(&mut u32buf)?;
+                let weight = u32::from_le_bytes(u32buf);
+                postings.push(Posting { id, weight });
+            }
+            layers.push(Layer { offsets, postings });
+        }
+        Ok(WalkIndex { n, l, layers, seed })
+    }
+
+    /// Index-based estimate of the hit probability `p^L_uS`: the fraction of
+    /// layers in which `u`'s walk reaches `S` (members of `S` count 1).
+    pub fn estimate_hit_probs(&self, set: &NodeSet) -> Vec<f64> {
+        let mut acc = vec![0.0f64; self.n];
+        let mut hit = vec![false; self.n];
+        for layer in &self.layers {
+            hit.fill(false);
+            for s in set.iter() {
+                hit[s.index()] = true;
+                for p in layer.postings(s) {
+                    hit[p.id.index()] = true;
+                }
+            }
+            for (a, &h) in acc.iter_mut().zip(hit.iter()) {
+                if h {
+                    *a += 1.0;
+                }
+            }
+        }
+        let r = self.layers.len() as f64;
+        acc.iter_mut().for_each(|a| *a /= r);
+        acc
+    }
+}
+
+/// Runs all walks of one layer and packs them into inverted lists.
+fn build_layer(g: &CsrGraph, l: u32, layer_idx: usize, seed: u64) -> Layer {
+    let n = g.n();
+    // A loose upper bound on postings (each hop adds at most one).
+    let mut triples: Vec<(u32, Posting)> = Vec::with_capacity(n * (l as usize).min(8));
+    let mut visited = vec![u32::MAX; n];
+    for w in 0..n {
+        let mut rng = WalkRng::for_stream(seed, w as u64, layer_idx as u64);
+        let mut u = NodeId::new(w);
+        visited[w] = w as u32;
+        for j in 1..=l {
+            u = walker::step(g, u, &mut rng);
+            if visited[u.index()] != w as u32 {
+                visited[u.index()] = w as u32;
+                triples.push((
+                    u.raw(),
+                    Posting {
+                        id: NodeId::new(w),
+                        weight: j,
+                    },
+                ));
+            }
+        }
+    }
+    Layer::from_triples(n, triples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walker::record_walk;
+    use rwd_graph::generators::paper_example;
+
+    fn figure1_index() -> WalkIndex {
+        WalkIndex::build(&paper_example::figure1(), 2, 1, 42)
+    }
+
+    #[test]
+    fn postings_reference_real_first_visits() {
+        let g = paper_example::figure1();
+        let idx = WalkIndex::build(&g, 4, 3, 7);
+        // Recreate each walk with the same stream and check the postings of
+        // every visited node agree.
+        for layer in 0..idx.r() {
+            for w in g.nodes() {
+                let mut rng = WalkRng::for_stream(7, w.index() as u64, layer as u64);
+                let mut buf = Vec::new();
+                record_walk(&g, w, 4, &mut rng, &mut buf);
+                // First-visit hops from the recorded walk.
+                let mut first = std::collections::HashMap::new();
+                for (j, &v) in buf.iter().enumerate().skip(1) {
+                    if v != w {
+                        first.entry(v).or_insert(j as u32);
+                    }
+                }
+                for (&v, &j) in &first {
+                    let hit = idx
+                        .postings(layer, v)
+                        .iter()
+                        .find(|p| p.id == w)
+                        .unwrap_or_else(|| panic!("missing posting {w}→{v}"));
+                    assert_eq!(hit.weight, j);
+                }
+                // And no spurious postings for this source.
+                for v in g.nodes() {
+                    let has = idx.postings(layer, v).iter().any(|p| p.id == w);
+                    assert_eq!(has, first.contains_key(&v), "{w} vs {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_and_thread_invariant() {
+        let g = paper_example::figure1();
+        let a = WalkIndex::build_with_threads(&g, 3, 8, 5, 1);
+        let b = WalkIndex::build_with_threads(&g, 3, 8, 5, 4);
+        assert_eq!(a.total_postings(), b.total_postings());
+        for layer in 0..8 {
+            for v in g.nodes() {
+                assert_eq!(a.postings(layer, v), b.postings(layer, v));
+            }
+        }
+    }
+
+    #[test]
+    fn from_walks_matches_example_3_1_table_1() {
+        // The fixed walks of Example 3.1 (paper labels v1..v8 = ids 0..7).
+        let v = |i: usize| NodeId::new(i - 1);
+        let walks: Vec<Vec<NodeId>> = [
+            [1, 2, 3],
+            [2, 3, 5],
+            [3, 2, 5],
+            [4, 7, 5],
+            [5, 2, 6],
+            [6, 7, 5],
+            [7, 5, 7],
+            [8, 7, 4],
+        ]
+        .iter()
+        .map(|w| w.iter().map(|&x| v(x)).collect())
+        .collect();
+        let idx = WalkIndex::from_walks(8, 2, &walks);
+
+        let lists: Vec<Vec<(usize, u32)>> = (0..8)
+            .map(|owner| {
+                idx.postings(0, NodeId::new(owner))
+                    .iter()
+                    .map(|p| (p.id.index() + 1, p.weight)) // back to paper labels
+                    .collect()
+            })
+            .collect();
+        // Table 1 of the paper:
+        assert_eq!(lists[0], vec![]); // v1
+        assert_eq!(lists[1], vec![(1, 1), (3, 1), (5, 1)]); // v2
+        assert_eq!(lists[2], vec![(1, 2), (2, 1)]); // v3
+        assert_eq!(lists[3], vec![(8, 2)]); // v4
+        assert_eq!(lists[4], vec![(2, 2), (3, 2), (4, 2), (6, 2), (7, 1)]); // v5
+        assert_eq!(lists[5], vec![(5, 2)]); // v6
+        assert_eq!(lists[6], vec![(4, 1), (6, 1), (8, 1)]); // v7
+        assert_eq!(lists[7], vec![]); // v8
+    }
+
+    #[test]
+    fn repeated_nodes_indexed_once() {
+        // Walk (v7, v5, v7): the second v7 must not be indexed (it is the
+        // source) and v5 gets weight 1 — already covered by the Table 1
+        // test; here check a self-revisit of a non-source node.
+        let walks = vec![
+            vec![NodeId(0), NodeId(1), NodeId(0), NodeId(1)], // 0-1-0-1
+            vec![NodeId(1), NodeId(0), NodeId(1), NodeId(0)],
+        ];
+        let idx = WalkIndex::from_walks(2, 3, &walks);
+        // Walk from 0 visits 1 first at hop 1 (hop 3 revisit dropped).
+        assert_eq!(
+            idx.postings(0, NodeId(1)),
+            &[Posting {
+                id: NodeId(0),
+                weight: 1
+            }]
+        );
+        // Walk from 1 visits 0 first at hop 1.
+        assert_eq!(
+            idx.postings(0, NodeId(0)),
+            &[Posting {
+                id: NodeId(1),
+                weight: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn estimate_hit_times_replays_correctly() {
+        let v = |i: usize| NodeId::new(i - 1);
+        let walks: Vec<Vec<NodeId>> = [
+            [1, 2, 3],
+            [2, 3, 5],
+            [3, 2, 5],
+            [4, 7, 5],
+            [5, 2, 6],
+            [6, 7, 5],
+            [7, 5, 7],
+            [8, 7, 4],
+        ]
+        .iter()
+        .map(|w| w.iter().map(|&x| v(x)).collect())
+        .collect();
+        let idx = WalkIndex::from_walks(8, 2, &walks);
+        // S = {v2}: first hits — v1 at 1, v3 at 1, v5 at 1; others miss (L = 2).
+        let s = NodeSet::from_nodes(8, [v(2)]);
+        let h = idx.estimate_hit_times(&s);
+        assert_eq!(h[v(1).index()], 1.0);
+        assert_eq!(h[v(2).index()], 0.0);
+        assert_eq!(h[v(3).index()], 1.0);
+        assert_eq!(h[v(4).index()], 2.0);
+        assert_eq!(h[v(5).index()], 1.0);
+        assert_eq!(h[v(6).index()], 2.0);
+        let p = idx.estimate_hit_probs(&s);
+        assert_eq!(p[v(1).index()], 1.0);
+        assert_eq!(p[v(4).index()], 0.0);
+        assert_eq!(p[v(2).index()], 1.0);
+    }
+
+    #[test]
+    fn memory_accounting_is_positive() {
+        let idx = figure1_index();
+        assert!(idx.total_postings() > 0);
+        assert!(idx.memory_bytes() >= idx.total_postings() * 8);
+        assert_eq!(idx.l(), 2);
+        assert_eq!(idx.r(), 1);
+        assert_eq!(idx.n(), 8);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let g = paper_example::figure1();
+        let idx = WalkIndex::build(&g, 4, 6, 13);
+        let dir = std::env::temp_dir().join("rwd_index_io");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig1.rwdidx");
+        idx.save(&path).unwrap();
+        let loaded = WalkIndex::load(&path).unwrap();
+        assert_eq!(loaded.n(), idx.n());
+        assert_eq!(loaded.l(), idx.l());
+        assert_eq!(loaded.r(), idx.r());
+        assert_eq!(loaded.seed(), idx.seed());
+        for layer in 0..idx.r() {
+            for v in g.nodes() {
+                assert_eq!(loaded.postings(layer, v), idx.postings(layer, v));
+            }
+        }
+        // The reloaded index drives identical estimates.
+        let set = NodeSet::from_nodes(8, [NodeId(1), NodeId(6)]);
+        assert_eq!(
+            loaded.estimate_hit_times(&set),
+            idx.estimate_hit_times(&set)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("rwd_index_io_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.rwdidx");
+        std::fs::write(&path, b"definitely not an index").unwrap();
+        assert!(WalkIndex::load(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "walk must start at its source")]
+    fn from_walks_validates_start() {
+        let _ = WalkIndex::from_walks(
+            2,
+            1,
+            &[vec![NodeId(1), NodeId(0)], vec![NodeId(1), NodeId(0)]],
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! # rwd-walks
+//!
+//! L-length random-walk machinery for random-walk domination:
+//!
+//! * [`rng`] — deterministic per-(node, walk) RNG streams so that every
+//!   sampled quantity is reproducible bit-for-bit regardless of thread count,
+//! * [`nodeset`] — a flat bitset for target-set membership tests,
+//! * [`walker`] — the walk engine (step, record, first-hit queries),
+//! * [`hitting`] — exact dynamic programs for the hitting time `h^L_uS`
+//!   (Eq. 4), node-to-node hitting time (Eq. 2) and the hit probability
+//!   `p^L_uS` (Eq. 8), all-sources in `O(mL)` per call,
+//! * [`enumerate`] — brute-force expectations by enumerating every walk on
+//!   tiny graphs (an independent test oracle for the DP),
+//! * [`estimate`] — the paper's Algorithm 2 Monte-Carlo estimator with the
+//!   Hoeffding sample-size bounds of Lemmas 3.3/3.4,
+//! * [`index`] — the paper's Algorithm 3 inverted walk index backing the
+//!   approximate greedy algorithm (Algorithm 6).
+//!
+//! Degree-0 convention: a walk at an isolated node stays put (self-loop
+//! semantics) in both the DP and the sampler, so the two always agree.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod enumerate;
+pub mod estimate;
+pub mod hitting;
+pub mod index;
+pub mod nodeset;
+pub mod rng;
+pub mod walker;
+
+pub use estimate::{Estimates, SampleEstimator};
+pub use index::{Posting, WalkIndex};
+pub use nodeset::NodeSet;
+pub use rng::WalkRng;

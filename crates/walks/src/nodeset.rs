@@ -1,0 +1,174 @@
+//! Flat bitset over dense node ids.
+
+use rwd_graph::NodeId;
+
+/// A fixed-capacity bitset keyed by [`NodeId`].
+///
+/// The walk engine tests target-set membership once per hop; a flat bitset
+/// makes that a single shift/mask instead of a hash probe. `len` is tracked
+/// so `|S|` (needed by `F̂2 += |S|`, Algorithm 2 line 15) is O(1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeSet {
+    words: Vec<u64>,
+    capacity: usize,
+    len: usize,
+}
+
+impl NodeSet {
+    /// Creates an empty set over the id universe `[0, capacity)`.
+    pub fn new(capacity: usize) -> Self {
+        NodeSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+            len: 0,
+        }
+    }
+
+    /// Builds a set from node ids (duplicates ignored).
+    pub fn from_nodes(capacity: usize, nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut s = Self::new(capacity);
+        for u in nodes {
+            s.insert(u);
+        }
+        s
+    }
+
+    /// Universe size the set was created with.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no members are present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Membership test. O(1).
+    #[inline]
+    pub fn contains(&self, u: NodeId) -> bool {
+        let i = u.index();
+        debug_assert!(i < self.capacity);
+        self.words[i >> 6] & (1u64 << (i & 63)) != 0
+    }
+
+    /// Inserts `u`; returns true if it was newly added.
+    #[inline]
+    pub fn insert(&mut self, u: NodeId) -> bool {
+        let i = u.index();
+        assert!(
+            i < self.capacity,
+            "node {u} outside universe {}",
+            self.capacity
+        );
+        let word = &mut self.words[i >> 6];
+        let mask = 1u64 << (i & 63);
+        if *word & mask == 0 {
+            *word |= mask;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `u`; returns true if it was present.
+    #[inline]
+    pub fn remove(&mut self, u: NodeId) -> bool {
+        let i = u.index();
+        assert!(i < self.capacity);
+        let word = &mut self.words[i >> 6];
+        let mask = 1u64 << (i & 63);
+        if *word & mask != 0 {
+            *word &= !mask;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes all members, keeping capacity.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// Iterates members in increasing id order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(NodeId::new(wi * 64 + tz))
+                }
+            })
+        })
+    }
+
+    /// Collects members into a vector (increasing id order).
+    pub fn to_vec(&self) -> Vec<NodeId> {
+        self.iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = NodeSet::new(130);
+        assert!(s.insert(NodeId(0)));
+        assert!(s.insert(NodeId(129)));
+        assert!(!s.insert(NodeId(0)), "duplicate insert returns false");
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(NodeId(0)));
+        assert!(s.contains(NodeId(129)));
+        assert!(!s.contains(NodeId(64)));
+        assert!(s.remove(NodeId(0)));
+        assert!(!s.remove(NodeId(0)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let s = NodeSet::from_nodes(200, [NodeId(150), NodeId(3), NodeId(64)]);
+        assert_eq!(s.to_vec(), vec![NodeId(3), NodeId(64), NodeId(150)]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = NodeSet::from_nodes(10, [NodeId(1), NodeId(2)]);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(NodeId(1)));
+        assert_eq!(s.capacity(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn insert_out_of_range_panics() {
+        let mut s = NodeSet::new(5);
+        s.insert(NodeId(5));
+    }
+
+    #[test]
+    fn word_boundary_exactness() {
+        let mut s = NodeSet::new(64);
+        assert!(s.insert(NodeId(63)));
+        assert!(s.contains(NodeId(63)));
+        assert_eq!(s.to_vec(), vec![NodeId(63)]);
+    }
+}

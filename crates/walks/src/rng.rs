@@ -1,0 +1,164 @@
+//! Deterministic, splittable random-number streams.
+//!
+//! Every sampled walk in this workspace is identified by a `(seed, node,
+//! walk-index)` triple; [`WalkRng::for_stream`] derives an independent
+//! generator for each triple. Parallel builders can therefore split work
+//! across threads arbitrarily and still produce identical output — the
+//! property the determinism tests in `rwd-walks` and `rwd-core` rely on.
+//!
+//! The generator is xoshiro256++ seeded through splitmix64, the standard
+//! pairing recommended by the xoshiro authors; both are implemented here
+//! directly (≈30 lines) to keep the hot path free of trait indirection.
+
+/// One round of the splitmix64 mixing function.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A fast, deterministic xoshiro256++ generator.
+#[derive(Clone, Debug)]
+pub struct WalkRng {
+    s: [u64; 4],
+}
+
+impl WalkRng {
+    /// Creates a generator from a single seed.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        WalkRng { s }
+    }
+
+    /// Derives the independent stream for `(seed, a, b)` — typically
+    /// `(experiment seed, node id, walk index)`.
+    pub fn for_stream(seed: u64, a: u64, b: u64) -> Self {
+        // Feed the coordinates through splitmix64 sequentially; each output
+        // depends on all inputs, so streams are pairwise independent for
+        // practical purposes.
+        let mut sm = seed ^ 0xA076_1D64_78BD_642F;
+        let _ = splitmix64(&mut sm);
+        sm ^= a.wrapping_mul(0xE703_7ED1_A0B4_28DB);
+        let _ = splitmix64(&mut sm);
+        sm ^= b.wrapping_mul(0x8EBC_6AF0_9C88_C6E3);
+        Self::from_seed(splitmix64(&mut sm))
+    }
+
+    /// Next raw 64 bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform index in `[0, n)` via Lemire's multiply-shift (no modulo
+    /// bias worth caring about at walk-sampling scales, no division).
+    #[inline]
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = WalkRng::from_seed(7);
+        let mut b = WalkRng::from_seed(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = WalkRng::from_seed(1);
+        let mut b = WalkRng::from_seed(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn streams_are_order_independent() {
+        // The stream for (s, a, b) must not depend on which other streams
+        // were created before it.
+        let mut x = WalkRng::for_stream(99, 5, 2);
+        let _ = WalkRng::for_stream(99, 1, 0);
+        let mut y = WalkRng::for_stream(99, 5, 2);
+        for _ in 0..16 {
+            assert_eq!(x.next_u64(), y.next_u64());
+        }
+    }
+
+    #[test]
+    fn stream_coordinates_matter() {
+        let a = WalkRng::for_stream(1, 2, 3).next_u64();
+        assert_ne!(a, WalkRng::for_stream(1, 3, 2).next_u64());
+        assert_ne!(a, WalkRng::for_stream(2, 2, 3).next_u64());
+        assert_ne!(a, WalkRng::for_stream(1, 2, 4).next_u64());
+    }
+
+    #[test]
+    fn gen_index_stays_in_range_and_covers() {
+        let mut rng = WalkRng::from_seed(3);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let i = rng.gen_index(7);
+            assert!(i < 7);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets should be hit");
+    }
+
+    #[test]
+    fn gen_f64_unit_interval_and_roughly_uniform() {
+        let mut rng = WalkRng::from_seed(11);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x = rng.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = WalkRng::from_seed(13);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((hits as f64 / 10_000.0 - 0.3).abs() < 0.03);
+    }
+}

@@ -1,0 +1,199 @@
+//! The L-length random-walk engine.
+//!
+//! An *L-length random walk* (paper §2) starts at a node and takes at most
+//! `L` uniform-neighbor steps; nodes may repeat. A walk standing on an
+//! isolated node stays put (documented degree-0 convention).
+
+use rwd_graph::weighted::WeightedCsrGraph;
+use rwd_graph::{CsrGraph, NodeId};
+
+use crate::nodeset::NodeSet;
+use crate::rng::WalkRng;
+
+/// Takes one uniform step from `u`, or stays if `u` is isolated.
+#[inline]
+pub fn step(g: &CsrGraph, u: NodeId, rng: &mut WalkRng) -> NodeId {
+    let nbrs = g.neighbors(u);
+    if nbrs.is_empty() {
+        u
+    } else {
+        nbrs[rng.gen_index(nbrs.len())]
+    }
+}
+
+/// Runs an L-length walk from `start`, writing the visited sequence
+/// (including `start`, so `l + 1` entries) into `out`.
+pub fn record_walk(g: &CsrGraph, start: NodeId, l: u32, rng: &mut WalkRng, out: &mut Vec<NodeId>) {
+    out.clear();
+    out.reserve(l as usize + 1);
+    let mut u = start;
+    out.push(u);
+    for _ in 0..l {
+        u = step(g, u, rng);
+        out.push(u);
+    }
+}
+
+/// Simulates an L-length walk from `start` and returns the hop count at
+/// which it *first* enters `set` — the sampled value of `min{t : Z_t ∈ S}`
+/// from Eq. (3) — or `None` if the walk does not hit within `l` hops.
+///
+/// Hop 0 counts: if `start ∈ set` the result is `Some(0)` without stepping.
+pub fn first_hit(
+    g: &CsrGraph,
+    start: NodeId,
+    l: u32,
+    set: &NodeSet,
+    rng: &mut WalkRng,
+) -> Option<u32> {
+    if set.contains(start) {
+        return Some(0);
+    }
+    let mut u = start;
+    for t in 1..=l {
+        u = step(g, u, rng);
+        if set.contains(u) {
+            return Some(t);
+        }
+    }
+    None
+}
+
+/// The sampled value of the truncated variable `T^L_uS` (Eq. 3): the first
+/// hit hop, or `l` when the walk never hits.
+#[inline]
+pub fn truncated_hit_time(
+    g: &CsrGraph,
+    start: NodeId,
+    l: u32,
+    set: &NodeSet,
+    rng: &mut WalkRng,
+) -> u32 {
+    first_hit(g, start, l, set, rng).unwrap_or(l)
+}
+
+/// Weighted-graph variant of [`step`]: neighbor chosen with probability
+/// proportional to edge weight.
+#[inline]
+pub fn step_weighted(g: &WeightedCsrGraph, u: NodeId, rng: &mut WalkRng) -> NodeId {
+    g.pick_neighbor(u, rng.gen_f64()).unwrap_or(u)
+}
+
+/// Weighted-graph variant of [`first_hit`].
+pub fn first_hit_weighted(
+    g: &WeightedCsrGraph,
+    start: NodeId,
+    l: u32,
+    set: &NodeSet,
+    rng: &mut WalkRng,
+) -> Option<u32> {
+    if set.contains(start) {
+        return Some(0);
+    }
+    let mut u = start;
+    for t in 1..=l {
+        u = step_weighted(g, u, rng);
+        if set.contains(u) {
+            return Some(t);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rwd_graph::generators::{classic, paper_example};
+
+    #[test]
+    fn record_walk_has_l_plus_one_entries_and_valid_edges() {
+        let g = paper_example::figure1();
+        let mut rng = WalkRng::from_seed(5);
+        let mut buf = Vec::new();
+        record_walk(&g, NodeId(0), 4, &mut rng, &mut buf);
+        assert_eq!(buf.len(), 5);
+        assert_eq!(buf[0], NodeId(0));
+        for w in buf.windows(2) {
+            assert!(
+                g.has_edge(w[0], w[1]),
+                "step {:?} -> {:?} not an edge",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn isolated_node_walk_stays_put() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]).unwrap();
+        let mut rng = WalkRng::from_seed(1);
+        let mut buf = Vec::new();
+        record_walk(&g, NodeId(2), 3, &mut rng, &mut buf);
+        assert_eq!(buf, vec![NodeId(2); 4]);
+    }
+
+    #[test]
+    fn first_hit_zero_for_member_start() {
+        let g = paper_example::figure1();
+        let set = NodeSet::from_nodes(g.n(), [NodeId(0)]);
+        let mut rng = WalkRng::from_seed(2);
+        assert_eq!(first_hit(&g, NodeId(0), 4, &set, &mut rng), Some(0));
+    }
+
+    #[test]
+    fn first_hit_on_path_is_deterministic_at_forced_moves() {
+        // Path 0-1: from 0 the only move is to 1.
+        let g = classic::path(2).unwrap();
+        let set = NodeSet::from_nodes(2, [NodeId(1)]);
+        let mut rng = WalkRng::from_seed(3);
+        assert_eq!(first_hit(&g, NodeId(0), 4, &set, &mut rng), Some(1));
+    }
+
+    #[test]
+    fn miss_returns_none_and_truncation_returns_l() {
+        // Path 0-1-2-3, target {3}, l = 1: cannot reach from 0.
+        let g = classic::path(4).unwrap();
+        let set = NodeSet::from_nodes(4, [NodeId(3)]);
+        let mut rng = WalkRng::from_seed(4);
+        assert_eq!(first_hit(&g, NodeId(0), 1, &set, &mut rng), None);
+        let mut rng = WalkRng::from_seed(4);
+        assert_eq!(truncated_hit_time(&g, NodeId(0), 1, &set, &mut rng), 1);
+    }
+
+    #[test]
+    fn empty_target_set_never_hits() {
+        let g = paper_example::figure1();
+        let set = NodeSet::new(g.n());
+        let mut rng = WalkRng::from_seed(9);
+        assert_eq!(first_hit(&g, NodeId(0), 10, &set, &mut rng), None);
+    }
+
+    #[test]
+    fn weighted_walk_follows_heavy_edge() {
+        use rwd_graph::weighted::WeightedCsrGraph;
+        // Node 0's neighbors: 1 (weight 1e-9) and 2 (weight 1e9); a single
+        // step should essentially always pick 2.
+        let g = WeightedCsrGraph::from_weighted_edges(3, &[(0, 1, 1e-9), (0, 2, 1e9)]).unwrap();
+        let mut rng = WalkRng::from_seed(10);
+        let hits = (0..200)
+            .filter(|_| step_weighted(&g, NodeId(0), &mut rng) == NodeId(2))
+            .count();
+        assert_eq!(hits, 200);
+    }
+
+    #[test]
+    fn weighted_first_hit_member_start() {
+        use rwd_graph::weighted::WeightedCsrGraph;
+        let g = WeightedCsrGraph::from_weighted_edges(2, &[(0, 1, 1.0)]).unwrap();
+        let set = NodeSet::from_nodes(2, [NodeId(1)]);
+        let mut rng = WalkRng::from_seed(11);
+        assert_eq!(
+            first_hit_weighted(&g, NodeId(1), 3, &set, &mut rng),
+            Some(0)
+        );
+        assert_eq!(
+            first_hit_weighted(&g, NodeId(0), 3, &set, &mut rng),
+            Some(1)
+        );
+    }
+}

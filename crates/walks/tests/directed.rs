@@ -1,0 +1,162 @@
+//! Directed-graph semantics: the paper's directed extension. The walker,
+//! the DP recursions, the estimator and the index all operate on
+//! out-neighborhoods, so a directed `CsrGraph` works throughout; these
+//! tests pin down the semantics (forced moves, sinks, asymmetric hitting).
+
+// Indexing parallel arrays by position is clearer than zipped iterators
+// in these oracle comparisons.
+#![allow(clippy::needless_range_loop)]
+
+use rwd_graph::{GraphBuilder, NodeId};
+use rwd_walks::estimate::SampleEstimator;
+use rwd_walks::rng::WalkRng;
+use rwd_walks::{enumerate, hitting, walker, NodeSet, WalkIndex};
+
+/// Directed path 0→1→2→3.
+fn directed_path(n: usize) -> rwd_graph::CsrGraph {
+    let mut b = GraphBuilder::directed().with_nodes(n);
+    for u in 1..n as u32 {
+        b.add_edge(u - 1, u);
+    }
+    b.build().unwrap()
+}
+
+/// Directed cycle 0→1→…→(n-1)→0.
+fn directed_cycle(n: usize) -> rwd_graph::CsrGraph {
+    let mut b = GraphBuilder::directed().with_nodes(n);
+    for u in 0..n as u32 {
+        b.add_edge(u, (u + 1) % n as u32);
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn forced_walks_on_directed_path() {
+    // Every step is forced: from 0 the walk reaches node t at hop t exactly.
+    let g = directed_path(5);
+    let set = NodeSet::from_nodes(5, [NodeId(3)]);
+    let mut rng = WalkRng::from_seed(1);
+    assert_eq!(walker::first_hit(&g, NodeId(0), 4, &set, &mut rng), Some(3));
+    let h = hitting::hitting_time_to_set(&g, &set, 4);
+    assert_eq!(h[0], 3.0);
+    assert_eq!(h[1], 2.0);
+    assert_eq!(h[2], 1.0);
+    assert_eq!(h[3], 0.0);
+}
+
+#[test]
+fn hitting_is_asymmetric_on_directed_graphs() {
+    // 0 reaches 2 but 2 cannot reach 0 (sink-side truncation ⇒ h = L).
+    let g = directed_path(3);
+    let to_two = hitting::hitting_time_to_set(&g, &NodeSet::from_nodes(3, [NodeId(2)]), 5);
+    let to_zero = hitting::hitting_time_to_set(&g, &NodeSet::from_nodes(3, [NodeId(0)]), 5);
+    assert_eq!(to_two[0], 2.0);
+    assert_eq!(to_zero[2], 5.0, "upstream node is unreachable: h = L");
+    let p = hitting::hit_probability_to_set(&g, &NodeSet::from_nodes(3, [NodeId(0)]), 5);
+    assert_eq!(p[2], 0.0);
+}
+
+#[test]
+fn sink_nodes_follow_stay_put_convention() {
+    // Node 2 is a sink (out-degree 0): its walk stays there forever.
+    let g = directed_path(3);
+    let mut rng = WalkRng::from_seed(2);
+    let mut buf = Vec::new();
+    walker::record_walk(&g, NodeId(2), 4, &mut rng, &mut buf);
+    assert_eq!(buf, vec![NodeId(2); 5]);
+}
+
+#[test]
+fn directed_cycle_deterministic_hitting() {
+    // On a directed n-cycle every walk is forced; hitting time from u to
+    // {0} is exactly (n − u) mod n when L allows it.
+    let n = 6;
+    let g = directed_cycle(n);
+    let set = NodeSet::from_nodes(n, [NodeId(0)]);
+    let h = hitting::hitting_time_to_set(&g, &set, 10);
+    for u in 1..n {
+        assert_eq!(h[u], (n - u) as f64, "node {u}");
+    }
+    // Enumeration oracle agrees on directed graphs too.
+    for u in 0..n {
+        let e = enumerate::hit_expectation(&g, NodeId::new(u), &set, 10);
+        assert!((e - h[u]).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn estimator_and_dp_agree_on_directed_branching() {
+    // 0 → {1, 2}; 1 → 3; 2 → 3. Two-hop funnel onto 3 with a coin flip at 0.
+    let mut b = GraphBuilder::directed().with_nodes(4);
+    b.add_edge(0, 1);
+    b.add_edge(0, 2);
+    b.add_edge(1, 3);
+    b.add_edge(2, 3);
+    let g = b.build().unwrap();
+    let set = NodeSet::from_nodes(4, [NodeId(1)]);
+    // From 0: hits 1 at hop 1 w.p. 1/2, otherwise never (goes 2→3→stay).
+    let h = hitting::hitting_time_to_set(&g, &set, 4);
+    assert!((h[0] - (0.5 * 1.0 + 0.5 * 4.0)).abs() < 1e-12);
+    let est = SampleEstimator::new(4, 4000, 7).estimate(&g, &set);
+    assert!((est.hit_time[0] - h[0]).abs() < 0.1);
+    let p = hitting::hit_probability_to_set(&g, &set, 4);
+    assert!((p[0] - 0.5).abs() < 1e-12);
+    assert!((est.hit_prob[0] - 0.5).abs() < 0.05);
+}
+
+#[test]
+fn index_on_directed_graph_only_stores_downstream_visits() {
+    let g = directed_path(4);
+    let idx = WalkIndex::build(&g, 3, 8, 11);
+    // Walks from 3 (sink) never leave 3 → no postings anywhere reference 3
+    // except none (3 stays put and repeats are deduped).
+    for layer in 0..8 {
+        for v in 0..3u32 {
+            assert!(
+                idx.postings(layer, NodeId(v))
+                    .iter()
+                    .all(|p| p.id != NodeId(3)),
+                "sink walked somewhere?"
+            );
+        }
+        // Walks from 0 deterministically visit 1, 2, 3 at hops 1, 2, 3.
+        let find = |v: u32| {
+            idx.postings(layer, NodeId(v))
+                .iter()
+                .find(|p| p.id == NodeId(0))
+                .map(|p| p.weight)
+        };
+        assert_eq!(find(1), Some(1));
+        assert_eq!(find(2), Some(2));
+        assert_eq!(find(3), Some(3));
+    }
+}
+
+#[test]
+fn directed_domination_selects_the_funnel_target() {
+    // Star pointing inward: every spoke points at the hub. The hub is hit
+    // by everyone in one hop — any reasonable solver must select it first.
+    let n = 20;
+    let mut b = GraphBuilder::directed().with_nodes(n);
+    for u in 1..n as u32 {
+        b.add_edge(u, 0);
+    }
+    let g = b.build().unwrap();
+    let idx = WalkIndex::build(&g, 3, 32, 3);
+    let sel = {
+        // Pick argmax of first-round coverage gains directly from the index.
+        let mut best = (0usize, 0.0f64);
+        for u in 0..n {
+            let mut covered = 0usize;
+            for layer in 0..32 {
+                covered += idx.postings(layer, NodeId::new(u)).len() + 1;
+            }
+            let score = covered as f64 / 32.0;
+            if score > best.1 {
+                best = (u, score);
+            }
+        }
+        best.0
+    };
+    assert_eq!(sel, 0, "the inward hub dominates everyone");
+}

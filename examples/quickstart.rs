@@ -1,0 +1,76 @@
+//! Quickstart: solve both random-walk domination problems on a small
+//! power-law graph and compare every algorithm with the paper's metrics.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rwd::core::report::{fmt_f, fmt_secs, Table};
+use rwd::prelude::*;
+
+fn main() {
+    // The paper's synthetic setup (§4.1): a power-law graph with 1,000
+    // nodes and ≈10k edges, L-length walks with L = 5, k = 30 targets.
+    let g = rwd::graph::generators::barabasi_albert(1_000, 10, 42).expect("generator");
+    println!("graph: n = {}, m = {}\n", g.n(), g.m());
+
+    let params = Params {
+        k: 30,
+        l: 5,
+        r: 100,
+        seed: 7,
+        ..Params::default()
+    };
+    let metric_params = MetricParams {
+        l: 5,
+        r: 500,
+        seed: 999,
+    };
+
+    let mut table = Table::new(["algorithm", "AHT (↓)", "EHN (↑)", "seconds"]);
+
+    for problem in [Problem::MinHittingTime, Problem::MaxCoverage] {
+        // The exact (DP) greedy — feasible because the graph is small.
+        let dp = DpGreedy::new(problem, params).run(&g).expect("dp greedy");
+        let m = metrics::evaluate(&g, &dp.nodes, metric_params);
+        table.row([
+            dp.algorithm.clone(),
+            fmt_f(m.aht, 3),
+            fmt_f(m.ehn, 1),
+            fmt_secs(dp.elapsed),
+        ]);
+
+        // The linear-time approximate greedy (Algorithm 6).
+        let ap = ApproxGreedy::new(problem, params)
+            .run(&g)
+            .expect("approx greedy");
+        let m = metrics::evaluate(&g, &ap.nodes, metric_params);
+        table.row([
+            ap.algorithm.clone(),
+            fmt_f(m.aht, 3),
+            fmt_f(m.ehn, 1),
+            fmt_secs(ap.elapsed),
+        ]);
+    }
+
+    // The paper's baselines.
+    for sel in [
+        baselines::degree_top_k(&g, params.k).expect("degree"),
+        baselines::dominate_greedy(&g, params.k).expect("dominate"),
+        baselines::random_k(&g, params.k, 3).expect("random"),
+        baselines::pagerank_top_k(&g, params.k).expect("pagerank"),
+    ] {
+        let m = metrics::evaluate(&g, &sel.nodes, metric_params);
+        table.row([
+            sel.algorithm.clone(),
+            fmt_f(m.aht, 3),
+            fmt_f(m.ehn, 1),
+            fmt_secs(sel.elapsed),
+        ]);
+    }
+
+    println!("{}", table.render());
+    println!("AHT = average hitting time (lower is better; paper metric M1)");
+    println!("EHN = expected number of hitting nodes (higher is better; M2)");
+}

@@ -1,0 +1,142 @@
+//! Cross-validation of the three evaluation pipelines: exact DP (Theorems
+//! 2.2/2.3), Monte-Carlo estimation (Algorithm 2, Lemmas 3.1–3.4) and the
+//! inverted-index replay (Algorithms 3–5).
+
+use proptest::prelude::*;
+use rwd::core::greedy::approx::{GainEngine, GainRule};
+use rwd::prelude::*;
+use rwd::walks::estimate::{samples_for_f1, samples_for_f2, SampleEstimator};
+use rwd::walks::hitting;
+
+#[test]
+fn estimator_concentrates_within_hoeffding_envelope() {
+    // Lemma 3.3 at (ε, δ) = (0.15, 0.05): the deviation event
+    // |F̂1 − F1| ≥ ε(n−|S|)L may occur with probability ≤ δ. With a fixed
+    // seed this is deterministic; the chosen seed satisfies the bound (and
+    // the estimate is far inside the envelope, as expected on average).
+    let g = rwd::graph::generators::barabasi_albert(400, 4, 3).unwrap();
+    let l = 5;
+    let set = NodeSet::from_nodes(g.n(), [NodeId(0), NodeId(7), NodeId(42)]);
+    let eps = 0.15;
+    let r = samples_for_f1(g.n(), set.len(), eps, 0.05);
+    let est = SampleEstimator::new(l, r, 11).estimate(&g, &set);
+    let exact = hitting::exact_f1(&g, &set, l);
+    let envelope = eps * (g.n() - set.len()) as f64 * l as f64;
+    assert!(
+        (est.f1 - exact).abs() < envelope,
+        "deviation {} exceeds ε(n−|S|)L = {envelope}",
+        (est.f1 - exact).abs()
+    );
+
+    let r2 = samples_for_f2(g.n(), eps, 0.05);
+    let est2 = SampleEstimator::new(l, r2, 13).estimate(&g, &set);
+    let exact2 = hitting::exact_f2(&g, &set, l);
+    assert!((est2.f2 - exact2).abs() < eps * g.n() as f64);
+}
+
+#[test]
+fn estimator_mean_converges_with_r() {
+    // Unbiasedness in practice: error shrinks as R grows (compare R=8 vs
+    // R=2048 against the DP truth on a fixed instance).
+    let g = rwd::graph::generators::barabasi_albert(200, 3, 9).unwrap();
+    let l = 6;
+    let set = NodeSet::from_nodes(g.n(), [NodeId(3), NodeId(50)]);
+    let exact = hitting::exact_f1(&g, &set, l);
+    let err = |r: usize| (SampleEstimator::new(l, r, 5).estimate(&g, &set).f1 - exact).abs();
+    let coarse = err(8);
+    let fine = err(2048);
+    assert!(
+        fine < coarse,
+        "R=2048 error {fine} should beat R=8 error {coarse}"
+    );
+    assert!(
+        fine / exact < 0.02,
+        "relative error at R=2048: {}",
+        fine / exact
+    );
+}
+
+#[test]
+fn index_replay_tracks_dp_hitting_times() {
+    let g = rwd::graph::generators::barabasi_albert(300, 3, 21).unwrap();
+    let l = 5;
+    let idx = WalkIndex::build(&g, l, 600, 17);
+    let set = NodeSet::from_nodes(g.n(), [NodeId(1), NodeId(12), NodeId(200)]);
+    let replayed = idx.estimate_hit_times(&set);
+    let exact = hitting::hitting_time_to_set(&g, &set, l);
+    let mean_abs: f64 = replayed
+        .iter()
+        .zip(&exact)
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+        / g.n() as f64;
+    assert!(mean_abs < 0.1, "mean |index − dp| = {mean_abs}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The incremental D-table (Algorithm 5) must equal a from-scratch
+    /// replay of the same index for ANY insertion sequence — exact
+    /// equality, because both consume identical materialized walks.
+    #[test]
+    fn gain_engine_equals_batch_replay(picks in proptest::collection::vec(0u32..30, 1..6)) {
+        let g = rwd::graph::generators::barabasi_albert(30, 2, 4).unwrap();
+        let idx = WalkIndex::build(&g, 4, 12, 99);
+        let mut engine = GainEngine::new(&idx, GainRule::HittingTime);
+        let mut engine2 = GainEngine::new(&idx, GainRule::Coverage);
+        for &p in &picks {
+            let u = NodeId(p);
+            if engine.selected().contains(u) {
+                continue;
+            }
+            engine.update(u);
+            engine2.update(u);
+            prop_assert_eq!(engine.hit_times(), idx.estimate_hit_times(engine.selected()));
+            prop_assert_eq!(engine2.hit_probs(), idx.estimate_hit_probs(engine2.selected()));
+        }
+    }
+
+    /// Algorithm 4's gain must equal the objective difference computed by
+    /// two independent engines — for every candidate, every rule.
+    #[test]
+    fn gain_is_exact_marginal_of_indexed_objective(seed in 0u64..50) {
+        let g = rwd::graph::generators::erdos_renyi_gnm(25, 60, seed).unwrap();
+        let idx = WalkIndex::build(&g, 3, 8, seed);
+        for rule in [GainRule::HittingTime, GainRule::Coverage] {
+            let mut base_engine = GainEngine::new(&idx, rule);
+            base_engine.update(NodeId((seed % 25) as u32));
+            let base = match rule {
+                GainRule::HittingTime => base_engine.est_f1(),
+                _ => base_engine.est_f2(),
+            };
+            for u in 0..25u32 {
+                let u = NodeId(u);
+                if base_engine.selected().contains(u) {
+                    continue;
+                }
+                let predicted = base_engine.gain_single(u);
+                let mut probe = GainEngine::new(&idx, rule);
+                probe.update(NodeId((seed % 25) as u32));
+                probe.update(u);
+                let actual = match rule {
+                    GainRule::HittingTime => probe.est_f1(),
+                    _ => probe.est_f2(),
+                } - base;
+                prop_assert!((predicted - actual).abs() < 1e-9,
+                    "rule {:?} u {}: {} vs {}", rule, u, predicted, actual);
+            }
+        }
+    }
+}
+
+#[test]
+fn sample_sizes_match_lemma_formulas() {
+    // Spot-check the closed forms of Lemmas 3.3/3.4.
+    let r = samples_for_f1(1000, 30, 0.1, 0.05);
+    let expected = ((970.0f64 / 0.05).ln() / 0.02).ceil() as usize;
+    assert_eq!(r, expected);
+    let r = samples_for_f2(1000, 0.1, 0.05);
+    let expected = ((1000.0f64 / 0.05).ln() / 0.02).ceil() as usize;
+    assert_eq!(r, expected);
+}

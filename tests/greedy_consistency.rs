@@ -1,0 +1,282 @@
+//! Cross-solver consistency: the approximate greedy must track the exact
+//! greedy (the paper's Figs. 2–3 claim), beat the baselines (Figs. 6–7),
+//! and be invariant to evaluation strategy and thread count.
+
+use rwd::core::baselines;
+use rwd::core::metrics;
+use rwd::prelude::*;
+use rwd::walks::hitting;
+
+fn ba_graph() -> CsrGraph {
+    rwd::graph::generators::barabasi_albert(400, 5, 2024).unwrap()
+}
+
+#[test]
+fn approx_matches_dp_objective_within_percent() {
+    let g = ba_graph();
+    let l = 5;
+    let k = 15;
+    for problem in [Problem::MinHittingTime, Problem::MaxCoverage] {
+        let dp = DpGreedy::new(
+            problem,
+            Params {
+                k,
+                l,
+                r: 1,
+                seed: 5,
+                ..Params::default()
+            },
+        )
+        .run(&g)
+        .unwrap();
+        let ap = ApproxGreedy::new(
+            problem,
+            Params {
+                k,
+                l,
+                r: 200,
+                seed: 5,
+                ..Params::default()
+            },
+        )
+        .run(&g)
+        .unwrap();
+        let exact = |sel: &Selection| match problem {
+            Problem::MinHittingTime => hitting::exact_f1(&g, &sel.to_set(g.n()), l),
+            Problem::MaxCoverage => hitting::exact_f2(&g, &sel.to_set(g.n()), l),
+        };
+        let (d, a) = (exact(&dp), exact(&ap));
+        assert!(
+            a >= 0.97 * d,
+            "{problem:?}: approx objective {a} vs dp {d} — Figs. 2–3 shape violated"
+        );
+    }
+}
+
+#[test]
+fn greedy_beats_baselines_on_both_metrics() {
+    let g = ba_graph();
+    let l = 6;
+    let k = 20;
+    let params = Params {
+        k,
+        l,
+        r: 150,
+        seed: 31,
+        ..Params::default()
+    };
+    let ap1 = ApproxGreedy::new(Problem::MinHittingTime, params)
+        .run(&g)
+        .unwrap();
+    let ap2 = ApproxGreedy::new(Problem::MaxCoverage, params)
+        .run(&g)
+        .unwrap();
+    let dominate = baselines::dominate_greedy(&g, k).unwrap();
+    let random = baselines::random_k(&g, k, 7).unwrap();
+
+    let m = |sel: &Selection| metrics::evaluate_exact(&g, &sel.nodes, l);
+    let (m1, m2, md, mr) = (m(&ap1), m(&ap2), m(&dominate), m(&random));
+
+    // Figs. 6–7: greedy variants beat Dominate and Random on both metrics.
+    assert!(
+        m1.aht <= md.aht + 1e-9,
+        "ApproxF1 AHT {} vs Dominate {}",
+        m1.aht,
+        md.aht
+    );
+    assert!(
+        m2.ehn >= md.ehn - 1e-9,
+        "ApproxF2 EHN {} vs Dominate {}",
+        m2.ehn,
+        md.ehn
+    );
+    assert!(m1.aht < mr.aht, "greedy must crush random on AHT");
+    assert!(m2.ehn > mr.ehn, "greedy must crush random on EHN");
+
+    // Each problem's specialist wins (or ties) its own metric.
+    assert!(m1.aht <= m2.aht + 0.05, "ApproxF1 optimizes AHT");
+    assert!(m2.ehn >= m1.ehn - 2.0, "ApproxF2 optimizes EHN");
+}
+
+#[test]
+fn k_monotonicity_of_metrics() {
+    // Fig. 6/7 shape: AHT decreases and EHN increases as k grows.
+    let g = ba_graph();
+    let l = 6;
+    let idx = WalkIndex::build(&g, l, 100, 77);
+    let mut last_aht = f64::INFINITY;
+    let mut last_ehn = 0.0;
+    for k in [5usize, 20, 60] {
+        let sel = ApproxGreedy::new(
+            Problem::MaxCoverage,
+            Params {
+                k,
+                l,
+                r: 100,
+                seed: 77,
+                ..Params::default()
+            },
+        )
+        .run_with_index(&idx)
+        .unwrap();
+        let m = metrics::evaluate_exact(&g, &sel.nodes, l);
+        assert!(m.aht < last_aht, "AHT must fall with k");
+        assert!(m.ehn > last_ehn, "EHN must rise with k");
+        last_aht = m.aht;
+        last_ehn = m.ehn;
+    }
+}
+
+#[test]
+fn l_monotonicity_of_metrics() {
+    // Fig. 10 shape: both AHT and EHN increase with L for a fixed selection
+    // strategy.
+    let g = ba_graph();
+    let k = 10;
+    let mut last_aht = 0.0;
+    let mut last_ehn = 0.0;
+    for l in [2u32, 4, 6, 8] {
+        let sel = ApproxGreedy::new(
+            Problem::MaxCoverage,
+            Params {
+                k,
+                l,
+                r: 100,
+                seed: 3,
+                ..Params::default()
+            },
+        )
+        .run(&g)
+        .unwrap();
+        let m = metrics::evaluate_exact(&g, &sel.nodes, l);
+        assert!(
+            m.aht >= last_aht - 1e-9,
+            "AHT rises with L (hitting times truncate at L)"
+        );
+        assert!(
+            m.ehn >= last_ehn - 1e-9,
+            "EHN rises with L (longer walks hit more)"
+        );
+        last_aht = m.aht;
+        last_ehn = m.ehn;
+    }
+}
+
+#[test]
+fn greedy_objective_is_near_optimal_on_tiny_graph() {
+    // Brute-force optimality check: on an 8-node graph, greedy F2 with
+    // k = 2 must achieve ≥ (1 − 1/e) of the best pair (it actually achieves
+    // the optimum here).
+    let g = rwd::graph::generators::paper_example::figure1();
+    let l = 4;
+    let sel = DpGreedy::new(
+        Problem::MaxCoverage,
+        Params {
+            k: 2,
+            l,
+            r: 1,
+            seed: 0,
+            ..Params::default()
+        },
+    )
+    .run(&g)
+    .unwrap();
+    let greedy_val = hitting::exact_f2(&g, &sel.to_set(8), l);
+
+    let mut best = 0.0f64;
+    for a in 0..8u32 {
+        for b in (a + 1)..8 {
+            let s = NodeSet::from_nodes(8, [NodeId(a), NodeId(b)]);
+            best = best.max(hitting::exact_f2(&g, &s, l));
+        }
+    }
+    assert!(
+        greedy_val >= (1.0 - 1.0 / std::f64::consts::E) * best - 1e-9,
+        "guarantee violated: greedy {greedy_val} vs optimum {best}"
+    );
+    assert!(
+        greedy_val >= 0.99 * best,
+        "greedy is optimal on this instance"
+    );
+}
+
+#[test]
+fn all_solvers_agree_on_obvious_instance() {
+    // Star graph: every solver and both problems must pick the hub first.
+    let g = rwd::graph::generators::classic::star(30).unwrap();
+    let params = Params {
+        k: 1,
+        l: 3,
+        r: 100,
+        seed: 1,
+        ..Params::default()
+    };
+    for problem in [Problem::MinHittingTime, Problem::MaxCoverage] {
+        let dp = DpGreedy::new(problem, params).run(&g).unwrap();
+        let sg = SamplingGreedy::new(problem, params).run(&g).unwrap();
+        let ap = ApproxGreedy::new(problem, params).run(&g).unwrap();
+        assert_eq!(dp.nodes, vec![NodeId(0)]);
+        assert_eq!(sg.nodes, vec![NodeId(0)]);
+        assert_eq!(ap.nodes, vec![NodeId(0)]);
+    }
+}
+
+#[test]
+fn selections_invariant_to_threads_and_lazy() {
+    let g = ba_graph();
+    let base = Params {
+        k: 12,
+        l: 5,
+        r: 64,
+        seed: 9,
+        threads: 1,
+        lazy: false,
+    };
+    let reference = ApproxGreedy::new(Problem::MinHittingTime, base)
+        .run(&g)
+        .unwrap();
+    for threads in [0usize, 2, 8] {
+        for lazy in [false, true] {
+            let p = Params {
+                threads,
+                lazy,
+                ..base
+            };
+            let sel = ApproxGreedy::new(Problem::MinHittingTime, p)
+                .run(&g)
+                .unwrap();
+            assert_eq!(
+                sel.nodes, reference.nodes,
+                "threads={threads} lazy={lazy} changed the selection"
+            );
+        }
+    }
+}
+
+#[test]
+fn gain_traces_decrease_monotonically() {
+    // Submodularity forces non-increasing greedy gains in every solver.
+    let g = ba_graph();
+    let params = Params {
+        k: 10,
+        l: 5,
+        r: 100,
+        seed: 13,
+        ..Params::default()
+    };
+    for problem in [Problem::MinHittingTime, Problem::MaxCoverage] {
+        for sel in [
+            DpGreedy::new(problem, params).run(&g).unwrap(),
+            ApproxGreedy::new(problem, params).run(&g).unwrap(),
+        ] {
+            for w in sel.gain_trace.windows(2) {
+                assert!(
+                    w[0] >= w[1] - 1e-6,
+                    "{}: gains rose: {:?}",
+                    sel.algorithm,
+                    sel.gain_trace
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based verification of the paper's Theorems 2.1, 3.1 and 3.2 on
+//! random small graphs: hitting-time bounds, DP-vs-enumeration agreement,
+//! monotonicity and submodularity of `F1`/`F2`.
+
+use proptest::prelude::*;
+use rwd::prelude::*;
+use rwd::walks::{enumerate, hitting};
+
+/// Strategy: a random connected-ish simple graph with 3..=7 nodes plus a
+/// random target set and walk bound.
+fn small_instance() -> impl Strategy<Value = (CsrGraph, Vec<u32>, u32)> {
+    (3usize..=7)
+        .prop_flat_map(|n| {
+            let max_edges = n * (n - 1) / 2;
+            (
+                Just(n),
+                proptest::collection::vec((0..n as u32, 0..n as u32), 1..=max_edges),
+                proptest::collection::vec(0..n as u32, 1..=2),
+                1u32..=4,
+            )
+        })
+        .prop_map(|(n, edges, set, l)| {
+            let g = CsrGraph::from_edges(n, &edges).expect("valid edges");
+            (g, set, l)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lemma 2.1: 0 ≤ h^L_uS ≤ L; probabilities in [0, 1].
+    #[test]
+    fn hitting_values_are_bounded((g, set, l) in small_instance()) {
+        let s = NodeSet::from_nodes(g.n(), set.iter().map(|&u| NodeId(u)));
+        let h = hitting::hitting_time_to_set(&g, &s, l);
+        let p = hitting::hit_probability_to_set(&g, &s, l);
+        for u in 0..g.n() {
+            prop_assert!((0.0..=l as f64 + 1e-12).contains(&h[u]), "h[{u}] = {}", h[u]);
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&p[u]), "p[{u}] = {}", p[u]);
+        }
+    }
+
+    /// Theorems 2.2/2.3: the DP recursions equal brute-force enumeration
+    /// over every realizable walk.
+    #[test]
+    fn dp_matches_enumeration((g, set, l) in small_instance()) {
+        let s = NodeSet::from_nodes(g.n(), set.iter().map(|&u| NodeId(u)));
+        let h = hitting::hitting_time_to_set(&g, &s, l);
+        let p = hitting::hit_probability_to_set(&g, &s, l);
+        for u in g.nodes() {
+            let he = enumerate::hit_expectation(&g, u, &s, l);
+            let pe = enumerate::hit_probability(&g, u, &s, l);
+            prop_assert!((h[u.index()] - he).abs() < 1e-9, "h mismatch at {u}: dp {} enum {he}", h[u.index()]);
+            prop_assert!((p[u.index()] - pe).abs() < 1e-9, "p mismatch at {u}");
+        }
+    }
+
+    /// Theorem 3.1/3.2 groundwork: growing the target set can only help —
+    /// h is non-increasing and p non-decreasing under set inclusion.
+    #[test]
+    fn set_inclusion_monotonicity((g, set, l) in small_instance(), extra in 0u32..7) {
+        let n = g.n();
+        let extra = extra % n as u32;
+        let s = NodeSet::from_nodes(n, set.iter().map(|&u| NodeId(u)));
+        let mut t = s.clone();
+        t.insert(NodeId(extra));
+        let hs = hitting::hitting_time_to_set(&g, &s, l);
+        let ht = hitting::hitting_time_to_set(&g, &t, l);
+        let ps = hitting::hit_probability_to_set(&g, &s, l);
+        let pt = hitting::hit_probability_to_set(&g, &t, l);
+        for u in 0..n {
+            prop_assert!(ht[u] <= hs[u] + 1e-12);
+            prop_assert!(pt[u] >= ps[u] - 1e-12);
+        }
+    }
+
+    /// Theorems 3.1/3.2 in full: F1 and F2 are monotone nondecreasing and
+    /// submodular, with F(∅) = 0.
+    #[test]
+    fn f1_f2_monotone_submodular((g, set, l) in small_instance(), j in 0u32..7, x in 0u32..7) {
+        let n = g.n();
+        let j = NodeId(j % n as u32);
+        let x = NodeId(x % n as u32);
+        let s = NodeSet::from_nodes(n, set.iter().map(|&u| NodeId(u)));
+        let mut t = s.clone();
+        t.insert(x);
+        prop_assume!(!t.contains(j));
+
+        let empty = NodeSet::new(n);
+        prop_assert!(hitting::exact_f1(&g, &empty, l).abs() < 1e-12);
+        prop_assert!(hitting::exact_f2(&g, &empty, l).abs() < 1e-12);
+
+        for f in [hitting::exact_f1, hitting::exact_f2] {
+            let fs = f(&g, &s, l);
+            let ft = f(&g, &t, l);
+            prop_assert!(ft >= fs - 1e-9, "monotone: F(T) {ft} < F(S) {fs}");
+
+            let mut sj = s.clone();
+            sj.insert(j);
+            let mut tj = t.clone();
+            tj.insert(j);
+            let gain_s = f(&g, &sj, l) - fs;
+            let gain_t = f(&g, &tj, l) - ft;
+            prop_assert!(gain_s >= gain_t - 1e-9, "submodular: σ_j(S) {gain_s} < σ_j(T) {gain_t}");
+            prop_assert!(gain_t >= -1e-9, "gains never negative");
+        }
+    }
+
+    /// The L-truncation nests: quantities are monotone in L as well.
+    #[test]
+    fn monotone_in_l((g, set, _l) in small_instance()) {
+        let s = NodeSet::from_nodes(g.n(), set.iter().map(|&u| NodeId(u)));
+        let mut prev_p = vec![0.0; g.n()];
+        let mut prev_h = vec![0.0; g.n()];
+        for l in 0..=5 {
+            let h = hitting::hitting_time_to_set(&g, &s, l);
+            let p = hitting::hit_probability_to_set(&g, &s, l);
+            for u in 0..g.n() {
+                prop_assert!(h[u] >= prev_h[u] - 1e-12);
+                prop_assert!(p[u] >= prev_p[u] - 1e-12);
+            }
+            prev_h = h;
+            prev_p = p;
+        }
+    }
+}
