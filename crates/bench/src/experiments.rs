@@ -448,6 +448,32 @@ pub fn fig9(opts: Options) {
     save(&t, "fig9");
 }
 
+/// Fig. 10: effect of L on AHT and EHN (CAGrQc and CAHepPh, k = 60).
+pub fn fig10(opts: Options) {
+    let k = 60;
+    println!("== Fig 10: effect of L (k = {k}, R = 100) ==\n");
+    let mut t = Table::new([
+        "dataset", "L", "metric", "Degree", "Dominate", "ApproxF1", "ApproxF2",
+    ]);
+    for d in [Dataset::CaGrQc, Dataset::CaHepPh] {
+        let g = dataset_graph(d, opts);
+        for l in [2u32, 4, 6, 8, 10] {
+            let sels = four_algorithms(&g, k, l);
+            let ms: Vec<metrics::Metrics> = sels.iter().map(|s| eval(&g, &s.nodes, l)).collect();
+            let mut aht_row = vec![d.spec().name.to_string(), l.to_string(), "AHT".into()];
+            let mut ehn_row = vec![d.spec().name.to_string(), l.to_string(), "EHN".into()];
+            for m in &ms {
+                aht_row.push(fmt_f(m.aht, 4));
+                ehn_row.push(fmt_f(m.ehn, 1));
+            }
+            t.row(aht_row);
+            t.row(ehn_row);
+        }
+    }
+    println!("{}", t.render());
+    save(&t, "fig10");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -483,30 +509,4 @@ mod tests {
             assert_eq!(sel.nodes.len(), 5);
         }
     }
-}
-
-/// Fig. 10: effect of L on AHT and EHN (CAGrQc and CAHepPh, k = 60).
-pub fn fig10(opts: Options) {
-    let k = 60;
-    println!("== Fig 10: effect of L (k = {k}, R = 100) ==\n");
-    let mut t = Table::new([
-        "dataset", "L", "metric", "Degree", "Dominate", "ApproxF1", "ApproxF2",
-    ]);
-    for d in [Dataset::CaGrQc, Dataset::CaHepPh] {
-        let g = dataset_graph(d, opts);
-        for l in [2u32, 4, 6, 8, 10] {
-            let sels = four_algorithms(&g, k, l);
-            let ms: Vec<metrics::Metrics> = sels.iter().map(|s| eval(&g, &s.nodes, l)).collect();
-            let mut aht_row = vec![d.spec().name.to_string(), l.to_string(), "AHT".into()];
-            let mut ehn_row = vec![d.spec().name.to_string(), l.to_string(), "EHN".into()];
-            for m in &ms {
-                aht_row.push(fmt_f(m.aht, 4));
-                ehn_row.push(fmt_f(m.ehn, 1));
-            }
-            t.row(aht_row);
-            t.row(ehn_row);
-        }
-    }
-    println!("{}", t.render());
-    save(&t, "fig10");
 }

@@ -187,11 +187,14 @@ impl<'a> GainEngine<'a> {
         let chunk = self.r.div_ceil(workers);
         let layer_range: Vec<usize> = (0..self.r).collect();
         let mut partials: Vec<(Vec<f64>, Vec<f64>)> = Vec::with_capacity(workers);
-        crossbeam::thread::scope(|scope| {
+        // Scoped fan-out over layer chunks; the reduction below sums the
+        // per-worker partials in chunk order, so gains are identical for any
+        // worker count.
+        std::thread::scope(|scope| {
             let handles: Vec<_> = layer_range
                 .chunks(chunk)
                 .map(|layers| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut g1 = if self.rule.needs_f1() {
                             vec![0.0f64; self.n]
                         } else {
@@ -212,8 +215,7 @@ impl<'a> GainEngine<'a> {
             for h in handles {
                 partials.push(h.join().expect("gain worker panicked"));
             }
-        })
-        .expect("gain sweep panicked");
+        });
 
         let mut g1 = vec![0.0f64; if self.rule.needs_f1() { self.n } else { 0 }];
         let mut g2 = vec![0.0f64; if self.rule.needs_f2() { self.n } else { 0 }];

@@ -145,7 +145,7 @@ mod tests {
 
     #[test]
     fn formatting_helpers() {
-        assert_eq!(fmt_f(2.71828, 2), "2.72");
+        assert_eq!(fmt_f(2.71875, 2), "2.72");
         assert_eq!(fmt_secs(std::time::Duration::from_millis(1500)), "1.500");
     }
 }

@@ -1,0 +1,302 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no registry access, so this shim implements the
+//! subset of the Criterion API the workspace's benches use — `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Throughput`, `black_box` and the
+//! `criterion_group!` / `criterion_main!` macros — over a small
+//! warmup-then-measure timing loop. It reports mean/min wall-clock per
+//! iteration (and element throughput when configured) instead of Criterion's
+//! full statistical analysis, which keeps `cargo bench` useful for relative
+//! comparisons while staying dependency-free.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Minimum wall-clock time one measured sample should take.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(20);
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Registers and runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.sample_size, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let name = format!("{}/{}", self.name, id.0);
+        run_benchmark(&name, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let id = id.into();
+        let name = format!("{}/{}", self.name, id.0);
+        run_benchmark(&name, self.sample_size, self.throughput, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finishes the group (report flushing is a no-op here).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A `function/parameter` id.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Per-iteration throughput declaration.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    iters_per_sample: u64,
+    sample_size: usize,
+    samples: Vec<Duration>,
+    calibrated: bool,
+}
+
+impl Bencher {
+    /// Measures `routine`, discarding its output via [`black_box`].
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if !self.calibrated {
+            // Calibrate: grow the per-sample iteration count until one
+            // sample takes long enough to time reliably.
+            let mut iters = 1u64;
+            loop {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                let elapsed = start.elapsed();
+                if elapsed >= TARGET_SAMPLE_TIME || iters >= 1 << 20 {
+                    self.iters_per_sample = iters;
+                    break;
+                }
+                iters = (iters * 2).max(1);
+            }
+            self.calibrated = true;
+        }
+        // Sized so that a closure calling `iter` twice (legal in real
+        // Criterion) only ever contributes `sample_size` measurements total.
+        let samples = self.sample_size.saturating_sub(self.samples.len());
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    let mut bencher = Bencher {
+        iters_per_sample: 1,
+        sample_size,
+        samples: Vec::with_capacity(sample_size),
+        calibrated: false,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{name:<48} (no measurement — b.iter never called)");
+        return;
+    }
+    let iters = bencher.iters_per_sample.max(1);
+    let per_iter = |d: &Duration| d.as_secs_f64() / iters as f64;
+    let mean = bencher.samples.iter().map(per_iter).sum::<f64>() / bencher.samples.len() as f64;
+    let min = bencher
+        .samples
+        .iter()
+        .map(per_iter)
+        .fold(f64::INFINITY, f64::min);
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12} elem/s", human_count(n as f64 / mean))
+        }
+        Some(Throughput::Bytes(n)) => format!("  {:>12}B/s", human_count(n as f64 / mean)),
+        None => String::new(),
+    };
+    println!(
+        "{name:<48} mean {:>10}  min {:>10}{extra}",
+        human_time(mean),
+        human_time(min)
+    );
+}
+
+fn human_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn human_count(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2}G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.2}K", x / 1e3)
+    } else {
+        format!("{x:.0}")
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, mirroring Criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Expands to `fn main` running the listed groups, mirroring Criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("f", 1), &2u32, |b, &x| b.iter(|| x * 2));
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
+        assert_eq!(BenchmarkId::from_parameter(7).0, "7");
+    }
+}

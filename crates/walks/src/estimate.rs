@@ -115,14 +115,17 @@ impl SampleEstimator {
         let threads = self.effective_threads(n);
         let chunk = n.div_ceil(threads);
         if n > 0 {
-            crossbeam::thread::scope(|scope| {
+            // Scoped fan-out over disjoint node chunks. Each walk draws from
+            // its own (seed, node, walk-index) stream, so the partitioning
+            // never influences the sampled values — only who computes them.
+            std::thread::scope(|scope| {
                 for (ci, (ht, hp)) in hit_time
                     .chunks_mut(chunk)
                     .zip(hit_prob.chunks_mut(chunk))
                     .enumerate()
                 {
                     let base = ci * chunk;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         for (off, (ht_u, hp_u)) in ht.iter_mut().zip(hp.iter_mut()).enumerate() {
                             let u = NodeId::new(base + off);
                             if set.contains(u) {
@@ -137,8 +140,7 @@ impl SampleEstimator {
                         }
                     });
                 }
-            })
-            .expect("estimator worker panicked");
+            });
         }
 
         let miss_time: f64 = hit_time.iter().sum();

@@ -113,17 +113,19 @@ impl WalkIndex {
 
         let mut layers: Vec<Option<Layer>> = (0..r).map(|_| None).collect();
         let chunk = r.div_ceil(workers);
-        crossbeam::thread::scope(|scope| {
+        // Scoped fan-out over layer chunks; every layer derives its walks
+        // from (seed, node, layer) streams, so the chunking is invisible in
+        // the output.
+        std::thread::scope(|scope| {
             for (ci, slot) in layers.chunks_mut(chunk).enumerate() {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (j, out) in slot.iter_mut().enumerate() {
                         let layer_idx = ci * chunk + j;
                         *out = Some(build_layer(g, l, layer_idx, seed));
                     }
                 });
             }
-        })
-        .expect("index worker panicked");
+        });
 
         WalkIndex {
             n,
