@@ -1,0 +1,219 @@
+//! The repo's perf trajectory: one binary, one JSON snapshot per PR.
+//!
+//! Times the sampling→index→greedy hot path end to end —
+//!
+//! * inverted-index build, unweighted and weighted (alias-table walks),
+//!   single-threaded vs all cores (the 2-D build-grid speedup),
+//! * one full `gains_all` sweep (the per-round cost of paper-faithful
+//!   Algorithm 6),
+//! * a complete k=20 CELF lazy greedy from a prebuilt index,
+//!
+//! and writes the measurements as JSON (default `BENCH_2.json`, the
+//! PR-2 snapshot; later PRs add `BENCH_<n>.json` files beside it so the
+//! trajectory stays diffable).
+//!
+//! Usage: `cargo run --release -p rwd-bench --bin perf -- [--scale small|full]
+//! [--out PATH] [--reps N]`. The small scale exists for CI, where the run
+//! must take seconds; numbers are only comparable within one machine.
+
+use std::time::Instant;
+
+use rwd_core::algo::select_from_index;
+use rwd_core::greedy::approx::{GainEngine, GainRule};
+use rwd_graph::generators::barabasi_albert;
+use rwd_graph::weighted::weighted_twin;
+use rwd_walks::WalkIndex;
+
+struct Scale {
+    name: &'static str,
+    n: usize,
+    mdeg: usize,
+    l: u32,
+    r: usize,
+    k: usize,
+}
+
+const FULL: Scale = Scale {
+    name: "full",
+    n: 50_000,
+    mdeg: 8,
+    l: 10,
+    r: 16,
+    k: 20,
+};
+
+const SMALL: Scale = Scale {
+    name: "small",
+    n: 4_000,
+    mdeg: 6,
+    l: 8,
+    r: 16,
+    k: 20,
+};
+
+const GRAPH_SEED: u64 = 0x2013;
+const WALK_SEED: u64 = 7;
+
+/// Best-of-`reps` wall time of `f`, in milliseconds.
+fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let out = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        last = Some(out);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+fn fmt_ms(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+fn main() {
+    let mut scale = FULL;
+    let mut out_path = String::from("BENCH_2.json");
+    let mut reps = 3usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => match args.next().as_deref() {
+                Some("small") => scale = SMALL,
+                Some("full") => scale = FULL,
+                other => {
+                    eprintln!("--scale expects small|full, got {other:?}");
+                    std::process::exit(2);
+                }
+            },
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("--out expects a path");
+                    std::process::exit(2);
+                }
+            },
+            "--reps" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(v)) if v >= 1 => reps = v,
+                other => {
+                    eprintln!("--reps expects a positive integer, got {other:?}");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument {other}; usage: perf [--scale small|full] [--out PATH] [--reps N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |t| t.get());
+    eprintln!(
+        "perf: scale={} n={} mdeg={} l={} r={} k={} reps={} cores={}",
+        scale.name, scale.n, scale.mdeg, scale.l, scale.r, scale.k, reps, cores
+    );
+
+    let g = barabasi_albert(scale.n, scale.mdeg, GRAPH_SEED).expect("valid BA parameters");
+    let wg = weighted_twin(&g, GRAPH_SEED).expect("valid weighted twin");
+
+    // --- index builds: 1 thread vs all cores, unweighted and weighted ----
+    let (uw_1t, idx_1t) = time_ms(reps, || {
+        WalkIndex::build_with_threads(&g, scale.l, scale.r, WALK_SEED, 1)
+    });
+    eprintln!("  unweighted build, 1 thread : {} ms", fmt_ms(uw_1t));
+    let (uw_all, idx) = time_ms(reps, || {
+        WalkIndex::build_with_threads(&g, scale.l, scale.r, WALK_SEED, 0)
+    });
+    eprintln!("  unweighted build, all cores: {} ms", fmt_ms(uw_all));
+    assert_eq!(
+        idx.total_postings(),
+        idx_1t.total_postings(),
+        "thread count changed the index"
+    );
+
+    let (w_1t, widx_1t) = time_ms(reps, || {
+        WalkIndex::build_weighted_with_threads(&wg, scale.l, scale.r, WALK_SEED, 1)
+    });
+    eprintln!("  weighted build,   1 thread : {} ms", fmt_ms(w_1t));
+    let (w_all, widx) = time_ms(reps, || {
+        WalkIndex::build_weighted_with_threads(&wg, scale.l, scale.r, WALK_SEED, 0)
+    });
+    eprintln!("  weighted build,   all cores: {} ms", fmt_ms(w_all));
+    assert_eq!(
+        widx.total_postings(),
+        widx_1t.total_postings(),
+        "thread count changed the weighted index"
+    );
+
+    // --- one paper-faithful gains_all sweep ------------------------------
+    let (sweep_ms, _) = time_ms(reps, || {
+        let engine = GainEngine::new(&idx, GainRule::HittingTime);
+        engine.gains_all()
+    });
+    eprintln!("  gains_all sweep            : {} ms", fmt_ms(sweep_ms));
+
+    // --- full k-selection via CELF on the prebuilt index -----------------
+    let (greedy_ms, sel) = time_ms(reps, || {
+        select_from_index(&idx, GainRule::HittingTime, scale.k, true, 0)
+            .expect("valid selection parameters")
+    });
+    eprintln!(
+        "  lazy greedy (k={})         : {} ms ({} evaluations)",
+        scale.k,
+        fmt_ms(greedy_ms),
+        sel.evaluations
+    );
+
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+
+    let json = format!(
+        r#"{{
+  "schema": "rwd-perf/1",
+  "pr": 2,
+  "unix_secs": {unix_secs},
+  "cores": {cores},
+  "scale": "{scale_name}",
+  "graph": {{ "model": "barabasi_albert", "n": {n}, "m": {m}, "mdeg": {mdeg}, "seed": {gseed} }},
+  "params": {{ "l": {l}, "r": {r}, "k": {k}, "walk_seed": {wseed}, "reps": {reps} }},
+  "index": {{ "total_postings": {postings}, "memory_bytes": {mem} }},
+  "timings_ms": {{
+    "index_build_unweighted_1t": {uw_1t},
+    "index_build_unweighted_all": {uw_all},
+    "index_build_weighted_1t": {w_1t},
+    "index_build_weighted_all": {w_all},
+    "gains_all_sweep": {sweep},
+    "lazy_greedy_full": {greedy}
+  }},
+  "speedups": {{
+    "unweighted_build_all_vs_1t": {uw_speedup},
+    "weighted_build_all_vs_1t": {w_speedup}
+  }},
+  "greedy_evaluations": {evals}
+}}
+"#,
+        scale_name = scale.name,
+        n = g.n(),
+        m = g.m(),
+        mdeg = scale.mdeg,
+        gseed = GRAPH_SEED,
+        l = scale.l,
+        r = scale.r,
+        k = scale.k,
+        wseed = WALK_SEED,
+        postings = idx.total_postings(),
+        mem = idx.memory_bytes(),
+        uw_1t = fmt_ms(uw_1t),
+        uw_all = fmt_ms(uw_all),
+        w_1t = fmt_ms(w_1t),
+        w_all = fmt_ms(w_all),
+        sweep = fmt_ms(sweep_ms),
+        greedy = fmt_ms(greedy_ms),
+        uw_speedup = fmt_ms(uw_1t / uw_all.max(1e-9)),
+        w_speedup = fmt_ms(w_1t / w_all.max(1e-9)),
+        evals = sel.evaluations,
+    );
+    std::fs::write(&out_path, json).expect("write perf snapshot");
+    eprintln!("perf: wrote {out_path}");
+}

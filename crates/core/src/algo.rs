@@ -187,7 +187,8 @@ pub fn approx_greedy_weighted(
         return Err(crate::CoreError::InvalidParams("r must be >= 1".into()));
     }
     let start = Instant::now();
-    let idx = WalkIndex::build_weighted(g, params.l, params.r, params.seed);
+    let idx =
+        WalkIndex::build_weighted_with_threads(g, params.l, params.r, params.seed, params.threads);
     let rule = match problem {
         Problem::MinHittingTime => GainRule::HittingTime,
         Problem::MaxCoverage => GainRule::Coverage,
@@ -310,41 +311,17 @@ fn run_lazy(
     gain_trace: &mut Vec<f64>,
     evaluations: &mut usize,
 ) {
-    use std::cmp::Ordering;
     use std::collections::BinaryHeap;
 
-    #[derive(Clone, Copy)]
-    struct Entry {
-        gain: f64,
-        node: u32,
-        round: usize,
-    }
-    impl PartialEq for Entry {
-        fn eq(&self, other: &Self) -> bool {
-            self.cmp(other) == Ordering::Equal
-        }
-    }
-    impl Eq for Entry {}
-    impl PartialOrd for Entry {
-        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-    impl Ord for Entry {
-        fn cmp(&self, other: &Self) -> Ordering {
-            self.gain
-                .total_cmp(&other.gain)
-                .then_with(|| other.node.cmp(&self.node))
-        }
-    }
+    use crate::greedy::celf::CelfEntry;
 
     let n = engine.selected().capacity();
     let initial = engine.gains_all();
     *evaluations += n;
-    let mut heap: BinaryHeap<Entry> = initial
+    let mut heap: BinaryHeap<CelfEntry> = initial
         .iter()
         .enumerate()
-        .map(|(u, &gain)| Entry {
+        .map(|(u, &gain)| CelfEntry {
             gain,
             node: u as u32,
             round: 0,
@@ -365,7 +342,7 @@ fn run_lazy(
             }
             let gain = engine.gain_single(NodeId(top.node));
             *evaluations += 1;
-            heap.push(Entry {
+            heap.push(CelfEntry {
                 gain,
                 node: top.node,
                 round,

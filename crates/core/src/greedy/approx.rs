@@ -45,6 +45,10 @@ impl GainRule {
     }
 }
 
+/// Below this many touched postings, [`GainEngine::update`] runs serially —
+/// thread spawn/join costs more than the whole refresh.
+const MIN_PARALLEL_UPDATE_WORK: usize = 1 << 15;
+
 /// Incremental marginal-gain evaluation over a [`WalkIndex`].
 pub struct GainEngine<'a> {
     idx: &'a WalkIndex,
@@ -156,21 +160,23 @@ impl<'a> GainEngine<'a> {
     pub fn gain_single(&self, u: NodeId) -> f64 {
         let (mut g1, mut g2) = (0.0f64, 0.0f64);
         for i in 0..self.r {
+            let pr = self.idx.postings(i, u);
             if self.rule.needs_f1() {
                 let d = &self.d1[i * self.n..(i + 1) * self.n];
                 g1 += d[u.index()] as f64;
-                for p in self.idx.postings(i, u) {
-                    let dv = d[p.id.index()];
-                    if p.weight < dv {
-                        g1 += (dv - p.weight) as f64;
+                for (&id, &w) in pr.ids().iter().zip(pr.weights()) {
+                    let dv = d[id as usize];
+                    if (w as u32) < dv {
+                        g1 += (dv - w as u32) as f64;
                     }
                 }
             }
             if self.rule.needs_f2() {
                 let d = &self.d2[i * self.n..(i + 1) * self.n];
                 g2 += (1 - d[u.index()]) as f64;
-                for p in self.idx.postings(i, u) {
-                    if d[p.id.index()] == 0 {
+                // Coverage ignores hop weights — stream only the id column.
+                for &id in pr.ids() {
+                    if d[id as usize] == 0 {
                         g2 += 1.0;
                     }
                 }
@@ -244,10 +250,11 @@ impl<'a> GainEngine<'a> {
             let d = &self.d1[i * self.n..(i + 1) * self.n];
             for u in 0..self.n {
                 g1[u] += d[u] as f64;
-                for p in self.idx.postings(i, NodeId::new(u)) {
-                    let dv = d[p.id.index()];
-                    if p.weight < dv {
-                        g1[u] += (dv - p.weight) as f64;
+                let pr = self.idx.postings(i, NodeId::new(u));
+                for (&id, &w) in pr.ids().iter().zip(pr.weights()) {
+                    let dv = d[id as usize];
+                    if (w as u32) < dv {
+                        g1[u] += (dv - w as u32) as f64;
                     }
                 }
             }
@@ -256,8 +263,8 @@ impl<'a> GainEngine<'a> {
             let d = &self.d2[i * self.n..(i + 1) * self.n];
             for u in 0..self.n {
                 g2[u] += (1 - d[u]) as f64;
-                for p in self.idx.postings(i, NodeId::new(u)) {
-                    if d[p.id.index()] == 0 {
+                for &id in self.idx.postings(i, NodeId::new(u)).ids() {
+                    if d[id as usize] == 0 {
                         g2[u] += 1.0;
                     }
                 }
@@ -265,36 +272,111 @@ impl<'a> GainEngine<'a> {
         }
     }
 
-    /// Algorithm 5: commits `u` to the target set and refreshes `D`.
+    /// Applies layer `i`'s Algorithm-5 refresh for the new member `u` to the
+    /// layer-local `D` slices, returning `(Σ D1 decrease, Σ D2 increase)`.
+    fn update_layer(
+        idx: &WalkIndex,
+        u: NodeId,
+        i: usize,
+        d1: Option<&mut [u32]>,
+        d2: Option<&mut [u8]>,
+    ) -> (u64, u64) {
+        let (mut dec1, mut inc2) = (0u64, 0u64);
+        let pr = idx.postings(i, u);
+        if let Some(d) = d1 {
+            dec1 += d[u.index()] as u64;
+            d[u.index()] = 0;
+            for (&id, &w) in pr.ids().iter().zip(pr.weights()) {
+                let slot = &mut d[id as usize];
+                if (w as u32) < *slot {
+                    dec1 += (*slot - w as u32) as u64;
+                    *slot = w as u32;
+                }
+            }
+        }
+        if let Some(d) = d2 {
+            if d[u.index()] == 0 {
+                d[u.index()] = 1;
+                inc2 += 1;
+            }
+            for &id in pr.ids() {
+                let slot = &mut d[id as usize];
+                if *slot == 0 {
+                    *slot = 1;
+                    inc2 += 1;
+                }
+            }
+        }
+        (dec1, inc2)
+    }
+
+    /// Algorithm 5: commits `u` to the target set and refreshes `D`,
+    /// parallel over walk layers. Each layer owns a disjoint slice of the
+    /// `D` tables; the per-layer `Σ D1`/`Σ D2` deltas are exact integer
+    /// sums, reduced in layer order, so totals are bit-identical at any
+    /// worker count.
     pub fn update(&mut self, u: NodeId) {
         assert!(self.selected.insert(u), "node {u} selected twice");
-        for i in 0..self.r {
-            if self.rule.needs_f1() {
-                let d = &mut self.d1[i * self.n..(i + 1) * self.n];
-                self.d1_total -= d[u.index()] as u64;
-                d[u.index()] = 0;
-                for p in self.idx.postings(i, u) {
-                    let slot = &mut d[p.id.index()];
-                    if p.weight < *slot {
-                        self.d1_total -= (*slot - p.weight) as u64;
-                        *slot = p.weight;
-                    }
-                }
+        // An update touches only u's inverted lists — often a few hundred
+        // entries. Fan out only when the postings work dwarfs thread
+        // spawn/join cost; below the threshold the serial path is faster at
+        // any requested worker count, and both paths are bit-identical.
+        let work: usize = (0..self.r).map(|i| self.idx.postings(i, u).len()).sum();
+        let workers = if work < MIN_PARALLEL_UPDATE_WORK {
+            1
+        } else {
+            self.effective_threads()
+        };
+        let (n, idx) = (self.n, self.idx);
+
+        if workers == 1 {
+            let mut it1 = self.d1.chunks_mut(n);
+            let mut it2 = self.d2.chunks_mut(n);
+            for i in 0..self.r {
+                let (dec1, inc2) = Self::update_layer(idx, u, i, it1.next(), it2.next());
+                self.d1_total -= dec1;
+                self.d2_total += inc2;
             }
-            if self.rule.needs_f2() {
-                let d = &mut self.d2[i * self.n..(i + 1) * self.n];
-                if d[u.index()] == 0 {
-                    d[u.index()] = 1;
-                    self.d2_total += 1;
-                }
-                for p in self.idx.postings(i, u) {
-                    let slot = &mut d[p.id.index()];
-                    if *slot == 0 {
-                        *slot = 1;
-                        self.d2_total += 1;
-                    }
-                }
+            return;
+        }
+
+        /// One layer's update job: its index and its disjoint `D` slices.
+        type LayerJob<'s> = (usize, Option<&'s mut [u32]>, Option<&'s mut [u8]>);
+
+        let mut it1 = self.d1.chunks_mut(n);
+        let mut it2 = self.d2.chunks_mut(n);
+        let mut per_layer: Vec<LayerJob<'_>> =
+            (0..self.r).map(|i| (i, it1.next(), it2.next())).collect();
+        let chunk = self.r.div_ceil(workers);
+        let mut partials: Vec<(u64, u64)> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = per_layer
+                .chunks_mut(chunk)
+                .map(|group| {
+                    scope.spawn(move || {
+                        let (mut dec1, mut inc2) = (0u64, 0u64);
+                        for (i, d1, d2) in group.iter_mut() {
+                            let (a, b) = Self::update_layer(
+                                idx,
+                                u,
+                                *i,
+                                d1.as_deref_mut(),
+                                d2.as_deref_mut(),
+                            );
+                            dec1 += a;
+                            inc2 += b;
+                        }
+                        (dec1, inc2)
+                    })
+                })
+                .collect();
+            for h in handles {
+                partials.push(h.join().expect("update worker panicked"));
             }
+        });
+        for (dec1, inc2) in partials {
+            self.d1_total -= dec1;
+            self.d2_total += inc2;
         }
     }
 
@@ -310,12 +392,7 @@ impl<'a> GainEngine<'a> {
     }
 
     fn effective_threads(&self) -> usize {
-        let hw = if self.threads > 0 {
-            self.threads
-        } else {
-            std::thread::available_parallelism().map_or(1, |t| t.get())
-        };
-        hw.max(1).min(self.r)
+        rwd_walks::parallel::resolve_threads(self.threads).min(self.r)
     }
 }
 
@@ -484,6 +561,40 @@ mod tests {
         assert_eq!(engine.est_f2(), 0.0);
         engine.update(NodeId(1)); // v2: hit by v1, v3, v5 plus itself
         assert_eq!(engine.est_f2(), 4.0);
+    }
+
+    #[test]
+    fn parallel_update_path_is_thread_invariant_above_threshold() {
+        // A star hub's inverted lists hold ~every leaf in every layer, so
+        // r = 32 layers on a 2000-node star puts update(hub) well past
+        // MIN_PARALLEL_UPDATE_WORK — the multi-worker branch must produce
+        // bit-identical tables and totals at any worker count.
+        let g = rwd_graph::generators::classic::star(2_000).unwrap();
+        let idx = WalkIndex::build(&g, 3, 32, 17);
+        let hub = NodeId(0);
+        let work: usize = (0..idx.r()).map(|i| idx.postings(i, hub).len()).sum();
+        assert!(
+            work >= super::MIN_PARALLEL_UPDATE_WORK,
+            "fixture must cross the parallel threshold (work = {work})"
+        );
+        for rule in [GainRule::HittingTime, GainRule::Coverage] {
+            let mut serial = GainEngine::with_threads(&idx, rule, 1);
+            serial.update(hub);
+            for threads in [2, 8] {
+                let mut engine = GainEngine::with_threads(&idx, rule, threads);
+                engine.update(hub);
+                match rule {
+                    GainRule::HittingTime => {
+                        assert_eq!(engine.est_f1().to_bits(), serial.est_f1().to_bits());
+                        assert_eq!(engine.hit_times(), serial.hit_times());
+                    }
+                    _ => {
+                        assert_eq!(engine.est_f2().to_bits(), serial.est_f2().to_bits());
+                        assert_eq!(engine.hit_probs(), serial.hit_probs());
+                    }
+                }
+            }
+        }
     }
 
     #[test]

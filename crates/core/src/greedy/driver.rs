@@ -8,12 +8,12 @@
 //! selections for deterministic objectives (asserted in tests) because ties
 //! break identically (smaller node id wins).
 
-use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use rwd_graph::NodeId;
 use rwd_walks::NodeSet;
 
+use crate::greedy::celf::CelfEntry;
 use crate::objective::Objective;
 
 /// Result of a greedy run (solver-agnostic part of
@@ -77,35 +77,8 @@ pub fn greedy_plain(obj: &impl Objective, k: usize) -> GreedyOutcome {
     out
 }
 
-/// Heap entry for CELF. Ordered by gain descending, then node id ascending,
-/// so ties resolve exactly like the plain scan.
-#[derive(Clone, Copy, Debug)]
-struct Entry {
-    gain: f64,
-    node: u32,
-    round: usize,
-}
-
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-impl Eq for Entry {}
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.gain
-            .total_cmp(&other.gain)
-            .then_with(|| other.node.cmp(&self.node))
-    }
-}
-
 /// CELF lazy greedy: re-evaluates only heap tops whose cached gain is stale.
+/// Heap ordering comes from the shared [`CelfEntry`].
 pub fn greedy_lazy(obj: &impl Objective, k: usize) -> GreedyOutcome {
     let n = obj.universe();
     assert!(k <= n, "budget exceeds universe");
@@ -123,7 +96,7 @@ pub fn greedy_lazy(obj: &impl Objective, k: usize) -> GreedyOutcome {
         let u_id = NodeId::new(u);
         let gain = obj.gain(&set, u_id, base);
         out.evaluations += 1;
-        heap.push(Entry {
+        heap.push(CelfEntry {
             gain,
             node: u as u32,
             round: 0,
@@ -144,7 +117,7 @@ pub fn greedy_lazy(obj: &impl Objective, k: usize) -> GreedyOutcome {
             }
             let gain = obj.gain(&set, NodeId(top.node), base);
             out.evaluations += 1;
-            heap.push(Entry {
+            heap.push(CelfEntry {
                 gain,
                 node: top.node,
                 round,

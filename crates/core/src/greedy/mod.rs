@@ -4,10 +4,13 @@
 //!   [`crate::objective::Objective`], in plain (full rescan) and lazy (CELF,
 //!   the `[19]` acceleration the paper recommends) forms,
 //! * [`approx`] — the Algorithm 4/5 gain engine over the inverted walk
-//!   index, powering the approximate greedy of Algorithm 6.
+//!   index, powering the approximate greedy of Algorithm 6,
+//! * [`celf`] — the CELF heap entry shared by both lazy drivers.
 
 pub mod approx;
+pub mod celf;
 pub mod driver;
 
 pub use approx::{GainEngine, GainRule};
+pub use celf::CelfEntry;
 pub use driver::{greedy, greedy_lazy, greedy_plain, GreedyOutcome};

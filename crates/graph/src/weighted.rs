@@ -9,8 +9,10 @@ use crate::error::GraphError;
 use crate::node::NodeId;
 use crate::Result;
 
-/// An immutable weighted graph in CSR form with per-node cumulative weights
-/// for O(log d) neighbor sampling.
+/// An immutable weighted graph in CSR form with two samplers per node: a
+/// Walker/Vose **alias table** for O(1) neighbor draws (the random-walk hot
+/// path) and cumulative weights for O(log d) binary-search draws (kept as a
+/// cross-check oracle and for incremental use cases).
 ///
 /// Undirected: each edge `{u, v, w}` is stored as both arcs with weight `w`.
 #[derive(Clone, Debug)]
@@ -21,7 +23,49 @@ pub struct WeightedCsrGraph {
     /// `cumulative[offsets[u]..offsets[u+1]]` is the inclusive prefix sum of
     /// `weights` within `u`'s range; its last entry equals `strength(u)`.
     cumulative: Vec<f64>,
+    /// Alias-table acceptance probabilities, aligned with `targets`:
+    /// bucket `i` of node `u` keeps its own neighbor with probability
+    /// `alias_prob[offsets[u] + i]`, else falls through to `alias[..]`.
+    alias_prob: Vec<f64>,
+    /// Alias-table fallback slots (indices *within* the node's range).
+    alias: Vec<u32>,
     num_edges: usize,
+}
+
+/// Builds one node's Walker/Vose alias table in place.
+///
+/// `scaled` holds `w_i · d / total` on entry and is consumed as scratch.
+/// Construction is deterministic (index stacks, no RNG), so the table — and
+/// every sampler that consults it — is a pure function of the edge list.
+fn fill_alias_table(scaled: &mut [f64], prob: &mut [f64], alias: &mut [u32]) {
+    let d = scaled.len();
+    let mut small: Vec<u32> = Vec::with_capacity(d);
+    let mut large: Vec<u32> = Vec::with_capacity(d);
+    for (i, &s) in scaled.iter().enumerate() {
+        if s < 1.0 {
+            small.push(i as u32);
+        } else {
+            large.push(i as u32);
+        }
+    }
+    while !small.is_empty() && !large.is_empty() {
+        let s = small.pop().expect("checked non-empty");
+        let lg = *large.last().expect("checked non-empty");
+        prob[s as usize] = scaled[s as usize];
+        alias[s as usize] = lg;
+        let rest = (scaled[lg as usize] + scaled[s as usize]) - 1.0;
+        scaled[lg as usize] = rest;
+        if rest < 1.0 {
+            large.pop();
+            small.push(lg);
+        }
+    }
+    // Leftovers (either stack) keep their own bucket with probability 1;
+    // their alias slot is never consulted but must stay in range.
+    for &i in small.iter().chain(large.iter()) {
+        prob[i as usize] = 1.0;
+        alias[i as usize] = i;
+    }
 }
 
 impl WeightedCsrGraph {
@@ -75,11 +119,28 @@ impl WeightedCsrGraph {
             }
         }
 
+        let mut alias_prob = vec![1.0f64; weights.len()];
+        let mut alias = vec![0u32; weights.len()];
+        let mut scaled: Vec<f64> = Vec::new();
+        for u in 0..n {
+            let (lo, hi) = (offsets[u], offsets[u + 1]);
+            if lo == hi {
+                continue;
+            }
+            let d = (hi - lo) as f64;
+            let total = cumulative[hi - 1];
+            scaled.clear();
+            scaled.extend(weights[lo..hi].iter().map(|&w| w * d / total));
+            fill_alias_table(&mut scaled, &mut alias_prob[lo..hi], &mut alias[lo..hi]);
+        }
+
         Ok(WeightedCsrGraph {
             offsets,
             targets,
             weights,
             cumulative,
+            alias_prob,
+            alias,
             num_edges: edges.len(),
         })
     }
@@ -123,8 +184,12 @@ impl WeightedCsrGraph {
     }
 
     /// Samples a neighbor of `u` with probability proportional to edge
-    /// weight, given a uniform draw `x ∈ [0, 1)`. Returns `None` for
-    /// isolated nodes.
+    /// weight, given a uniform draw `x ∈ [0, 1)`, by binary search over the
+    /// cumulative weights — O(log d). Returns `None` for isolated nodes.
+    ///
+    /// The random-walk hot path uses [`WeightedCsrGraph::pick_neighbor_alias`]
+    /// instead; this form is kept as the independent oracle the property
+    /// tests compare the alias table against.
     pub fn pick_neighbor(&self, u: NodeId, x: f64) -> Option<NodeId> {
         let (lo, hi) = (self.offsets[u.index()], self.offsets[u.index() + 1]);
         if lo == hi {
@@ -137,10 +202,56 @@ impl WeightedCsrGraph {
         Some(self.targets[lo + idx])
     }
 
+    /// Samples a neighbor of `u` with probability proportional to edge
+    /// weight in **O(1)** via the precomputed Walker/Vose alias table, given
+    /// a uniform draw `x ∈ [0, 1)`. Returns `None` for isolated nodes.
+    ///
+    /// The single draw is split into a bucket index (high part) and an
+    /// acceptance fraction (low part), so one `f64` drives both decisions —
+    /// the same draw count per step as the binary-search sampler.
+    #[inline]
+    pub fn pick_neighbor_alias(&self, u: NodeId, x: f64) -> Option<NodeId> {
+        let (lo, hi) = (self.offsets[u.index()], self.offsets[u.index() + 1]);
+        let d = hi - lo;
+        if d == 0 {
+            return None;
+        }
+        let scaled = x * d as f64;
+        let mut bucket = scaled as usize;
+        if bucket >= d {
+            bucket = d - 1; // x is < 1.0, but guard fp edge cases
+        }
+        let frac = scaled - bucket as f64;
+        let slot = if frac < self.alias_prob[lo + bucket] {
+            bucket
+        } else {
+            self.alias[lo + bucket] as usize
+        };
+        Some(self.targets[lo + slot])
+    }
+
     /// Iterator over node ids.
     pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
         (0..self.n() as u32).map(NodeId)
     }
+}
+
+/// Deterministic weighted twin of an unweighted graph: the same edge set
+/// with each weight mixed (splitmix64-style) from `(seed, u, v)` into
+/// `(0, 2]` — the standard fixture for benchmarking and testing the
+/// weighted pipeline against a structurally identical unweighted one.
+pub fn weighted_twin(g: &crate::CsrGraph, seed: u64) -> Result<WeightedCsrGraph> {
+    let edges: Vec<(u32, u32, f64)> = g
+        .edges()
+        .map(|(u, v)| {
+            let mut z = seed ^ ((u.raw() as u64) << 32 | v.raw() as u64);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            let w = ((z >> 11) as f64 / (1u64 << 53) as f64) * 2.0;
+            (u.raw(), v.raw(), w.max(1e-9))
+        })
+        .collect();
+    WeightedCsrGraph::from_weighted_edges(g.n(), &edges)
 }
 
 #[cfg(test)]
@@ -176,7 +287,74 @@ mod tests {
     fn isolated_node_has_no_neighbor() {
         let g = WeightedCsrGraph::from_weighted_edges(2, &[]).unwrap();
         assert_eq!(g.pick_neighbor(NodeId(0), 0.5), None);
+        assert_eq!(g.pick_neighbor_alias(NodeId(0), 0.5), None);
         assert_eq!(g.strength(NodeId(0)), 0.0);
+    }
+
+    /// Reconstructs each neighbor's selection probability from the alias
+    /// table analytically: P(j) = Σ_i [prob_i·(i=j) + (1−prob_i)·(alias_i=j)] / d.
+    fn alias_distribution(g: &WeightedCsrGraph, u: NodeId) -> Vec<f64> {
+        let d = g.degree(u);
+        let mut p = vec![0.0f64; d];
+        let lo = g.offsets[u.index()];
+        for i in 0..d {
+            p[i] += g.alias_prob[lo + i] / d as f64;
+            p[g.alias[lo + i] as usize] += (1.0 - g.alias_prob[lo + i]) / d as f64;
+        }
+        p
+    }
+
+    #[test]
+    fn alias_table_encodes_exact_weights() {
+        let g = WeightedCsrGraph::from_weighted_edges(
+            5,
+            &[
+                (0, 1, 0.25),
+                (0, 2, 3.5),
+                (0, 3, 1.0),
+                (0, 4, 7.25),
+                (1, 2, 2.0),
+            ],
+        )
+        .unwrap();
+        for u in g.nodes() {
+            let p = alias_distribution(&g, u);
+            let total = g.strength(u);
+            for (i, (_, w)) in g.neighbors(u).enumerate() {
+                assert!(
+                    (p[i] - w / total).abs() < 1e-12,
+                    "node {u} slot {i}: alias {} vs exact {}",
+                    p[i],
+                    w / total
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alias_sampler_respects_extreme_weights() {
+        // 1e-12 vs 1e12: the alias draw at any plausible x picks the heavy
+        // neighbor; only an acceptance fraction below ~2e-24 (i.e. x within
+        // 1e-24 of a bucket boundary) could pick 1.
+        let g = WeightedCsrGraph::from_weighted_edges(3, &[(0, 1, 1e-12), (0, 2, 1e12)]).unwrap();
+        for x in [1e-6, 0.1, 0.37, 0.5, 0.73, 0.999_999] {
+            assert_eq!(
+                g.pick_neighbor_alias(NodeId(0), x),
+                Some(NodeId(2)),
+                "x={x}"
+            );
+        }
+    }
+
+    #[test]
+    fn alias_sampler_covers_all_neighbors_of_uniform_node() {
+        // Equal weights: bucket i keeps itself (prob 1), so x ∈ [i/d, (i+1)/d)
+        // maps to neighbor i exactly.
+        let g = WeightedCsrGraph::from_weighted_edges(4, &[(0, 1, 2.0), (0, 2, 2.0), (0, 3, 2.0)])
+            .unwrap();
+        assert_eq!(g.pick_neighbor_alias(NodeId(0), 0.1), Some(NodeId(1)));
+        assert_eq!(g.pick_neighbor_alias(NodeId(0), 0.5), Some(NodeId(2)));
+        assert_eq!(g.pick_neighbor_alias(NodeId(0), 0.9), Some(NodeId(3)));
     }
 
     #[test]

@@ -96,12 +96,7 @@ impl SampleEstimator {
     }
 
     fn effective_threads(&self, n: usize) -> usize {
-        let hw = if self.threads > 0 {
-            self.threads
-        } else {
-            std::thread::available_parallelism().map_or(1, |t| t.get())
-        };
-        hw.max(1).min(n.max(1))
+        crate::parallel::resolve_threads(self.threads).min(n.max(1))
     }
 
     /// Runs Algorithm 2 for target set `set`.

@@ -4,22 +4,35 @@
 //! contributes a posting `⟨w, j⟩` to list `I[i][v]` when it *first* visits
 //! `v` at hop `j` (repeated visits are dropped, matching the definition of
 //! hitting time). Postings are materialized per layer (one layer = one walk
-//! index `i` across all sources) as a CSR-packed posting file: a flat
-//! `Vec<Posting>` plus per-node offsets — `O(nRL)` space total, one
-//! allocation per layer.
+//! index `i` across all sources) in **struct-of-arrays** form: parallel
+//! `ids: Vec<u32>` / `weights: Vec<u16>` columns plus per-node CSR offsets —
+//! `O(nRL)` entries at 6 bytes each, so a greedy sweep touching only ids (or
+//! only weights) streams just the column it needs instead of 8-byte AoS
+//! structs.
+//!
+//! Construction fans out over a 2-D `(layer × node-chunk)` task grid, so the
+//! machine saturates even when `R` is smaller than the core count. Every
+//! walk derives from its own `(seed, node, layer)` RNG stream, so output is
+//! bit-identical at any thread count.
 //!
 //! A single index serves *both* problems: Problem 1 consumes the true hop
 //! weights, Problem 2 treats any posting as the indicator "source hits `v`"
 //! (the paper's `weight ← 1` comment in Algorithm 3).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use rwd_graph::{CsrGraph, NodeId};
 
 use crate::nodeset::NodeSet;
+use crate::parallel::resolve_threads;
 use crate::rng::WalkRng;
 use crate::walker;
 
 /// One inverted-list entry: the walk from `id` first reaches the list's
 /// owner node at hop `weight` (`1 ≤ weight ≤ L`).
+///
+/// This is the *logical* item type; storage is columnar (see
+/// [`PostingsRef`]), and iterators materialize `Posting`s on the fly.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Posting {
     /// Source node whose walk produced this posting.
@@ -28,42 +41,177 @@ pub struct Posting {
     pub weight: u32,
 }
 
+/// Zero-copy view of one inverted list `I[layer][v]` in SoA form.
+///
+/// The two columns are index-aligned: `ids()[k]` hit the owner at hop
+/// `weights()[k]`. Sweeps that only need one column (e.g. the Problem-2
+/// coverage rule, which ignores hop weights) borrow just that slice.
+#[derive(Clone, Copy)]
+pub struct PostingsRef<'a> {
+    ids: &'a [u32],
+    weights: &'a [u16],
+}
+
+impl<'a> PostingsRef<'a> {
+    /// Number of postings in the list.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the list is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The source-id column.
+    #[inline]
+    pub fn ids(&self) -> &'a [u32] {
+        self.ids
+    }
+
+    /// The first-visit-hop column (always `1 ≤ w ≤ L`, hence `u16`).
+    #[inline]
+    pub fn weights(&self) -> &'a [u16] {
+        self.weights
+    }
+
+    /// The `k`-th posting, materialized.
+    #[inline]
+    pub fn get(&self, k: usize) -> Posting {
+        Posting {
+            id: NodeId(self.ids[k]),
+            weight: self.weights[k] as u32,
+        }
+    }
+
+    /// Iterates the list as materialized [`Posting`]s.
+    #[inline]
+    pub fn iter(&self) -> PostingsIter<'a> {
+        PostingsIter {
+            ids: self.ids.iter(),
+            weights: self.weights.iter(),
+        }
+    }
+
+    /// Collects the list into owned [`Posting`]s (tests, debugging).
+    pub fn to_vec(&self) -> Vec<Posting> {
+        self.iter().collect()
+    }
+}
+
+impl<'a> IntoIterator for PostingsRef<'a> {
+    type Item = Posting;
+    type IntoIter = PostingsIter<'a>;
+
+    fn into_iter(self) -> PostingsIter<'a> {
+        self.iter()
+    }
+}
+
+impl PartialEq for PostingsRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.ids == other.ids && self.weights == other.weights
+    }
+}
+impl Eq for PostingsRef<'_> {}
+
+impl std::fmt::Debug for PostingsRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+/// Iterator over a [`PostingsRef`], yielding [`Posting`]s by value.
+pub struct PostingsIter<'a> {
+    ids: std::slice::Iter<'a, u32>,
+    weights: std::slice::Iter<'a, u16>,
+}
+
+impl Iterator for PostingsIter<'_> {
+    type Item = Posting;
+
+    #[inline]
+    fn next(&mut self) -> Option<Posting> {
+        let id = *self.ids.next()?;
+        let weight = *self.weights.next()? as u32;
+        Some(Posting {
+            id: NodeId(id),
+            weight,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.ids.size_hint()
+    }
+}
+
+impl ExactSizeIterator for PostingsIter<'_> {}
+
+/// `(owner, source, hop)` triple produced while walking, before CSR packing.
+type Triple = (u32, u32, u16);
+
 /// One walk layer: the inverted lists `I[i][·]` for a fixed walk index `i`,
-/// CSR-packed by owner node.
+/// CSR-packed by owner node in struct-of-arrays form.
 #[derive(Clone, Debug)]
 struct Layer {
-    offsets: Vec<usize>,
-    postings: Vec<Posting>,
+    offsets: Vec<u32>,
+    ids: Vec<u32>,
+    weights: Vec<u16>,
 }
 
 impl Layer {
-    fn from_triples(n: usize, mut triples: Vec<(u32, Posting)>) -> Layer {
-        // Counting sort by owner node keeps construction O(n + entries).
-        let mut counts = vec![0usize; n + 1];
-        for &(v, _) in &triples {
-            counts[v as usize + 1] += 1;
+    /// Packs the triples of one layer — supplied as consecutive node-chunk
+    /// outputs, in ascending node order — into SoA CSR columns. Counting
+    /// sort by owner keeps construction O(n + entries) and preserves the
+    /// generation order (source ascending, hop ascending) within each list.
+    ///
+    /// Each part's buffer is freed as soon as it has been placed, so the
+    /// triple staging (12 B/entry) and the SoA columns (6 B/entry) overlap
+    /// only one part at a time instead of layer-by-layer doubling.
+    fn from_parts(n: usize, parts: &mut [Vec<Triple>]) -> Layer {
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert!(
+            total <= u32::MAX as usize,
+            "layer posting count {total} overflows u32 CSR offsets"
+        );
+        let mut counts = vec![0u32; n + 1];
+        for part in parts.iter() {
+            for &(v, _, _) in part {
+                counts[v as usize + 1] += 1;
+            }
         }
         for i in 0..n {
             counts[i + 1] += counts[i];
         }
         let offsets = counts.clone();
-        let mut postings = vec![
-            Posting {
-                id: NodeId(0),
-                weight: 0
-            };
-            triples.len()
-        ];
-        for (v, p) in triples.drain(..) {
-            postings[counts[v as usize]] = p;
-            counts[v as usize] += 1;
+        let mut ids = vec![0u32; total];
+        let mut weights = vec![0u16; total];
+        for part in parts.iter_mut() {
+            for &(v, id, w) in part.iter() {
+                let slot = counts[v as usize] as usize;
+                ids[slot] = id;
+                weights[slot] = w;
+                counts[v as usize] += 1;
+            }
+            *part = Vec::new();
         }
-        Layer { offsets, postings }
+        Layer {
+            offsets,
+            ids,
+            weights,
+        }
     }
 
     #[inline]
-    fn postings(&self, v: NodeId) -> &[Posting] {
-        &self.postings[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    fn postings(&self, v: NodeId) -> PostingsRef<'_> {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        PostingsRef {
+            ids: &self.ids[lo..hi],
+            weights: &self.weights[lo..hi],
+        }
     }
 }
 
@@ -76,10 +224,168 @@ pub struct WalkIndex {
     seed: u64,
 }
 
+/// Node chunks smaller than this are not worth a task of their own.
+const MIN_NODE_CHUNK: usize = 512;
+
+/// Reusable per-worker first-visit dedup: each source walk bumps the stamp
+/// instead of clearing the whole buffer.
+struct VisitScratch {
+    visited: Vec<u32>,
+    stamp: u32,
+}
+
+impl VisitScratch {
+    fn new(n: usize) -> Self {
+        VisitScratch {
+            visited: vec![u32::MAX; n],
+            stamp: 0,
+        }
+    }
+
+    /// Advances to a fresh stamp, resetting the buffer on (practically
+    /// unreachable — 2^32 walks per worker) stamp-space exhaustion.
+    fn next_stamp(&mut self) -> u32 {
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == u32::MAX {
+            self.visited.fill(u32::MAX);
+            self.stamp = 1;
+        }
+        self.stamp
+    }
+}
+
+/// Walks nodes `[lo, hi)` of one layer, appending first-visit triples.
+fn walk_node_range<F>(
+    layer_idx: usize,
+    lo: usize,
+    hi: usize,
+    l: u32,
+    seed: u64,
+    step: &F,
+    scratch: &mut VisitScratch,
+) -> Vec<Triple>
+where
+    F: Fn(NodeId, &mut WalkRng) -> NodeId,
+{
+    let mut triples: Vec<Triple> = Vec::with_capacity((hi - lo) * (l as usize).min(8));
+    for w in lo..hi {
+        let s = scratch.next_stamp();
+        let mut rng = WalkRng::for_stream(seed, w as u64, layer_idx as u64);
+        let mut u = NodeId::new(w);
+        scratch.visited[w] = s;
+        for j in 1..=l {
+            u = step(u, &mut rng);
+            if scratch.visited[u.index()] != s {
+                scratch.visited[u.index()] = s;
+                triples.push((u.raw(), w as u32, j as u16));
+            }
+        }
+    }
+    triples
+}
+
+/// Runs all `r × n` walks and packs them into per-layer SoA CSR lists.
+///
+/// Work is split over a 2-D `(layer × node-chunk)` task grid drained from an
+/// atomic queue, so the build saturates the machine even when `r` is below
+/// the core count; each task's output is a pure function of
+/// `(seed, node range, layer)`, so scheduling never affects the result.
+fn build_layers<F>(n: usize, l: u32, r: usize, seed: u64, threads: usize, step: &F) -> Vec<Layer>
+where
+    F: Fn(NodeId, &mut WalkRng) -> NodeId + Sync,
+{
+    let workers = resolve_threads(threads);
+    let max_chunks = n.div_ceil(MIN_NODE_CHUNK).max(1);
+    // Oversubscribe ~4× for load balance across skewed chunks.
+    let target_chunks = (workers * 4).div_ceil(r).clamp(1, max_chunks);
+    let chunk_nodes = n.div_ceil(target_chunks).max(1);
+    // Re-derive the chunk count from the rounded-up chunk size, so the last
+    // chunk's range never starts past `n` (ceil(n/c) chunks of c nodes can
+    // need fewer chunks than first targeted).
+    let chunks_per_layer = n.div_ceil(chunk_nodes).max(1);
+    let tasks = r * chunks_per_layer;
+
+    let mut parts: Vec<Vec<Triple>> = (0..tasks).map(|_| Vec::new()).collect();
+    let task_range = |t: usize| {
+        let layer_idx = t / chunks_per_layer;
+        let lo = ((t % chunks_per_layer) * chunk_nodes).min(n);
+        let hi = (lo + chunk_nodes).min(n);
+        (layer_idx, lo, hi)
+    };
+
+    if workers == 1 {
+        let mut scratch = VisitScratch::new(n);
+        for (t, part) in parts.iter_mut().enumerate() {
+            let (layer_idx, lo, hi) = task_range(t);
+            *part = walk_node_range(layer_idx, lo, hi, l, seed, step, &mut scratch);
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers.min(tasks))
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out: Vec<(usize, Vec<Triple>)> = Vec::new();
+                        let mut scratch = VisitScratch::new(n);
+                        loop {
+                            let t = next.fetch_add(1, Ordering::Relaxed);
+                            if t >= tasks {
+                                break;
+                            }
+                            let (layer_idx, lo, hi) = task_range(t);
+                            out.push((
+                                t,
+                                walk_node_range(layer_idx, lo, hi, l, seed, step, &mut scratch),
+                            ));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (t, v) in h.join().expect("index build worker panicked") {
+                    parts[t] = v;
+                }
+            }
+        });
+    }
+
+    // Pack each layer's chunk outputs (already in node order) into SoA CSR,
+    // parallel over layers; each layer's staging buffers are freed as it
+    // packs, so triple staging and final columns barely overlap.
+    let mut layers: Vec<Option<Layer>> = (0..r).map(|_| None).collect();
+    let pack_workers = workers.min(r);
+    if pack_workers == 1 {
+        for (slot, group) in layers.iter_mut().zip(parts.chunks_mut(chunks_per_layer)) {
+            *slot = Some(Layer::from_parts(n, group));
+        }
+    } else {
+        let lchunk = r.div_ceil(pack_workers);
+        let mut layer_groups: Vec<&mut [Vec<Triple>]> =
+            parts.chunks_mut(chunks_per_layer).collect();
+        std::thread::scope(|scope| {
+            for (slots, groups) in layers
+                .chunks_mut(lchunk)
+                .zip(layer_groups.chunks_mut(lchunk))
+            {
+                scope.spawn(move || {
+                    for (slot, group) in slots.iter_mut().zip(groups.iter_mut()) {
+                        *slot = Some(Layer::from_parts(n, group));
+                    }
+                });
+            }
+        });
+    }
+    layers
+        .into_iter()
+        .map(|o| o.expect("layer built"))
+        .collect()
+}
+
 impl WalkIndex {
     /// Builds the index by running `r` walks per node (Algorithm 3),
-    /// parallelized over layers; the result is a pure function of
-    /// `(graph, l, r, seed)` regardless of thread count.
+    /// parallelized over a `(layer × node-chunk)` grid; the result is a pure
+    /// function of `(graph, l, r, seed)` regardless of thread count.
     ///
     /// ```
     /// use rwd_graph::generators::paper_example::figure1;
@@ -103,78 +409,48 @@ impl WalkIndex {
         threads: usize,
     ) -> WalkIndex {
         assert!(r > 0, "need at least one walk per node");
+        assert!(
+            l <= u16::MAX as u32,
+            "walk length {l} exceeds u16 hop range"
+        );
         let n = g.n();
-        let hw = if threads > 0 {
-            threads
-        } else {
-            std::thread::available_parallelism().map_or(1, |t| t.get())
-        };
-        let workers = hw.max(1).min(r);
-
-        let mut layers: Vec<Option<Layer>> = (0..r).map(|_| None).collect();
-        let chunk = r.div_ceil(workers);
-        // Scoped fan-out over layer chunks; every layer derives its walks
-        // from (seed, node, layer) streams, so the chunking is invisible in
-        // the output.
-        std::thread::scope(|scope| {
-            for (ci, slot) in layers.chunks_mut(chunk).enumerate() {
-                scope.spawn(move || {
-                    for (j, out) in slot.iter_mut().enumerate() {
-                        let layer_idx = ci * chunk + j;
-                        *out = Some(build_layer(g, l, layer_idx, seed));
-                    }
-                });
-            }
-        });
-
-        WalkIndex {
-            n,
-            l,
-            layers: layers
-                .into_iter()
-                .map(|o| o.expect("layer built"))
-                .collect(),
-            seed,
-        }
+        let step = |u: NodeId, rng: &mut WalkRng| walker::step(g, u, rng);
+        let layers = build_layers(n, l, r, seed, threads, &step);
+        WalkIndex { n, l, layers, seed }
     }
 
     /// Builds the index over a weighted graph: identical structure, walk
     /// steps drawn with probability proportional to edge weight (the
     /// paper's weighted extension; Algorithm 6 then works unchanged because
-    /// it only ever touches the index).
+    /// it only ever touches the index). Uses all cores; see
+    /// [`WalkIndex::build_weighted_with_threads`].
     pub fn build_weighted(
         g: &rwd_graph::weighted::WeightedCsrGraph,
         l: u32,
         r: usize,
         seed: u64,
     ) -> WalkIndex {
+        Self::build_weighted_with_threads(g, l, r, seed, 0)
+    }
+
+    /// [`WalkIndex::build_weighted`] with an explicit worker count (`0` =
+    /// all cores). Same 2-D parallel grid as the unweighted build; output is
+    /// bit-identical at any thread count.
+    pub fn build_weighted_with_threads(
+        g: &rwd_graph::weighted::WeightedCsrGraph,
+        l: u32,
+        r: usize,
+        seed: u64,
+        threads: usize,
+    ) -> WalkIndex {
         assert!(r > 0, "need at least one walk per node");
+        assert!(
+            l <= u16::MAX as u32,
+            "walk length {l} exceeds u16 hop range"
+        );
         let n = g.n();
-        let layers = (0..r)
-            .map(|layer_idx| {
-                let mut triples: Vec<(u32, Posting)> = Vec::new();
-                let mut visited = vec![u32::MAX; n];
-                for w in 0..n {
-                    let mut rng = WalkRng::for_stream(seed, w as u64, layer_idx as u64);
-                    let mut u = NodeId::new(w);
-                    visited[w] = w as u32;
-                    for j in 1..=l {
-                        u = walker::step_weighted(g, u, &mut rng);
-                        if visited[u.index()] != w as u32 {
-                            visited[u.index()] = w as u32;
-                            triples.push((
-                                u.raw(),
-                                Posting {
-                                    id: NodeId::new(w),
-                                    weight: j,
-                                },
-                            ));
-                        }
-                    }
-                }
-                Layer::from_triples(n, triples)
-            })
-            .collect();
+        let step = |u: NodeId, rng: &mut WalkRng| walker::step_weighted(g, u, rng);
+        let layers = build_layers(n, l, r, seed, threads, &step);
         WalkIndex { n, l, layers, seed }
     }
 
@@ -190,11 +466,15 @@ impl WalkIndex {
     /// `layers[i][w]` = recorded walk `i` from node `w` (`l + 1` entries).
     pub fn from_walk_layers(n: usize, l: u32, layers: &[Vec<Vec<NodeId>>]) -> WalkIndex {
         assert!(!layers.is_empty());
+        assert!(
+            l <= u16::MAX as u32,
+            "walk length {l} exceeds u16 hop range"
+        );
         let built = layers
             .iter()
             .map(|layer_walks| {
                 assert_eq!(layer_walks.len(), n, "one walk per node required");
-                let mut triples: Vec<(u32, Posting)> = Vec::new();
+                let mut triples: Vec<Triple> = Vec::new();
                 let mut visited = vec![u32::MAX; n];
                 for (w, walk) in layer_walks.iter().enumerate() {
                     assert_eq!(
@@ -208,17 +488,11 @@ impl WalkIndex {
                     for (j, &v) in walk.iter().enumerate().skip(1) {
                         if visited[v.index()] != w as u32 {
                             visited[v.index()] = w as u32;
-                            triples.push((
-                                v.raw(),
-                                Posting {
-                                    id: NodeId::new(w),
-                                    weight: j as u32,
-                                },
-                            ));
+                            triples.push((v.raw(), w as u32, j as u16));
                         }
                     }
                 }
-                Layer::from_triples(n, triples)
+                Layer::from_parts(n, std::slice::from_mut(&mut triples))
             })
             .collect();
         WalkIndex {
@@ -254,24 +528,27 @@ impl WalkIndex {
     }
 
     /// The inverted list `I[layer][v]`: all sources whose `layer`-th walk
-    /// visits `v`, each with its first-visit hop.
+    /// visits `v`, each with its first-visit hop — a zero-copy SoA view.
     #[inline]
-    pub fn postings(&self, layer: usize, v: NodeId) -> &[Posting] {
+    pub fn postings(&self, layer: usize, v: NodeId) -> PostingsRef<'_> {
         self.layers[layer].postings(v)
     }
 
     /// Total number of stored postings (≤ nRL).
     pub fn total_postings(&self) -> usize {
-        self.layers.iter().map(|l| l.postings.len()).sum()
+        self.layers.iter().map(|l| l.ids.len()).sum()
     }
 
-    /// Approximate resident bytes of the index (postings + offsets).
+    /// Approximate resident bytes of the index: per layer, the SoA posting
+    /// columns (4-byte ids + 2-byte hop weights — 6 bytes per posting,
+    /// versus 8 for the old AoS layout) plus the 4-byte CSR offset per node.
     pub fn memory_bytes(&self) -> usize {
         self.layers
             .iter()
             .map(|l| {
-                l.postings.len() * std::mem::size_of::<Posting>()
-                    + l.offsets.len() * std::mem::size_of::<usize>()
+                l.ids.len() * std::mem::size_of::<u32>()
+                    + l.weights.len() * std::mem::size_of::<u16>()
+                    + l.offsets.len() * std::mem::size_of::<u32>()
             })
             .sum()
     }
@@ -290,10 +567,11 @@ impl WalkIndex {
             d.fill(self.l);
             for s in set.iter() {
                 d[s.index()] = 0;
-                for p in layer.postings(s) {
-                    let slot = &mut d[p.id.index()];
-                    if p.weight < *slot {
-                        *slot = p.weight;
+                let pr = layer.postings(s);
+                for (&id, &w) in pr.ids.iter().zip(pr.weights) {
+                    let slot = &mut d[id as usize];
+                    if (w as u32) < *slot {
+                        *slot = w as u32;
                     }
                 }
             }
@@ -306,81 +584,6 @@ impl WalkIndex {
         acc
     }
 
-    /// Persists the index to disk (the paper's "sample materialization"
-    /// made durable): magic + header + per-layer CSR blocks, little-endian.
-    /// A paper-scale index builds in seconds but is reused across many
-    /// `k`/`λ` sweeps — saving it makes experiment suites restartable.
-    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        use std::io::Write;
-        let file = std::fs::File::create(path)?;
-        let mut w = std::io::BufWriter::new(file);
-        w.write_all(b"RWDIDX1\0")?;
-        w.write_all(&(self.n as u64).to_le_bytes())?;
-        w.write_all(&(self.l as u64).to_le_bytes())?;
-        w.write_all(&(self.layers.len() as u64).to_le_bytes())?;
-        w.write_all(&self.seed.to_le_bytes())?;
-        for layer in &self.layers {
-            w.write_all(&(layer.postings.len() as u64).to_le_bytes())?;
-            for &off in &layer.offsets {
-                w.write_all(&(off as u64).to_le_bytes())?;
-            }
-            for p in &layer.postings {
-                w.write_all(&p.id.raw().to_le_bytes())?;
-                w.write_all(&p.weight.to_le_bytes())?;
-            }
-        }
-        w.flush()
-    }
-
-    /// Loads an index previously written by [`WalkIndex::save`].
-    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<WalkIndex> {
-        use std::io::Read;
-        let file = std::fs::File::open(path)?;
-        let mut r = std::io::BufReader::new(file);
-        let mut magic = [0u8; 8];
-        r.read_exact(&mut magic)?;
-        if &magic != b"RWDIDX1\0" {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "not a walk-index file (bad magic)",
-            ));
-        }
-        let mut u64buf = [0u8; 8];
-        let mut read_u64 = |r: &mut dyn Read| -> std::io::Result<u64> {
-            r.read_exact(&mut u64buf)?;
-            Ok(u64::from_le_bytes(u64buf))
-        };
-        let n = read_u64(&mut r)? as usize;
-        let l = read_u64(&mut r)? as u32;
-        let layer_count = read_u64(&mut r)? as usize;
-        let seed = read_u64(&mut r)?;
-        let mut layers = Vec::with_capacity(layer_count);
-        for _ in 0..layer_count {
-            let postings_len = read_u64(&mut r)? as usize;
-            let mut offsets = Vec::with_capacity(n + 1);
-            for _ in 0..=n {
-                offsets.push(read_u64(&mut r)? as usize);
-            }
-            if *offsets.last().unwrap_or(&0) != postings_len {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    "corrupt walk-index file (offset/posting mismatch)",
-                ));
-            }
-            let mut postings = Vec::with_capacity(postings_len);
-            let mut u32buf = [0u8; 4];
-            for _ in 0..postings_len {
-                r.read_exact(&mut u32buf)?;
-                let id = NodeId(u32::from_le_bytes(u32buf));
-                r.read_exact(&mut u32buf)?;
-                let weight = u32::from_le_bytes(u32buf);
-                postings.push(Posting { id, weight });
-            }
-            layers.push(Layer { offsets, postings });
-        }
-        Ok(WalkIndex { n, l, layers, seed })
-    }
-
     /// Index-based estimate of the hit probability `p^L_uS`: the fraction of
     /// layers in which `u`'s walk reaches `S` (members of `S` count 1).
     pub fn estimate_hit_probs(&self, set: &NodeSet) -> Vec<f64> {
@@ -390,8 +593,8 @@ impl WalkIndex {
             hit.fill(false);
             for s in set.iter() {
                 hit[s.index()] = true;
-                for p in layer.postings(s) {
-                    hit[p.id.index()] = true;
+                for &id in layer.postings(s).ids {
+                    hit[id as usize] = true;
                 }
             }
             for (a, &h) in acc.iter_mut().zip(hit.iter()) {
@@ -404,34 +607,132 @@ impl WalkIndex {
         acc.iter_mut().for_each(|a| *a /= r);
         acc
     }
+
+    /// Persists the index to disk (the paper's "sample materialization"
+    /// made durable): magic + header + per-layer SoA blocks, little-endian,
+    /// each layer assembled in one buffer and written with a single call.
+    /// A paper-scale index builds in seconds but is reused across many
+    /// `k`/`λ` sweeps — saving it makes experiment suites restartable.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        use std::io::Write;
+        let file = std::fs::File::create(path)?;
+        let mut w = std::io::BufWriter::new(file);
+        w.write_all(MAGIC_V2)?;
+        let mut header = Vec::with_capacity(32);
+        header.extend_from_slice(&(self.n as u64).to_le_bytes());
+        header.extend_from_slice(&(self.l as u64).to_le_bytes());
+        header.extend_from_slice(&(self.layers.len() as u64).to_le_bytes());
+        header.extend_from_slice(&self.seed.to_le_bytes());
+        w.write_all(&header)?;
+        let mut buf: Vec<u8> = Vec::new();
+        for layer in &self.layers {
+            buf.clear();
+            buf.reserve(8 + layer.offsets.len() * 4 + layer.ids.len() * 6);
+            buf.extend_from_slice(&(layer.ids.len() as u64).to_le_bytes());
+            for &off in &layer.offsets {
+                buf.extend_from_slice(&off.to_le_bytes());
+            }
+            for &id in &layer.ids {
+                buf.extend_from_slice(&id.to_le_bytes());
+            }
+            for &hw in &layer.weights {
+                buf.extend_from_slice(&hw.to_le_bytes());
+            }
+            w.write_all(&buf)?;
+        }
+        w.flush()
+    }
+
+    /// Loads an index previously written by [`WalkIndex::save`].
+    ///
+    /// Rejects the obsolete `RWDIDX1` (AoS) layout with a dedicated error —
+    /// rebuild and re-save such indexes with this version.
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<WalkIndex> {
+        use std::io::Read;
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let file = std::fs::File::open(path)?;
+        // Every count in the file is untrusted: header/block sizes are
+        // checked against the actual file length *before* any allocation,
+        // so a corrupt or crafted file yields InvalidData, never a panic or
+        // an absurd allocation.
+        let file_len = file.metadata()?.len();
+        let mut r = std::io::BufReader::new(file);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic == MAGIC_V1 {
+            return Err(bad(
+                "walk-index file uses the obsolete RWDIDX1 (AoS) layout; \
+                 rebuild the index and re-save it in the RWDIDX2 format",
+            ));
+        }
+        if &magic != MAGIC_V2 {
+            return Err(bad("not a walk-index file (bad magic)"));
+        }
+        let mut header = [0u8; 32];
+        r.read_exact(&mut header)?;
+        let u64_at = |i: usize| u64::from_le_bytes(header[i * 8..(i + 1) * 8].try_into().unwrap());
+        let n64 = u64_at(0);
+        let l = u64_at(1) as u32;
+        let layer_count64 = u64_at(2);
+        let seed = u64_at(3);
+        // A layer block stores (n + 1) 4-byte offsets, so n and layer_count
+        // are bounded by the file length.
+        if n64.saturating_mul(4) > file_len || layer_count64.saturating_mul(8) > file_len {
+            return Err(bad("corrupt walk-index file (header exceeds file size)"));
+        }
+        let n = n64 as usize;
+        let layer_count = layer_count64 as usize;
+        let mut layers = Vec::with_capacity(layer_count);
+        let mut buf: Vec<u8> = Vec::new();
+        for _ in 0..layer_count {
+            let mut len8 = [0u8; 8];
+            r.read_exact(&mut len8)?;
+            let entries64 = u64::from_le_bytes(len8);
+            let block64 = ((n64 + 1) * 4).saturating_add(entries64.saturating_mul(6));
+            if block64 > file_len {
+                return Err(bad("corrupt walk-index file (layer exceeds file size)"));
+            }
+            let entries = entries64 as usize;
+            buf.resize(block64 as usize, 0);
+            r.read_exact(&mut buf)?;
+            let (off_bytes, rest) = buf.split_at((n + 1) * 4);
+            let (id_bytes, weight_bytes) = rest.split_at(entries * 4);
+            let offsets: Vec<u32> = off_bytes
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            if offsets.windows(2).any(|w| w[0] > w[1])
+                || offsets.first() != Some(&0)
+                || *offsets.last().unwrap_or(&0) as usize != entries
+            {
+                return Err(bad("corrupt walk-index file (offset/posting mismatch)"));
+            }
+            let ids: Vec<u32> = id_bytes
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            if ids.iter().any(|&id| id as usize >= n) {
+                return Err(bad("corrupt walk-index file (posting id out of range)"));
+            }
+            let weights: Vec<u16> = weight_bytes
+                .chunks_exact(2)
+                .map(|c| u16::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            if weights.iter().any(|&hw| hw == 0 || hw as u32 > l) {
+                return Err(bad("corrupt walk-index file (hop weight outside 1..=L)"));
+            }
+            layers.push(Layer {
+                offsets,
+                ids,
+                weights,
+            });
+        }
+        Ok(WalkIndex { n, l, layers, seed })
+    }
 }
 
-/// Runs all walks of one layer and packs them into inverted lists.
-fn build_layer(g: &CsrGraph, l: u32, layer_idx: usize, seed: u64) -> Layer {
-    let n = g.n();
-    // A loose upper bound on postings (each hop adds at most one).
-    let mut triples: Vec<(u32, Posting)> = Vec::with_capacity(n * (l as usize).min(8));
-    let mut visited = vec![u32::MAX; n];
-    for w in 0..n {
-        let mut rng = WalkRng::for_stream(seed, w as u64, layer_idx as u64);
-        let mut u = NodeId::new(w);
-        visited[w] = w as u32;
-        for j in 1..=l {
-            u = walker::step(g, u, &mut rng);
-            if visited[u.index()] != w as u32 {
-                visited[u.index()] = w as u32;
-                triples.push((
-                    u.raw(),
-                    Posting {
-                        id: NodeId::new(w),
-                        weight: j,
-                    },
-                ));
-            }
-        }
-    }
-    Layer::from_triples(n, triples)
-}
+const MAGIC_V1: &[u8; 8] = b"RWDIDX1\0";
+const MAGIC_V2: &[u8; 8] = b"RWDIDX2\0";
 
 #[cfg(test)]
 mod tests {
@@ -541,16 +842,16 @@ mod tests {
         let idx = WalkIndex::from_walks(2, 3, &walks);
         // Walk from 0 visits 1 first at hop 1 (hop 3 revisit dropped).
         assert_eq!(
-            idx.postings(0, NodeId(1)),
-            &[Posting {
+            idx.postings(0, NodeId(1)).to_vec(),
+            vec![Posting {
                 id: NodeId(0),
                 weight: 1
             }]
         );
         // Walk from 1 visits 0 first at hop 1.
         assert_eq!(
-            idx.postings(0, NodeId(0)),
-            &[Posting {
+            idx.postings(0, NodeId(0)).to_vec(),
+            vec![Posting {
                 id: NodeId(1),
                 weight: 1
             }]
@@ -593,10 +894,30 @@ mod tests {
     fn memory_accounting_is_positive() {
         let idx = figure1_index();
         assert!(idx.total_postings() > 0);
-        assert!(idx.memory_bytes() >= idx.total_postings() * 8);
+        // 6 bytes per posting (4-byte id + 2-byte weight) plus offsets.
+        assert!(idx.memory_bytes() >= idx.total_postings() * 6);
         assert_eq!(idx.l(), 2);
         assert_eq!(idx.r(), 1);
         assert_eq!(idx.n(), 8);
+    }
+
+    #[test]
+    fn soa_columns_are_aligned_views() {
+        let g = paper_example::figure1();
+        let idx = WalkIndex::build(&g, 4, 3, 7);
+        for layer in 0..idx.r() {
+            for v in g.nodes() {
+                let pr = idx.postings(layer, v);
+                assert_eq!(pr.ids().len(), pr.weights().len());
+                assert_eq!(pr.len(), pr.iter().count());
+                for (k, p) in pr.iter().enumerate() {
+                    assert_eq!(p, pr.get(k));
+                    assert_eq!(p.id.raw(), pr.ids()[k]);
+                    assert_eq!(p.weight, pr.weights()[k] as u32);
+                    assert!(p.weight >= 1 && p.weight <= 4);
+                }
+            }
+        }
     }
 
     #[test]
@@ -633,6 +954,64 @@ mod tests {
         let path = dir.join("bad.rwdidx");
         std::fs::write(&path, b"definitely not an index").unwrap();
         assert!(WalkIndex::load(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn high_thread_count_on_large_graph_does_not_overrun_chunk_grid() {
+        // Regression: with chunk counts re-derived from the rounded-up chunk
+        // size, the last task's node range must stay inside [0, n] even when
+        // the oversubscribed 2-D grid wants more chunks than fit (formerly a
+        // subtract-with-overflow for n = 512_486, r = 1, threads = 250).
+        let g = rwd_graph::generators::classic::path(512_486).unwrap();
+        let idx = WalkIndex::build_with_threads(&g, 1, 1, 3, 250);
+        assert_eq!(idx.n(), 512_486);
+        assert!(idx.total_postings() <= 512_486);
+        let one = WalkIndex::build_with_threads(&g, 1, 1, 3, 1);
+        assert_eq!(idx.total_postings(), one.total_postings());
+    }
+
+    #[test]
+    fn load_rejects_oversized_header_counts_without_allocating() {
+        let dir = std::env::temp_dir().join("rwd_index_io_huge");
+        std::fs::create_dir_all(&dir).unwrap();
+        // n = u64::MAX in the header: must be InvalidData, not a panic or a
+        // giant allocation.
+        let mut bytes = b"RWDIDX2\0".to_vec();
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes()); // n
+        bytes.extend_from_slice(&4u64.to_le_bytes()); // l
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // layers
+        bytes.extend_from_slice(&7u64.to_le_bytes()); // seed
+        let path = dir.join("huge_n.rwdidx");
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(WalkIndex::load(&path).is_err());
+
+        // Plausible n but an absurd per-layer entry count: same contract.
+        let mut bytes = b"RWDIDX2\0".to_vec();
+        bytes.extend_from_slice(&8u64.to_le_bytes()); // n
+        bytes.extend_from_slice(&4u64.to_le_bytes()); // l
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // layers
+        bytes.extend_from_slice(&7u64.to_le_bytes()); // seed
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes()); // layer entries
+        let path = dir.join("huge_entries.rwdidx");
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(WalkIndex::load(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_old_rwdidx1_format_with_clear_message() {
+        let dir = std::env::temp_dir().join("rwd_index_io_v1");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("old.rwdidx");
+        let mut bytes = b"RWDIDX1\0".to_vec();
+        bytes.extend_from_slice(&[0u8; 32]);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = WalkIndex::load(&path).unwrap_err();
+        assert!(
+            err.to_string().contains("RWDIDX1"),
+            "error should name the old format: {err}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

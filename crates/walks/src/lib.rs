@@ -14,7 +14,8 @@
 //! * [`estimate`] — the paper's Algorithm 2 Monte-Carlo estimator with the
 //!   Hoeffding sample-size bounds of Lemmas 3.3/3.4,
 //! * [`index`] — the paper's Algorithm 3 inverted walk index backing the
-//!   approximate greedy algorithm (Algorithm 6).
+//!   approximate greedy algorithm (Algorithm 6),
+//! * [`parallel`] — the shared worker-count policy every fan-out uses.
 //!
 //! Degree-0 convention: a walk at an isolated node stays put (self-loop
 //! semantics) in both the DP and the sampler, so the two always agree.
@@ -27,10 +28,11 @@ pub mod estimate;
 pub mod hitting;
 pub mod index;
 pub mod nodeset;
+pub mod parallel;
 pub mod rng;
 pub mod walker;
 
 pub use estimate::{Estimates, SampleEstimator};
-pub use index::{Posting, WalkIndex};
+pub use index::{Posting, PostingsRef, WalkIndex};
 pub use nodeset::NodeSet;
 pub use rng::WalkRng;

@@ -1,0 +1,25 @@
+//! Shared worker-count policy for every parallel fan-out in the workspace.
+
+/// Resolves a requested worker count: `0` means "all cores"
+/// (`available_parallelism`), anything else is taken literally; never
+/// returns 0. Callers cap the result at their own task count.
+pub fn resolve_threads(threads: usize) -> usize {
+    let hw = if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism().map_or(1, |t| t.get())
+    };
+    hw.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_counts_pass_through_and_zero_means_cores() {
+        assert_eq!(resolve_threads(3), 3);
+        assert_eq!(resolve_threads(1), 1);
+        assert!(resolve_threads(0) >= 1);
+    }
+}

@@ -73,10 +73,11 @@ pub fn truncated_hit_time(
 }
 
 /// Weighted-graph variant of [`step`]: neighbor chosen with probability
-/// proportional to edge weight.
+/// proportional to edge weight via the O(1) alias table (one uniform draw
+/// per step, no binary search).
 #[inline]
 pub fn step_weighted(g: &WeightedCsrGraph, u: NodeId, rng: &mut WalkRng) -> NodeId {
-    g.pick_neighbor(u, rng.gen_f64()).unwrap_or(u)
+    g.pick_neighbor_alias(u, rng.gen_f64()).unwrap_or(u)
 }
 
 /// Weighted-graph variant of [`first_hit`].

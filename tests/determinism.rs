@@ -20,6 +20,12 @@ fn ba_graph() -> CsrGraph {
     rwd::graph::generators::barabasi_albert(500, 4, 0xD5EED).unwrap()
 }
 
+/// The BA graph with deterministic pseudo-random edge weights: the weighted
+/// twin of [`ba_graph`] for the weighted-build invariance test.
+fn weighted_ba_graph() -> rwd::graph::weighted::WeightedCsrGraph {
+    rwd::graph::weighted::weighted_twin(&ba_graph(), 0xD5EED).unwrap()
+}
+
 #[test]
 fn sample_estimator_is_thread_invariant() {
     let g = ba_graph();
@@ -77,6 +83,51 @@ fn walk_index_is_thread_invariant() {
             baseline.estimate_hit_probs(&set),
             "{threads} threads"
         );
+    }
+}
+
+#[test]
+fn weighted_walk_index_is_thread_invariant() {
+    // The weighted build runs the same 2-D (layer × node-chunk) grid as the
+    // unweighted one; alias-table draws come from per-(seed, node, layer)
+    // streams, so postings must be bit-identical at any worker count.
+    let g = weighted_ba_graph();
+    let set = NodeSet::from_nodes(g.n(), [NodeId(3), NodeId(99)]);
+    let baseline = WalkIndex::build_weighted_with_threads(&g, 5, 16, 7, THREADS[0]);
+    for threads in &THREADS[1..] {
+        let idx = WalkIndex::build_weighted_with_threads(&g, 5, 16, 7, *threads);
+        assert_eq!(
+            idx.total_postings(),
+            baseline.total_postings(),
+            "{threads} threads"
+        );
+        for layer in 0..idx.r() {
+            for v in g.nodes() {
+                assert_eq!(
+                    idx.postings(layer, v),
+                    baseline.postings(layer, v),
+                    "layer {layer}, node {v}, {threads} threads"
+                );
+            }
+        }
+        assert_eq!(
+            idx.estimate_hit_times(&set),
+            baseline.estimate_hit_times(&set),
+            "{threads} threads"
+        );
+        assert_eq!(
+            idx.estimate_hit_probs(&set),
+            baseline.estimate_hit_probs(&set),
+            "{threads} threads"
+        );
+    }
+    // And the convenience all-cores entry point agrees with the explicit one.
+    let all_cores = WalkIndex::build_weighted(&g, 5, 16, 7);
+    assert_eq!(all_cores.total_postings(), baseline.total_postings());
+    for layer in 0..baseline.r() {
+        for v in g.nodes() {
+            assert_eq!(all_cores.postings(layer, v), baseline.postings(layer, v));
+        }
     }
 }
 
