@@ -1,7 +1,8 @@
 //! Ablation benches for the design choices called out in DESIGN.md §5:
 //!
 //! * lazy (CELF) vs plain evaluation in the exact greedy,
-//! * lazy vs full-sweep gain evaluation in the approximate greedy,
+//! * sweep vs CELF vs delta-maintained gain evaluation in the approximate
+//!   greedy,
 //! * serial vs parallel index construction,
 //! * the combined-λ gain rule vs the pure rules (cost of the blend).
 
@@ -10,6 +11,7 @@ use rwd_bench::small_synthetic;
 use rwd_core::algo::{select_from_index, ApproxGreedy, DpGreedy};
 use rwd_core::greedy::approx::GainRule;
 use rwd_core::problem::{Params, Problem};
+use rwd_core::Strategy;
 use rwd_walks::WalkIndex;
 
 fn bench_ablation(c: &mut Criterion) {
@@ -18,17 +20,21 @@ fn bench_ablation(c: &mut Criterion) {
     // CELF vs plain on the exact objective.
     let mut group = c.benchmark_group("ablation_dp_lazy");
     group.sample_size(10);
-    for lazy in [false, true] {
+    for strategy in [Strategy::Sweep, Strategy::Celf] {
         let params = Params {
             k: 10,
             l: 5,
             r: 1,
             seed: 7,
-            lazy,
+            strategy,
             ..Params::default()
         };
         group.bench_with_input(
-            BenchmarkId::from_parameter(if lazy { "celf" } else { "plain" }),
+            BenchmarkId::from_parameter(if strategy == Strategy::Celf {
+                "celf"
+            } else {
+                "plain"
+            }),
             &params,
             |b, &p| {
                 b.iter(|| DpGreedy::new(Problem::MaxCoverage, p).run(&g).unwrap());
@@ -37,16 +43,20 @@ fn bench_ablation(c: &mut Criterion) {
     }
     group.finish();
 
-    // Lazy vs full-sweep gain evaluation over a shared prebuilt index.
+    // Sweep vs CELF vs delta-maintained gains over a shared prebuilt index.
     let idx = WalkIndex::build(&g, 6, 100, 7);
-    let mut group = c.benchmark_group("ablation_approx_lazy");
+    let mut group = c.benchmark_group("ablation_approx_strategy");
     group.sample_size(20);
-    for lazy in [false, true] {
+    for (name, strategy) in [
+        ("sweep", Strategy::Sweep),
+        ("celf", Strategy::Celf),
+        ("delta", Strategy::Delta),
+    ] {
         group.bench_with_input(
-            BenchmarkId::from_parameter(if lazy { "celf" } else { "sweep" }),
-            &lazy,
-            |b, &lazy| {
-                b.iter(|| select_from_index(&idx, GainRule::Coverage, 20, lazy, 0).unwrap());
+            BenchmarkId::from_parameter(name),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| select_from_index(&idx, GainRule::Coverage, 20, strategy, 0).unwrap());
             },
         );
     }
@@ -75,7 +85,7 @@ fn bench_ablation(c: &mut Criterion) {
         ("combined", GainRule::Combined { lambda: 0.5 }),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &rule, |b, &rule| {
-            b.iter(|| select_from_index(&idx, rule, 10, true, 0).unwrap());
+            b.iter(|| select_from_index(&idx, rule, 10, Strategy::Celf, 0).unwrap());
         });
     }
     group.finish();

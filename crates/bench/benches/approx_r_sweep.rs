@@ -5,6 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rwd_bench::small_synthetic;
 use rwd_core::algo::ApproxGreedy;
 use rwd_core::problem::{Params, Problem};
+use rwd_core::Strategy;
 
 fn bench_r_sweep(c: &mut Criterion) {
     let g = small_synthetic();
@@ -16,7 +17,7 @@ fn bench_r_sweep(c: &mut Criterion) {
             l: 5,
             r,
             seed: 7,
-            lazy: false,
+            strategy: Strategy::Sweep,
             ..Params::default()
         };
         group.bench_with_input(BenchmarkId::from_parameter(r), &params, |b, &p| {

@@ -6,26 +6,70 @@
 //!   single-threaded vs all cores (the 2-D build-grid speedup),
 //! * one full `gains_all` sweep (the per-round cost of paper-faithful
 //!   Algorithm 6),
-//! * a complete k=20 CELF lazy greedy from a prebuilt index,
+//! * a complete CELF lazy greedy from a prebuilt index,
+//! * the same selection under `Strategy::Delta` — the output-sensitive
+//!   engine over the dual-view index — with per-round touched-posting
+//!   counts showing how little each round actually re-reads,
 //!
-//! and writes the measurements as JSON (default `BENCH_2.json`, the
-//! PR-2 snapshot; later PRs add `BENCH_<n>.json` files beside it so the
-//! trajectory stays diffable).
+//! and writes the measurements as JSON (default `BENCH_3.json`, the PR-3
+//! snapshot; earlier `BENCH_<n>.json` files stay beside it so the
+//! trajectory is diffable).
+//!
+//! Schema `rwd-perf/2`: every timing records the worker count it actually
+//! ran with, and `available_parallelism` is a top-level field — so a
+//! snapshot taken on a 1-core container is self-describing instead of
+//! silently reporting ~1.0 speedups.
 //!
 //! Usage: `cargo run --release -p rwd-bench --bin perf -- [--scale small|full]
 //! [--out PATH] [--reps N]`. The small scale exists for CI, where the run
 //! must take seconds; numbers are only comparable within one machine.
+//!
+//! The full scale keeps the Barabási–Albert graph of every previous
+//! snapshot (trajectory comparability). The small scale uses an
+//! Erdős–Rényi graph: on a 4k-node BA graph the hubs' inverted lists are a
+//! double-digit percentage of the whole index, which makes per-seed repair
+//! work degenerate-large relative to one sweep — a homogeneous graph is
+//! the representative regime for the strategy comparison CI asserts.
 
 use std::time::Instant;
 
-use rwd_core::algo::select_from_index;
+use rwd_core::algo::{delta_greedy_with_stats, select_from_index};
 use rwd_core::greedy::approx::{GainEngine, GainRule};
-use rwd_graph::generators::barabasi_albert;
+use rwd_core::Strategy;
+use rwd_graph::generators::{barabasi_albert, erdos_renyi_gnp};
 use rwd_graph::weighted::weighted_twin;
+use rwd_graph::CsrGraph;
 use rwd_walks::WalkIndex;
+
+#[derive(Clone, Copy)]
+enum Model {
+    /// Barabási–Albert with `mdeg` attachments per node.
+    Ba,
+    /// Erdős–Rényi `G(n, p)` with `p = mdeg / n` (mean degree `mdeg`).
+    ErdosRenyi,
+}
+
+impl Model {
+    fn json_name(self) -> &'static str {
+        match self {
+            Model::Ba => "barabasi_albert",
+            Model::ErdosRenyi => "erdos_renyi_gnp",
+        }
+    }
+
+    fn build(self, n: usize, mdeg: usize, seed: u64) -> CsrGraph {
+        match self {
+            Model::Ba => barabasi_albert(n, mdeg, seed).expect("valid BA parameters"),
+            Model::ErdosRenyi => {
+                erdos_renyi_gnp(n, mdeg as f64 / n as f64, seed).expect("valid ER parameters")
+            }
+        }
+    }
+}
 
 struct Scale {
     name: &'static str,
+    model: Model,
     n: usize,
     mdeg: usize,
     l: u32,
@@ -35,6 +79,7 @@ struct Scale {
 
 const FULL: Scale = Scale {
     name: "full",
+    model: Model::Ba,
     n: 50_000,
     mdeg: 8,
     l: 10,
@@ -44,8 +89,9 @@ const FULL: Scale = Scale {
 
 const SMALL: Scale = Scale {
     name: "small",
+    model: Model::ErdosRenyi,
     n: 4_000,
-    mdeg: 6,
+    mdeg: 12,
     l: 8,
     r: 16,
     k: 20,
@@ -71,9 +117,16 @@ fn fmt_ms(v: f64) -> String {
     format!("{v:.3}")
 }
 
+/// One named timing with the worker count it actually ran with.
+struct Timing {
+    name: &'static str,
+    ms: f64,
+    threads: usize,
+}
+
 fn main() {
     let mut scale = FULL;
-    let mut out_path = String::from("BENCH_2.json");
+    let mut out_path = String::from("BENCH_3.json");
     let mut reps = 3usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -108,23 +161,30 @@ fn main() {
     }
 
     let cores = std::thread::available_parallelism().map_or(1, |t| t.get());
+    // Layer-parallel passes cap their fan-out at the layer count.
+    let layer_threads = cores.min(scale.r);
     eprintln!(
-        "perf: scale={} n={} mdeg={} l={} r={} k={} reps={} cores={}",
+        "perf: scale={} n={} mdeg={} l={} r={} k={} reps={} available_parallelism={}",
         scale.name, scale.n, scale.mdeg, scale.l, scale.r, scale.k, reps, cores
     );
 
-    let g = barabasi_albert(scale.n, scale.mdeg, GRAPH_SEED).expect("valid BA parameters");
+    let g = scale.model.build(scale.n, scale.mdeg, GRAPH_SEED);
     let wg = weighted_twin(&g, GRAPH_SEED).expect("valid weighted twin");
+    let mut timings: Vec<Timing> = Vec::new();
+    let mut record = |name: &'static str, ms: f64, threads: usize| {
+        eprintln!("  {name:<27}: {} ms ({threads} thread(s))", fmt_ms(ms));
+        timings.push(Timing { name, ms, threads });
+    };
 
     // --- index builds: 1 thread vs all cores, unweighted and weighted ----
     let (uw_1t, idx_1t) = time_ms(reps, || {
         WalkIndex::build_with_threads(&g, scale.l, scale.r, WALK_SEED, 1)
     });
-    eprintln!("  unweighted build, 1 thread : {} ms", fmt_ms(uw_1t));
+    record("index_build_unweighted_1t", uw_1t, 1);
     let (uw_all, idx) = time_ms(reps, || {
         WalkIndex::build_with_threads(&g, scale.l, scale.r, WALK_SEED, 0)
     });
-    eprintln!("  unweighted build, all cores: {} ms", fmt_ms(uw_all));
+    record("index_build_unweighted_all", uw_all, cores);
     assert_eq!(
         idx.total_postings(),
         idx_1t.total_postings(),
@@ -134,11 +194,11 @@ fn main() {
     let (w_1t, widx_1t) = time_ms(reps, || {
         WalkIndex::build_weighted_with_threads(&wg, scale.l, scale.r, WALK_SEED, 1)
     });
-    eprintln!("  weighted build,   1 thread : {} ms", fmt_ms(w_1t));
+    record("index_build_weighted_1t", w_1t, 1);
     let (w_all, widx) = time_ms(reps, || {
         WalkIndex::build_weighted_with_threads(&wg, scale.l, scale.r, WALK_SEED, 0)
     });
-    eprintln!("  weighted build,   all cores: {} ms", fmt_ms(w_all));
+    record("index_build_weighted_all", w_all, cores);
     assert_eq!(
         widx.total_postings(),
         widx_1t.total_postings(),
@@ -150,50 +210,80 @@ fn main() {
         let engine = GainEngine::new(&idx, GainRule::HittingTime);
         engine.gains_all()
     });
-    eprintln!("  gains_all sweep            : {} ms", fmt_ms(sweep_ms));
+    record("gains_all_sweep", sweep_ms, layer_threads);
 
     // --- full k-selection via CELF on the prebuilt index -----------------
-    let (greedy_ms, sel) = time_ms(reps, || {
-        select_from_index(&idx, GainRule::HittingTime, scale.k, true, 0)
+    let (celf_ms, celf) = time_ms(reps, || {
+        select_from_index(&idx, GainRule::HittingTime, scale.k, Strategy::Celf, 0)
             .expect("valid selection parameters")
     });
+    record("celf_greedy_full", celf_ms, layer_threads);
+    eprintln!("      CELF evaluations       : {}", celf.evaluations);
+
+    // --- the same selection via delta-maintained gains -------------------
+    let (delta_ms, (delta, touched)) = time_ms(reps, || {
+        delta_greedy_with_stats(&idx, GainRule::HittingTime, scale.k, 0)
+            .expect("valid selection parameters")
+    });
+    record("delta_greedy_full", delta_ms, layer_threads);
+    assert_eq!(
+        celf.nodes, delta.nodes,
+        "Strategy::Delta must select the same seeds as CELF"
+    );
+    assert_eq!(
+        celf.gain_trace, delta.gain_trace,
+        "Strategy::Delta must report identical gains"
+    );
     eprintln!(
-        "  lazy greedy (k={})         : {} ms ({} evaluations)",
-        scale.k,
-        fmt_ms(greedy_ms),
-        sel.evaluations
+        "      touched postings/round : {touched:?} (index total {})",
+        idx.total_postings()
     );
 
     let unix_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
 
+    let timing_lines: Vec<String> = timings
+        .iter()
+        .map(|t| {
+            format!(
+                "    \"{}\": {{ \"ms\": {}, \"threads\": {} }}",
+                t.name,
+                fmt_ms(t.ms),
+                t.threads
+            )
+        })
+        .collect();
+    let touched_json: Vec<String> = touched.iter().map(|t| t.to_string()).collect();
+
     let json = format!(
         r#"{{
-  "schema": "rwd-perf/1",
-  "pr": 2,
+  "schema": "rwd-perf/2",
+  "pr": 3,
   "unix_secs": {unix_secs},
-  "cores": {cores},
+  "available_parallelism": {cores},
   "scale": "{scale_name}",
-  "graph": {{ "model": "barabasi_albert", "n": {n}, "m": {m}, "mdeg": {mdeg}, "seed": {gseed} }},
+  "graph": {{ "model": "{model}", "n": {n}, "m": {m}, "mdeg": {mdeg}, "seed": {gseed} }},
   "params": {{ "l": {l}, "r": {r}, "k": {k}, "walk_seed": {wseed}, "reps": {reps} }},
-  "index": {{ "total_postings": {postings}, "memory_bytes": {mem} }},
-  "timings_ms": {{
-    "index_build_unweighted_1t": {uw_1t},
-    "index_build_unweighted_all": {uw_all},
-    "index_build_weighted_1t": {w_1t},
-    "index_build_weighted_all": {w_all},
-    "gains_all_sweep": {sweep},
-    "lazy_greedy_full": {greedy}
+  "index": {{ "total_postings": {postings}, "memory_bytes": {mem}, "views": 2 }},
+  "timings": {{
+{timings}
   }},
   "speedups": {{
     "unweighted_build_all_vs_1t": {uw_speedup},
-    "weighted_build_all_vs_1t": {w_speedup}
+    "weighted_build_all_vs_1t": {w_speedup},
+    "delta_vs_celf_greedy": {delta_speedup}
   }},
-  "greedy_evaluations": {evals}
+  "greedy_evaluations": {celf_evals},
+  "greedy_delta": {{
+    "evaluations": {delta_evals},
+    "touched_postings_per_round": [{touched}],
+    "index_postings": {postings}
+  }}
 }}
 "#,
         scale_name = scale.name,
+        model = scale.model.json_name(),
         n = g.n(),
         m = g.m(),
         mdeg = scale.mdeg,
@@ -204,15 +294,13 @@ fn main() {
         wseed = WALK_SEED,
         postings = idx.total_postings(),
         mem = idx.memory_bytes(),
-        uw_1t = fmt_ms(uw_1t),
-        uw_all = fmt_ms(uw_all),
-        w_1t = fmt_ms(w_1t),
-        w_all = fmt_ms(w_all),
-        sweep = fmt_ms(sweep_ms),
-        greedy = fmt_ms(greedy_ms),
+        timings = timing_lines.join(",\n"),
         uw_speedup = fmt_ms(uw_1t / uw_all.max(1e-9)),
         w_speedup = fmt_ms(w_1t / w_all.max(1e-9)),
-        evals = sel.evaluations,
+        delta_speedup = fmt_ms(celf_ms / delta_ms.max(1e-9)),
+        celf_evals = celf.evaluations,
+        delta_evals = delta.evaluations,
+        touched = touched_json.join(", "),
     );
     std::fs::write(&out_path, json).expect("write perf snapshot");
     eprintln!("perf: wrote {out_path}");

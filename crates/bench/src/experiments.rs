@@ -13,6 +13,7 @@ use rwd_core::baselines;
 use rwd_core::metrics::{self, MetricParams};
 use rwd_core::problem::{Params, Problem, Selection};
 use rwd_core::report::{fmt_f, Table};
+use rwd_core::Strategy;
 use rwd_datasets::{scalability_graph, Dataset};
 use rwd_graph::{CsrGraph, NodeId};
 use rwd_walks::WalkIndex;
@@ -224,7 +225,7 @@ pub fn fig4(_opts: Options) {
                     l,
                     r: 1,
                     seed: 7,
-                    lazy: false,
+                    strategy: Strategy::Sweep,
                     ..Params::default()
                 },
             )
@@ -237,7 +238,7 @@ pub fn fig4(_opts: Options) {
                     l,
                     r: 1,
                     seed: 7,
-                    lazy: true,
+                    strategy: Strategy::Celf,
                     ..Params::default()
                 },
             )
@@ -258,7 +259,7 @@ pub fn fig4(_opts: Options) {
                     l,
                     r,
                     seed: 7,
-                    lazy: false,
+                    strategy: Strategy::Sweep,
                     ..Params::default()
                 },
             )
@@ -271,7 +272,7 @@ pub fn fig4(_opts: Options) {
                     l,
                     r,
                     seed: 7,
-                    lazy: true,
+                    strategy: Strategy::Celf,
                     ..Params::default()
                 },
             )
@@ -302,7 +303,7 @@ pub fn fig5(_opts: Options) {
                 l,
                 r,
                 seed: 7,
-                lazy: false,
+                strategy: Strategy::Sweep,
                 ..Params::default()
             };
             let a1 = ApproxGreedy::new(Problem::MinHittingTime, p)
@@ -420,7 +421,7 @@ pub fn fig9(opts: Options) {
             l: 6,
             r: 100,
             seed: 7,
-            lazy: true,
+            strategy: Strategy::Celf,
             ..Params::default()
         };
         let a1 = ApproxGreedy::new(Problem::MinHittingTime, p)

@@ -15,15 +15,17 @@ use rwd_graph::{CsrGraph, NodeId};
 use rwd_walks::WalkIndex;
 
 use crate::greedy::approx::{GainEngine, GainRule};
-use crate::greedy::driver;
+use crate::greedy::delta::DeltaGainEngine;
+use crate::greedy::{driver, Strategy};
 use crate::objective::{ExactF1, ExactF2, SampledF1, SampledF2};
 use crate::problem::{Params, Problem, Selection};
 use crate::Result;
 
 /// Exact greedy: marginal gains from the Eq. (4)/(8) dynamic programs.
 ///
-/// The paper's `DPF1`/`DPF2`. `params.lazy` enables CELF, which the paper
-/// recommends via \[19\]; selections are identical either way.
+/// The paper's `DPF1`/`DPF2`. Any non-[`Strategy::Sweep`] strategy runs
+/// CELF, which the paper recommends via \[19\]; selections are identical
+/// either way.
 #[derive(Clone, Copy, Debug)]
 pub struct DpGreedy {
     problem: Problem,
@@ -44,12 +46,12 @@ impl DpGreedy {
             Problem::MinHittingTime => driver::greedy(
                 &ExactF1::new(g, self.params.l),
                 self.params.k,
-                self.params.lazy,
+                self.params.strategy.lazy(),
             ),
             Problem::MaxCoverage => driver::greedy(
                 &ExactF2::new(g, self.params.l),
                 self.params.k,
-                self.params.lazy,
+                self.params.strategy.lazy(),
             ),
         };
         Ok(finish(
@@ -83,10 +85,11 @@ impl SamplingGreedy {
             l,
             r,
             seed,
-            lazy,
+            strategy,
             ..
         } = self.params;
         let start = Instant::now();
+        let lazy = strategy.lazy();
         let outcome = match self.problem {
             Problem::MinHittingTime => driver::greedy(&SampledF1::new(g, l, r, seed), k, lazy),
             Problem::MaxCoverage => driver::greedy(&SampledF2::new(g, l, r, seed), k, lazy),
@@ -99,14 +102,22 @@ impl SamplingGreedy {
     }
 }
 
-/// The approximate greedy algorithm (Algorithm 6): builds the inverted walk
-/// index once, then selects `k` nodes with Algorithm 4/5 gain evaluation.
+/// The approximate greedy algorithm (Algorithm 6): builds the dual-view
+/// walk index once, then selects `k` nodes with Algorithm 4/5 gain
+/// evaluation under the configured [`Strategy`]:
 ///
-/// `params.lazy = false` reproduces the paper exactly (one full index sweep
-/// per round). `params.lazy = true` (default) runs one initial sweep and
-/// then CELF with per-candidate Algorithm 4 — the same selections when gains
-/// are deterministic (they are: the index is fixed), usually much faster for
-/// large `k`. The ablation bench quantifies the difference.
+/// * [`Strategy::Sweep`] reproduces the paper exactly — one full index
+///   sweep per round,
+/// * [`Strategy::Celf`] (default) runs one initial sweep and then CELF
+///   with per-candidate Algorithm 4,
+/// * [`Strategy::Delta`] maintains every candidate's exact gain
+///   incrementally through the index's forward view
+///   ([`DeltaGainEngine`]) — per-round work proportional to what the last
+///   commit changed, no resweeps at all.
+///
+/// Selections are identical under every strategy (the index is fixed, so
+/// gains are deterministic); the ablation bench and the perf binary
+/// quantify the speed differences.
 #[derive(Clone, Copy, Debug)]
 pub struct ApproxGreedy {
     problem: Problem,
@@ -138,7 +149,7 @@ impl ApproxGreedy {
             &idx,
             rule,
             self.params.k,
-            self.params.lazy,
+            self.params.strategy,
             self.params.threads,
         )?;
         sel.elapsed = start.elapsed();
@@ -159,7 +170,7 @@ impl ApproxGreedy {
             idx,
             rule,
             self.params.k,
-            self.params.lazy,
+            self.params.strategy,
             self.params.threads,
         )?;
         sel.elapsed = start.elapsed();
@@ -193,7 +204,7 @@ pub fn approx_greedy_weighted(
         Problem::MinHittingTime => GainRule::HittingTime,
         Problem::MaxCoverage => GainRule::Coverage,
     };
-    let mut sel = select_from_index(&idx, rule, params.k, params.lazy, params.threads)?;
+    let mut sel = select_from_index(&idx, rule, params.k, params.strategy, params.threads)?;
     sel.elapsed = start.elapsed();
     sel.algorithm = format!("WeightedApprox{}", problem.suffix());
     Ok(sel)
@@ -209,7 +220,7 @@ pub fn approx_combined(g: &CsrGraph, lambda: f64, params: Params) -> Result<Sele
         &idx,
         GainRule::Combined { lambda },
         params.k,
-        params.lazy,
+        params.strategy,
         params.threads,
     )?;
     sel.elapsed = start.elapsed();
@@ -217,14 +228,19 @@ pub fn approx_combined(g: &CsrGraph, lambda: f64, params: Params) -> Result<Sele
     Ok(sel)
 }
 
-/// Core of Algorithm 6 given a built index and a gain rule.
+/// Core of Algorithm 6 given a built index, a gain rule and an evaluation
+/// [`Strategy`]. All strategies return identical selections; see
+/// [`ApproxGreedy`] for the trade-offs.
 pub fn select_from_index(
     idx: &WalkIndex,
     rule: GainRule,
     k: usize,
-    lazy: bool,
+    strategy: Strategy,
     threads: usize,
 ) -> Result<Selection> {
+    if strategy == Strategy::Delta {
+        return delta_greedy_with_stats(idx, rule, k, threads).map(|(sel, _)| sel);
+    }
     if k == 0 || k > idx.n() {
         return Err(crate::CoreError::InvalidParams(format!(
             "k = {k} outside [1, n = {}]",
@@ -235,10 +251,9 @@ pub fn select_from_index(
     let mut engine = GainEngine::with_threads(idx, rule, threads);
     let mut nodes = Vec::with_capacity(k);
     let mut gain_trace = Vec::with_capacity(k);
-    let mut objective_trace = Vec::with_capacity(k);
     let mut evaluations = 0usize;
 
-    if lazy {
+    if strategy.lazy() {
         run_lazy(
             &mut engine,
             k,
@@ -256,22 +271,75 @@ pub fn select_from_index(
         );
     }
 
-    // Recover the objective trace from the gain trace (F(∅) = 0 for every
-    // rule, and gains are exact marginals of the sampled objective).
+    Ok(assemble_selection(
+        nodes,
+        gain_trace,
+        evaluations,
+        start.elapsed(),
+    ))
+}
+
+/// [`Strategy::Delta`] greedy with per-round output-sensitivity stats: the
+/// second return value is, for each round, the number of postings the
+/// delta repair actually streamed (the perf harness records it next to the
+/// CELF evaluation counts; after round 1 it is typically far below one
+/// full index sweep).
+pub fn delta_greedy_with_stats(
+    idx: &WalkIndex,
+    rule: GainRule,
+    k: usize,
+    threads: usize,
+) -> Result<(Selection, Vec<usize>)> {
+    if k == 0 || k > idx.n() {
+        return Err(crate::CoreError::InvalidParams(format!(
+            "k = {k} outside [1, n = {}]",
+            idx.n()
+        )));
+    }
+    let start = Instant::now();
+    let mut engine = DeltaGainEngine::with_threads(idx, rule, threads);
+    let mut nodes = Vec::with_capacity(k);
+    let mut gain_trace = Vec::with_capacity(k);
+    let mut touched = Vec::with_capacity(k);
+    // The closed-form initialization evaluates every candidate once; the
+    // rounds themselves re-evaluate nothing.
+    let evaluations = idx.n();
+    for _round in 0..k {
+        let (pick, gain) = engine.best_candidate().expect("k <= n leaves candidates");
+        engine.update(pick);
+        nodes.push(pick);
+        gain_trace.push(gain);
+        touched.push(engine.last_update_touched());
+    }
+    Ok((
+        assemble_selection(nodes, gain_trace, evaluations, start.elapsed()),
+        touched,
+    ))
+}
+
+/// Builds a [`Selection`], recovering the objective trace from the gain
+/// trace (`F(∅) = 0` for every rule, and gains are exact marginals of the
+/// sampled objective).
+fn assemble_selection(
+    nodes: Vec<NodeId>,
+    gain_trace: Vec<f64>,
+    evaluations: usize,
+    elapsed: std::time::Duration,
+) -> Selection {
+    let mut objective_trace = Vec::with_capacity(gain_trace.len());
     let mut acc = 0.0;
     for &g in &gain_trace {
         acc += g;
         objective_trace.push(acc);
     }
-
-    Ok(Selection {
+    Selection {
         nodes,
         gain_trace,
         objective_trace,
         evaluations,
-        elapsed: start.elapsed(),
+        elapsed,
         algorithm: String::new(),
-    })
+    }
 }
 
 /// Paper-faithful mode: one full gain sweep per round.
@@ -375,7 +443,7 @@ mod tests {
             r,
             seed: 7,
             threads: 0,
-            lazy: true,
+            strategy: Strategy::Celf,
         }
     }
 
@@ -394,7 +462,7 @@ mod tests {
         for problem in [Problem::MinHittingTime, Problem::MaxCoverage] {
             let lazy = DpGreedy::new(problem, params(4, 4, 10)).run(&g).unwrap();
             let mut p = params(4, 4, 10);
-            p.lazy = false;
+            p.strategy = Strategy::Sweep;
             let plain = DpGreedy::new(problem, p).run(&g).unwrap();
             assert_eq!(lazy.nodes, plain.nodes);
             assert!(lazy.evaluations <= plain.evaluations);
@@ -402,17 +470,33 @@ mod tests {
     }
 
     #[test]
-    fn approx_sweep_equals_lazy() {
+    fn all_strategies_select_identically() {
         let g = barabasi_albert(200, 3, 3).unwrap();
         for problem in [Problem::MinHittingTime, Problem::MaxCoverage] {
             let mut p = params(10, 5, 32);
-            p.lazy = false;
+            p.strategy = Strategy::Sweep;
             let sweep = ApproxGreedy::new(problem, p).run(&g).unwrap();
-            p.lazy = true;
-            let lazy = ApproxGreedy::new(problem, p).run(&g).unwrap();
-            assert_eq!(sweep.nodes, lazy.nodes, "{problem:?}");
-            assert_eq!(sweep.gain_trace, lazy.gain_trace);
+            for strategy in [Strategy::Celf, Strategy::Delta] {
+                p.strategy = strategy;
+                let other = ApproxGreedy::new(problem, p).run(&g).unwrap();
+                assert_eq!(sweep.nodes, other.nodes, "{problem:?} {strategy:?}");
+                assert_eq!(
+                    sweep.gain_trace, other.gain_trace,
+                    "{problem:?} {strategy:?}"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn delta_stats_report_output_sensitive_rounds() {
+        let g = barabasi_albert(300, 4, 5).unwrap();
+        let idx = WalkIndex::build(&g, 6, 16, 9);
+        let (sel, touched) = delta_greedy_with_stats(&idx, GainRule::Coverage, 10, 0).unwrap();
+        assert_eq!(sel.nodes.len(), 10);
+        assert_eq!(touched.len(), 10);
+        // Every round's repair must stay below one full index resweep.
+        assert!(touched[1..].iter().all(|&t| t < idx.total_postings()));
     }
 
     #[test]

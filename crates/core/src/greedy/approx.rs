@@ -37,17 +37,60 @@ pub enum GainRule {
 }
 
 impl GainRule {
-    fn needs_f1(self) -> bool {
+    pub(crate) fn needs_f1(self) -> bool {
         !matches!(self, GainRule::Coverage)
     }
-    fn needs_f2(self) -> bool {
+    pub(crate) fn needs_f2(self) -> bool {
         !matches!(self, GainRule::HittingTime)
+    }
+
+    /// Validates rule parameters; every engine constructor calls this so
+    /// the rules are enforced identically across strategies.
+    pub(crate) fn validate(self) {
+        if let GainRule::Combined { lambda } = self {
+            assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0, 1]");
+        }
+    }
+
+    /// Allocates the flattened `[layer][node]` `D` tables this rule needs,
+    /// initialized for `S = ∅` (Algorithm 6 line 3: `L` for Problem 1, `0`
+    /// for Problem 2); tables the rule does not use stay empty. Shared by
+    /// the sweep-based and delta-maintained engines so their state can
+    /// never diverge structurally.
+    pub(crate) fn alloc_tables(self, n: usize, r: usize, l: u32) -> (Vec<u32>, Vec<u8>) {
+        let d1 = if self.needs_f1() {
+            vec![l; r * n]
+        } else {
+            Vec::new()
+        };
+        let d2 = if self.needs_f2() {
+            vec![0u8; r * n]
+        } else {
+            Vec::new()
+        };
+        (d1, d2)
+    }
+
+    /// Blends per-problem mean gains into the rule's scalar gain. Every
+    /// engine (sweep-based and delta-maintained) routes through this one
+    /// function with the same operation order, so equal integer totals
+    /// yield bit-identical blended gains.
+    pub(crate) fn blend(self, g1: f64, g2: f64, n: usize, l: u32) -> f64 {
+        match self {
+            GainRule::HittingTime => g1,
+            GainRule::Coverage => g2,
+            GainRule::Combined { lambda } => {
+                let n = n.max(1) as f64;
+                lambda * g1 / (n * l.max(1) as f64) + (1.0 - lambda) * g2 / n
+            }
+        }
     }
 }
 
-/// Below this many touched postings, [`GainEngine::update`] runs serially —
-/// thread spawn/join costs more than the whole refresh.
-const MIN_PARALLEL_UPDATE_WORK: usize = 1 << 15;
+/// Below this many touched postings, [`GainEngine::update`] and
+/// [`GainEngine::gains_all`] run serially — thread spawn/join costs more
+/// than the whole pass. Shared with the layer-parallel index estimators.
+const MIN_PARALLEL_UPDATE_WORK: usize = rwd_walks::parallel::MIN_PARALLEL_SWEEP_WORK;
 
 /// Incremental marginal-gain evaluation over a [`WalkIndex`].
 pub struct GainEngine<'a> {
@@ -77,22 +120,11 @@ impl<'a> GainEngine<'a> {
 
     /// [`GainEngine::new`] with an explicit worker count (`0` = all cores).
     pub fn with_threads(idx: &'a WalkIndex, rule: GainRule, threads: usize) -> Self {
-        if let GainRule::Combined { lambda } = rule {
-            assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0, 1]");
-        }
+        rule.validate();
         let n = idx.n();
         let r = idx.r();
         let l = idx.l();
-        let d1 = if rule.needs_f1() {
-            vec![l; r * n]
-        } else {
-            Vec::new()
-        };
-        let d2 = if rule.needs_f2() {
-            vec![0u8; r * n]
-        } else {
-            Vec::new()
-        };
+        let (d1, d2) = rule.alloc_tables(n, r, l);
         let d1_total = (r * n) as u64 * l as u64;
         GainEngine {
             idx,
@@ -188,51 +220,71 @@ impl<'a> GainEngine<'a> {
     /// Computes estimated marginal gains for **all** nodes in one sweep of
     /// the index (`O(nR + postings)` work, parallel over layers). Entries
     /// for already-selected nodes are meaningless; callers skip them.
+    ///
+    /// Small instances (by the same work measure that gates
+    /// [`GainEngine::update`]: table slots plus streamed postings) run
+    /// serially — thread spawn/join would dominate. Both paths accumulate
+    /// exact integer-valued sums, so gains are bit-identical either way.
     pub fn gains_all(&self) -> Vec<f64> {
-        let workers = self.effective_threads();
-        let chunk = self.r.div_ceil(workers);
-        let layer_range: Vec<usize> = (0..self.r).collect();
-        let mut partials: Vec<(Vec<f64>, Vec<f64>)> = Vec::with_capacity(workers);
-        // Scoped fan-out over layer chunks; the reduction below sums the
-        // per-worker partials in chunk order, so gains are identical for any
-        // worker count.
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = layer_range
-                .chunks(chunk)
-                .map(|layers| {
-                    scope.spawn(move || {
-                        let mut g1 = if self.rule.needs_f1() {
-                            vec![0.0f64; self.n]
-                        } else {
-                            Vec::new()
-                        };
-                        let mut g2 = if self.rule.needs_f2() {
-                            vec![0.0f64; self.n]
-                        } else {
-                            Vec::new()
-                        };
-                        for &i in layers {
-                            self.accumulate_layer(i, &mut g1, &mut g2);
-                        }
-                        (g1, g2)
-                    })
-                })
-                .collect();
-            for h in handles {
-                partials.push(h.join().expect("gain worker panicked"));
+        let work = self.r * self.n + self.idx.total_postings();
+        let workers = if work < MIN_PARALLEL_UPDATE_WORK {
+            1
+        } else {
+            self.effective_threads()
+        };
+        let alloc = |needed: bool| {
+            if needed {
+                vec![0.0f64; self.n]
+            } else {
+                Vec::new()
             }
-        });
+        };
 
-        let mut g1 = vec![0.0f64; if self.rule.needs_f1() { self.n } else { 0 }];
-        let mut g2 = vec![0.0f64; if self.rule.needs_f2() { self.n } else { 0 }];
-        for (p1, p2) in partials {
-            for (a, b) in g1.iter_mut().zip(p1) {
-                *a += b;
+        let (g1, g2) = if workers == 1 {
+            let mut g1 = alloc(self.rule.needs_f1());
+            let mut g2 = alloc(self.rule.needs_f2());
+            for i in 0..self.r {
+                self.accumulate_layer(i, &mut g1, &mut g2);
             }
-            for (a, b) in g2.iter_mut().zip(p2) {
-                *a += b;
+            (g1, g2)
+        } else {
+            let chunk = self.r.div_ceil(workers);
+            let layer_range: Vec<usize> = (0..self.r).collect();
+            let mut partials: Vec<(Vec<f64>, Vec<f64>)> = Vec::with_capacity(workers);
+            // Scoped fan-out over layer chunks; the reduction below sums the
+            // per-worker partials in chunk order, so gains are identical for
+            // any worker count.
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = layer_range
+                    .chunks(chunk)
+                    .map(|layers| {
+                        scope.spawn(move || {
+                            let mut g1 = alloc(self.rule.needs_f1());
+                            let mut g2 = alloc(self.rule.needs_f2());
+                            for &i in layers {
+                                self.accumulate_layer(i, &mut g1, &mut g2);
+                            }
+                            (g1, g2)
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    partials.push(h.join().expect("gain worker panicked"));
+                }
+            });
+            let mut g1 = alloc(self.rule.needs_f1());
+            let mut g2 = alloc(self.rule.needs_f2());
+            for (p1, p2) in partials {
+                for (a, b) in g1.iter_mut().zip(p1) {
+                    *a += b;
+                }
+                for (a, b) in g2.iter_mut().zip(p2) {
+                    *a += b;
+                }
             }
-        }
+            (g1, g2)
+        };
+
         let r = self.r as f64;
         (0..self.n)
             .map(|u| {
@@ -381,14 +433,7 @@ impl<'a> GainEngine<'a> {
     }
 
     fn blend(&self, g1: f64, g2: f64) -> f64 {
-        match self.rule {
-            GainRule::HittingTime => g1,
-            GainRule::Coverage => g2,
-            GainRule::Combined { lambda } => {
-                let n = self.n.max(1) as f64;
-                lambda * g1 / (n * self.l.max(1) as f64) + (1.0 - lambda) * g2 / n
-            }
-        }
+        self.rule.blend(g1, g2, self.n, self.l)
     }
 
     fn effective_threads(&self) -> usize {
@@ -592,6 +637,37 @@ mod tests {
                         assert_eq!(engine.est_f2().to_bits(), serial.est_f2().to_bits());
                         assert_eq!(engine.hit_probs(), serial.hit_probs());
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_gains_all_path_is_thread_invariant_above_threshold() {
+        // The same star fixture as the update test: its work measure
+        // (r·n + postings) is far past the gate, so multi-thread engines
+        // take the layer-parallel branch and must reproduce the serial
+        // sweep bit for bit.
+        let g = rwd_graph::generators::classic::star(2_000).unwrap();
+        let idx = WalkIndex::build(&g, 3, 32, 17);
+        assert!(
+            idx.r() * idx.n() + idx.total_postings() >= super::MIN_PARALLEL_UPDATE_WORK,
+            "fixture must cross the sweep gate"
+        );
+        for rule in [
+            GainRule::HittingTime,
+            GainRule::Coverage,
+            GainRule::Combined { lambda: 0.6 },
+        ] {
+            let mut serial = GainEngine::with_threads(&idx, rule, 1);
+            serial.update(NodeId(0));
+            let expected = serial.gains_all();
+            for threads in [2, 8] {
+                let mut engine = GainEngine::with_threads(&idx, rule, threads);
+                engine.update(NodeId(0));
+                let gains = engine.gains_all();
+                for (u, (a, b)) in gains.iter().zip(&expected).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "rule {rule:?} node {u}");
                 }
             }
         }

@@ -50,6 +50,7 @@ pub mod problem;
 pub mod report;
 
 pub use error::CoreError;
+pub use greedy::Strategy;
 pub use problem::{Params, Problem, Selection};
 
 /// Crate-wide result alias.

@@ -4,6 +4,8 @@ use std::time::Duration;
 
 use rwd_graph::NodeId;
 
+use crate::greedy::Strategy;
+
 /// The two random-walk domination problems of the paper (§2.1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Problem {
@@ -42,8 +44,9 @@ pub struct Params {
     pub seed: u64,
     /// Worker threads (`0` = all cores).
     pub threads: usize,
-    /// Use lazy (CELF) evaluation where the solver supports it.
-    pub lazy: bool,
+    /// How greedy rounds evaluate marginal gains (selection-invariant; see
+    /// [`Strategy`]). Defaults to CELF.
+    pub strategy: Strategy,
 }
 
 impl Default for Params {
@@ -56,7 +59,7 @@ impl Default for Params {
             r: 100,
             seed: 0,
             threads: 0,
-            lazy: true,
+            strategy: Strategy::Celf,
         }
     }
 }

@@ -18,6 +18,17 @@
 //! A single index serves *both* problems: Problem 1 consumes the true hop
 //! weights, Problem 2 treats any posting as the indicator "source hits `v`"
 //! (the paper's `weight ← 1` comment in Algorithm 3).
+//!
+//! Every layer additionally stores the **forward view** — the exact
+//! transpose of its inverted lists: `forward(i, src)` enumerates the nodes
+//! that walk `i` from `src` first-visits, with the same hops. The forward
+//! view is what makes greedy rounds output-sensitive: when Algorithm 5
+//! lowers `D[i][src]`, the only candidates whose Algorithm-4 gain changed
+//! are precisely `forward(i, src)`. It is derived canonically from the
+//! inverted columns (per owner-ascending transposition) in every
+//! construction path — build, explicit walks, and `load` — so the on-disk
+//! RWDIDX2 format is unchanged and a reloaded index carries an identical
+//! forward view.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -153,12 +164,24 @@ impl ExactSizeIterator for PostingsIter<'_> {}
 type Triple = (u32, u32, u16);
 
 /// One walk layer: the inverted lists `I[i][·]` for a fixed walk index `i`,
-/// CSR-packed by owner node in struct-of-arrays form.
+/// CSR-packed by owner node in struct-of-arrays form, plus the **forward
+/// view** — the transpose CSR keyed by *source*: `fwd_*[src]` lists the
+/// nodes walk `i` from `src` first-visits and at which hop. The forward
+/// columns are always derived from the inverted columns by a two-pass
+/// stable radix transposition (bucket by hop, then counting-sort by
+/// source), so within one forward list the visited nodes appear in
+/// **ascending hop order** (ties by ascending id) — walk-visit order, which
+/// lets incremental-gain repairs stop at the first hop that can no longer
+/// matter. The order is canonical: every construction path, including
+/// `load`, produces it.
 #[derive(Clone, Debug)]
 struct Layer {
     offsets: Vec<u32>,
     ids: Vec<u32>,
     weights: Vec<u16>,
+    fwd_offsets: Vec<u32>,
+    fwd_ids: Vec<u32>,
+    fwd_weights: Vec<u16>,
 }
 
 impl Layer {
@@ -197,10 +220,69 @@ impl Layer {
             }
             *part = Vec::new();
         }
+        Layer::from_inverted(n, offsets, ids, weights)
+    }
+
+    /// Finishes a layer from its inverted CSR columns by materializing the
+    /// forward view via a two-pass stable radix transposition (`O(n + L +
+    /// entries)`): postings are first bucketed by hop, then counting-sorted
+    /// by source, so each forward list comes out in ascending `(hop, id)`
+    /// order — walk-visit order. Because the transposition only reads the
+    /// inverted columns, every construction path (parallel build, explicit
+    /// walks, `load`) yields a bit-identical forward view for identical
+    /// postings.
+    fn from_inverted(n: usize, offsets: Vec<u32>, ids: Vec<u32>, weights: Vec<u16>) -> Layer {
+        let total = ids.len();
+        assert!(
+            total <= u32::MAX as usize,
+            "layer posting count {total} overflows u32 CSR offsets"
+        );
+        // Pass 1: stable bucket by hop. Hops are 1..=L (≤ u16::MAX), so
+        // this is a counting sort over at most 65535 buckets; within one
+        // hop bucket, entries keep (owner asc) order.
+        let max_hop = weights.iter().copied().max().unwrap_or(0) as usize;
+        let mut hop_counts = vec![0u32; max_hop + 2];
+        for &w in &weights {
+            hop_counts[w as usize + 1] += 1;
+        }
+        for h in 0..=max_hop {
+            hop_counts[h + 1] += hop_counts[h];
+        }
+        let mut by_hop: Vec<(u32, u32, u16)> = vec![(0, 0, 0); total]; // (src, owner, hop)
+        for v in 0..n {
+            let lo = offsets[v] as usize;
+            let hi = offsets[v + 1] as usize;
+            for k in lo..hi {
+                let slot = &mut hop_counts[weights[k] as usize];
+                by_hop[*slot as usize] = (ids[k], v as u32, weights[k]);
+                *slot += 1;
+            }
+        }
+        // Pass 2: stable counting sort by source; per source the (hop asc,
+        // owner asc) order from pass 1 is preserved.
+        let mut counts = vec![0u32; n + 1];
+        for &src in &ids {
+            counts[src as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let fwd_offsets = counts.clone();
+        let mut fwd_ids = vec![0u32; total];
+        let mut fwd_weights = vec![0u16; total];
+        for &(src, owner, hop) in &by_hop {
+            let slot = &mut counts[src as usize];
+            fwd_ids[*slot as usize] = owner;
+            fwd_weights[*slot as usize] = hop;
+            *slot += 1;
+        }
         Layer {
             offsets,
             ids,
             weights,
+            fwd_offsets,
+            fwd_ids,
+            fwd_weights,
         }
     }
 
@@ -213,6 +295,16 @@ impl Layer {
             weights: &self.weights[lo..hi],
         }
     }
+
+    #[inline]
+    fn forward(&self, src: NodeId) -> PostingsRef<'_> {
+        let lo = self.fwd_offsets[src.index()] as usize;
+        let hi = self.fwd_offsets[src.index() + 1] as usize;
+        PostingsRef {
+            ids: &self.fwd_ids[lo..hi],
+            weights: &self.fwd_weights[lo..hi],
+        }
+    }
 }
 
 /// The materialized sample store `I[1:R][1:n]` of Algorithm 3.
@@ -222,6 +314,14 @@ pub struct WalkIndex {
     l: u32,
     layers: Vec<Layer>,
     seed: u64,
+    /// Per-node inverted-posting count across all layers
+    /// (`Σ_i |I[i][v]|`), precomputed at construction — the `S = ∅`
+    /// closed-form gain initializers read these instead of re-streaming
+    /// every list.
+    posting_counts: Vec<u64>,
+    /// Per-node sum of posting hop weights across all layers
+    /// (`Σ_i Σ_{(src,w) ∈ I[i][v]} w`).
+    posting_hop_sums: Vec<u64>,
 }
 
 /// Node chunks smaller than this are not worth a task of their own.
@@ -383,6 +483,60 @@ where
 }
 
 impl WalkIndex {
+    /// Finishes construction from built layers: computes the per-node
+    /// posting aggregates (count and hop-weight sum across layers) in one
+    /// pass over each layer's columns — parallel over node chunks above
+    /// the shared work gate, honoring the caller's worker budget
+    /// (`0` = all cores). Every public constructor funnels through here,
+    /// so the aggregates always agree with the stored postings.
+    fn assemble(n: usize, l: u32, layers: Vec<Layer>, seed: u64, threads: usize) -> WalkIndex {
+        let total: usize = layers.iter().map(|la| la.ids.len()).sum();
+        let mut posting_counts = vec![0u64; n];
+        let mut posting_hop_sums = vec![0u64; n];
+        let fill = |lo: usize, counts: &mut [u64], sums: &mut [u64]| {
+            for layer in &layers {
+                for (slot, v) in (lo..lo + counts.len()).enumerate() {
+                    let a = layer.offsets[v] as usize;
+                    let b = layer.offsets[v + 1] as usize;
+                    counts[slot] += (b - a) as u64;
+                    let mut s = 0u64;
+                    for &w in &layer.weights[a..b] {
+                        s += w as u64;
+                    }
+                    sums[slot] += s;
+                }
+            }
+        };
+        let workers = if n + total < crate::parallel::MIN_PARALLEL_SWEEP_WORK {
+            1
+        } else {
+            resolve_threads(threads).min(n.max(1))
+        };
+        if workers == 1 {
+            fill(0, &mut posting_counts, &mut posting_hop_sums);
+        } else {
+            let chunk = n.div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (ci, (counts, sums)) in posting_counts
+                    .chunks_mut(chunk)
+                    .zip(posting_hop_sums.chunks_mut(chunk))
+                    .enumerate()
+                {
+                    let fill = &fill;
+                    scope.spawn(move || fill(ci * chunk, counts, sums));
+                }
+            });
+        }
+        WalkIndex {
+            n,
+            l,
+            layers,
+            seed,
+            posting_counts,
+            posting_hop_sums,
+        }
+    }
+
     /// Builds the index by running `r` walks per node (Algorithm 3),
     /// parallelized over a `(layer × node-chunk)` grid; the result is a pure
     /// function of `(graph, l, r, seed)` regardless of thread count.
@@ -416,7 +570,7 @@ impl WalkIndex {
         let n = g.n();
         let step = |u: NodeId, rng: &mut WalkRng| walker::step(g, u, rng);
         let layers = build_layers(n, l, r, seed, threads, &step);
-        WalkIndex { n, l, layers, seed }
+        WalkIndex::assemble(n, l, layers, seed, threads)
     }
 
     /// Builds the index over a weighted graph: identical structure, walk
@@ -451,7 +605,7 @@ impl WalkIndex {
         let n = g.n();
         let step = |u: NodeId, rng: &mut WalkRng| walker::step_weighted(g, u, rng);
         let layers = build_layers(n, l, r, seed, threads, &step);
-        WalkIndex { n, l, layers, seed }
+        WalkIndex::assemble(n, l, layers, seed, threads)
     }
 
     /// Builds an index from explicitly supplied walks: `walks[w]` is the
@@ -495,12 +649,7 @@ impl WalkIndex {
                 Layer::from_parts(n, std::slice::from_mut(&mut triples))
             })
             .collect();
-        WalkIndex {
-            n,
-            l,
-            layers: built,
-            seed: 0,
-        }
+        WalkIndex::assemble(n, l, built, 0, 0)
     }
 
     /// Node-universe size.
@@ -534,23 +683,60 @@ impl WalkIndex {
         self.layers[layer].postings(v)
     }
 
-    /// Total number of stored postings (≤ nRL).
+    /// The forward list of `src` in `layer`: the nodes that walk `layer`
+    /// from `src` first-visits, with the visit hop — the exact transpose of
+    /// [`WalkIndex::postings`] (`v ∈ forward(i, src) ⟺ src ∈ I[i][v]`, same
+    /// hop). In the returned view, `ids()` are the *visited nodes* and
+    /// `weights()` the first-visit hops, in ascending hop order (walk-visit
+    /// order; ties by ascending id) — so a consumer that only cares about
+    /// hops below a threshold can stop at the first hop past it.
+    ///
+    /// This is the view that makes incremental greedy output-sensitive:
+    /// when a selection lowers `D[layer][src]`, the candidates whose
+    /// Algorithm-4 gain changed are exactly this list.
+    #[inline]
+    pub fn forward(&self, layer: usize, src: NodeId) -> PostingsRef<'_> {
+        self.layers[layer].forward(src)
+    }
+
+    /// Total number of stored postings (≤ nRL), counting each walk visit
+    /// once (the forward view mirrors the same entries and is not counted).
     pub fn total_postings(&self) -> usize {
         self.layers.iter().map(|l| l.ids.len()).sum()
     }
 
-    /// Approximate resident bytes of the index: per layer, the SoA posting
-    /// columns (4-byte ids + 2-byte hop weights — 6 bytes per posting,
-    /// versus 8 for the old AoS layout) plus the 4-byte CSR offset per node.
+    /// `Σ_i |I[i][v]|` — how many inverted postings `v` owns across all
+    /// layers, precomputed at construction. With `D1 ≡ L` (the `S = ∅`
+    /// state) this and [`WalkIndex::posting_hop_sum`] give every
+    /// candidate's initial gain in closed form without touching a list.
+    #[inline]
+    pub fn posting_count(&self, v: NodeId) -> u64 {
+        self.posting_counts[v.index()]
+    }
+
+    /// `Σ_i Σ_{(src,w) ∈ I[i][v]} w` — the total hop weight of `v`'s
+    /// inverted postings across all layers, precomputed at construction.
+    #[inline]
+    pub fn posting_hop_sum(&self, v: NodeId) -> u64 {
+        self.posting_hop_sums[v.index()]
+    }
+
+    /// Approximate resident bytes of the index: per layer, the inverted SoA
+    /// posting columns (4-byte ids + 2-byte hop weights) **and** the
+    /// forward-view columns of the same shape — 12 bytes per posting in
+    /// total — plus one 4-byte CSR offset per node per view.
     pub fn memory_bytes(&self) -> usize {
+        let aggregates =
+            (self.posting_counts.len() + self.posting_hop_sums.len()) * std::mem::size_of::<u64>();
         self.layers
             .iter()
             .map(|l| {
-                l.ids.len() * std::mem::size_of::<u32>()
-                    + l.weights.len() * std::mem::size_of::<u16>()
-                    + l.offsets.len() * std::mem::size_of::<u32>()
+                (l.ids.len() + l.fwd_ids.len()) * std::mem::size_of::<u32>()
+                    + (l.weights.len() + l.fwd_weights.len()) * std::mem::size_of::<u16>()
+                    + (l.offsets.len() + l.fwd_offsets.len()) * std::mem::size_of::<u32>()
             })
-            .sum()
+            .sum::<usize>()
+            + aggregates
     }
 
     /// Replays the index against an arbitrary target set: returns per-layer
@@ -559,11 +745,19 @@ impl WalkIndex {
     ///
     /// This is the batch (non-incremental) form of what Algorithm 5
     /// maintains; `rwd-core` uses the incremental form inside the greedy
-    /// loop and the tests assert the two agree.
+    /// loop and the tests assert the two agree. Runs on all cores; see
+    /// [`WalkIndex::estimate_hit_times_with_threads`].
     pub fn estimate_hit_times(&self, set: &NodeSet) -> Vec<f64> {
-        let mut acc = vec![0.0f64; self.n];
-        let mut d = vec![0u32; self.n];
-        for layer in &self.layers {
+        self.estimate_hit_times_with_threads(set, 0)
+    }
+
+    /// [`WalkIndex::estimate_hit_times`] with an explicit worker count
+    /// (`0` = all cores). Layers fan out over workers, each reusing one
+    /// `D`-scratch buffer across its layers; per-layer sums are exact
+    /// integers reduced in layer order, so the result is bit-identical at
+    /// any worker count. Instances below the shared work gate run serially.
+    pub fn estimate_hit_times_with_threads(&self, set: &NodeSet, threads: usize) -> Vec<f64> {
+        self.replay_layers(threads, |layer, d| {
             d.fill(self.l);
             for s in set.iter() {
                 d[s.index()] = 0;
@@ -575,35 +769,82 @@ impl WalkIndex {
                     }
                 }
             }
-            for (a, &v) in acc.iter_mut().zip(d.iter()) {
-                *a += v as f64;
-            }
-        }
-        let r = self.layers.len() as f64;
-        acc.iter_mut().for_each(|a| *a /= r);
-        acc
+        })
     }
 
     /// Index-based estimate of the hit probability `p^L_uS`: the fraction of
     /// layers in which `u`'s walk reaches `S` (members of `S` count 1).
+    /// Runs on all cores; see
+    /// [`WalkIndex::estimate_hit_probs_with_threads`].
     pub fn estimate_hit_probs(&self, set: &NodeSet) -> Vec<f64> {
-        let mut acc = vec![0.0f64; self.n];
-        let mut hit = vec![false; self.n];
-        for layer in &self.layers {
-            hit.fill(false);
+        self.estimate_hit_probs_with_threads(set, 0)
+    }
+
+    /// [`WalkIndex::estimate_hit_probs`] with an explicit worker count
+    /// (`0` = all cores); same parallel layout and determinism guarantees
+    /// as [`WalkIndex::estimate_hit_times_with_threads`].
+    pub fn estimate_hit_probs_with_threads(&self, set: &NodeSet, threads: usize) -> Vec<f64> {
+        self.replay_layers(threads, |layer, d| {
+            d.fill(0);
             for s in set.iter() {
-                hit[s.index()] = true;
+                d[s.index()] = 1;
                 for &id in layer.postings(s).ids {
-                    hit[id as usize] = true;
+                    d[id as usize] = 1;
                 }
             }
-            for (a, &h) in acc.iter_mut().zip(hit.iter()) {
-                if h {
-                    *a += 1.0;
+        })
+    }
+
+    /// Shared layer-replay driver: `fill` recomputes one layer's per-node
+    /// integer table into the reused scratch `d`, and the driver averages
+    /// those tables over layers — serially below the work gate, otherwise
+    /// parallel over layer chunks with one scratch buffer per worker and a
+    /// chunk-ordered reduction. All summed values are small integers, so
+    /// the result is bit-identical for any worker count.
+    fn replay_layers(&self, threads: usize, fill: impl Fn(&Layer, &mut [u32]) + Sync) -> Vec<f64> {
+        let r = self.layers.len();
+        let work = r * self.n;
+        let workers = if work < crate::parallel::MIN_PARALLEL_SWEEP_WORK {
+            1
+        } else {
+            resolve_threads(threads).min(r)
+        };
+        let accumulate = |layers: &[Layer]| {
+            let mut acc = vec![0.0f64; self.n];
+            let mut d = vec![0u32; self.n];
+            for layer in layers {
+                fill(layer, &mut d);
+                for (a, &v) in acc.iter_mut().zip(d.iter()) {
+                    *a += v as f64;
                 }
             }
-        }
-        let r = self.layers.len() as f64;
+            acc
+        };
+        let mut acc = if workers == 1 {
+            accumulate(&self.layers)
+        } else {
+            let chunk = r.div_ceil(workers);
+            let mut partials: Vec<Vec<f64>> = Vec::with_capacity(workers);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .layers
+                    .chunks(chunk)
+                    .map(|layers| scope.spawn(|| accumulate(layers)))
+                    .collect();
+                for h in handles {
+                    partials.push(h.join().expect("estimate worker panicked"));
+                }
+            });
+            let mut parts = partials.into_iter();
+            let mut acc = parts.next().expect("at least one worker");
+            for p in parts {
+                for (a, b) in acc.iter_mut().zip(p) {
+                    *a += b;
+                }
+            }
+            acc
+        };
+        let r = r as f64;
         acc.iter_mut().for_each(|a| *a /= r);
         acc
     }
@@ -721,13 +962,9 @@ impl WalkIndex {
             if weights.iter().any(|&hw| hw == 0 || hw as u32 > l) {
                 return Err(bad("corrupt walk-index file (hop weight outside 1..=L)"));
             }
-            layers.push(Layer {
-                offsets,
-                ids,
-                weights,
-            });
+            layers.push(Layer::from_inverted(n, offsets, ids, weights));
         }
-        Ok(WalkIndex { n, l, layers, seed })
+        Ok(WalkIndex::assemble(n, l, layers, seed, 0))
     }
 }
 
@@ -894,11 +1131,80 @@ mod tests {
     fn memory_accounting_is_positive() {
         let idx = figure1_index();
         assert!(idx.total_postings() > 0);
-        // 6 bytes per posting (4-byte id + 2-byte weight) plus offsets.
-        assert!(idx.memory_bytes() >= idx.total_postings() * 6);
+        // 12 bytes per posting — 6 for the inverted columns (4-byte id +
+        // 2-byte weight) and 6 more for the forward view — plus offsets.
+        assert!(idx.memory_bytes() >= idx.total_postings() * 12);
         assert_eq!(idx.l(), 2);
         assert_eq!(idx.r(), 1);
         assert_eq!(idx.n(), 8);
+    }
+
+    #[test]
+    fn forward_view_is_exact_transpose() {
+        let g = paper_example::figure1();
+        let idx = WalkIndex::build(&g, 4, 3, 7);
+        for layer in 0..idx.r() {
+            // Collect both views as (src, visited, hop) triples; they must
+            // be the same multiset (the proptest in tests/forward.rs covers
+            // random graphs; this pins the small fixture).
+            let mut inv: Vec<(u32, u32, u32)> = Vec::new();
+            let mut fwd: Vec<(u32, u32, u32)> = Vec::new();
+            for v in g.nodes() {
+                for p in idx.postings(layer, v) {
+                    inv.push((p.id.raw(), v.raw(), p.weight));
+                }
+                for p in idx.forward(layer, v) {
+                    fwd.push((v.raw(), p.id.raw(), p.weight));
+                }
+            }
+            inv.sort_unstable();
+            fwd.sort_unstable();
+            assert_eq!(inv, fwd, "layer {layer}");
+            // Forward lists are (hop, id)-ascending (the canonical
+            // transposition order documented on `WalkIndex::forward`).
+            for src in g.nodes() {
+                let fr = idx.forward(layer, src);
+                let keys: Vec<(u16, u32)> = fr
+                    .weights()
+                    .iter()
+                    .copied()
+                    .zip(fr.ids().iter().copied())
+                    .collect();
+                assert!(keys.windows(2).all(|w| w[0] < w[1]), "src {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_view_of_example_3_1() {
+        // Table 1 transposed: the walk (v2, v3, v5) must give
+        // forward(v2) = {v3@1, v5@2}; v5's walk (v5, v2, v6) gives
+        // {v2@1, v6@2}.
+        let v = |i: usize| NodeId::new(i - 1);
+        let walks: Vec<Vec<NodeId>> = [
+            [1, 2, 3],
+            [2, 3, 5],
+            [3, 2, 5],
+            [4, 7, 5],
+            [5, 2, 6],
+            [6, 7, 5],
+            [7, 5, 7],
+            [8, 7, 4],
+        ]
+        .iter()
+        .map(|w| w.iter().map(|&x| v(x)).collect())
+        .collect();
+        let idx = WalkIndex::from_walks(8, 2, &walks);
+        let fwd = |src: usize| -> Vec<(usize, u32)> {
+            idx.forward(0, v(src))
+                .iter()
+                .map(|p| (p.id.index() + 1, p.weight))
+                .collect()
+        };
+        assert_eq!(fwd(1), vec![(2, 1), (3, 2)]);
+        assert_eq!(fwd(2), vec![(3, 1), (5, 2)]);
+        assert_eq!(fwd(5), vec![(2, 1), (6, 2)]);
+        assert_eq!(fwd(7), vec![(5, 1)]); // v7's revisit of itself dropped
     }
 
     #[test]
@@ -936,6 +1242,10 @@ mod tests {
         for layer in 0..idx.r() {
             for v in g.nodes() {
                 assert_eq!(loaded.postings(layer, v), idx.postings(layer, v));
+                // The forward view is rebuilt from the inverted columns on
+                // load (the file stores only the inverted lists), and the
+                // transposition is canonical, so it must match too.
+                assert_eq!(loaded.forward(layer, v), idx.forward(layer, v));
             }
         }
         // The reloaded index drives identical estimates.

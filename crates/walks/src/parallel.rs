@@ -1,5 +1,12 @@
 //! Shared worker-count policy for every parallel fan-out in the workspace.
 
+/// Below this much sweep work — roughly table slots touched plus postings
+/// streamed — layer-parallel passes run serially: thread spawn/join costs
+/// more than the whole pass on tiny instances. The same threshold gates
+/// `GainEngine::{update, gains_all}` in `rwd-core` and the index-replay
+/// estimators in this crate, so "small" means the same thing everywhere.
+pub const MIN_PARALLEL_SWEEP_WORK: usize = 1 << 15;
+
 /// Resolves a requested worker count: `0` means "all cores"
 /// (`available_parallelism`), anything else is taken literally; never
 /// returns 0. Callers cap the result at their own task count.

@@ -132,6 +132,37 @@ fn weighted_walk_index_is_thread_invariant() {
 }
 
 #[test]
+fn index_estimates_are_thread_invariant_above_gate() {
+    // The layer-parallel replay estimators: large enough (r·n past the
+    // shared sweep gate) that multi-thread calls actually fan out, and the
+    // chunk-ordered integer reductions must be bit-identical to serial.
+    let g = rwd::graph::generators::barabasi_albert(2_100, 4, 0xD5EED).unwrap();
+    let idx = WalkIndex::build(&g, 5, 16, 7);
+    assert!(
+        idx.r() * idx.n() >= rwd::walks::parallel::MIN_PARALLEL_SWEEP_WORK,
+        "fixture must cross the sweep gate"
+    );
+    let set = NodeSet::from_nodes(g.n(), [NodeId(3), NodeId(99), NodeId(1_500)]);
+    let times = idx.estimate_hit_times_with_threads(&set, THREADS[0]);
+    let probs = idx.estimate_hit_probs_with_threads(&set, THREADS[0]);
+    for threads in &THREADS[1..] {
+        assert_eq!(
+            idx.estimate_hit_times_with_threads(&set, *threads),
+            times,
+            "hit times, {threads} threads"
+        );
+        assert_eq!(
+            idx.estimate_hit_probs_with_threads(&set, *threads),
+            probs,
+            "hit probs, {threads} threads"
+        );
+    }
+    // The threadless entry points resolve to all cores and must agree too.
+    assert_eq!(idx.estimate_hit_times(&set), times);
+    assert_eq!(idx.estimate_hit_probs(&set), probs);
+}
+
+#[test]
 fn gain_sweep_is_thread_invariant() {
     let g = ba_graph();
     let idx = WalkIndex::build(&g, 5, 12, 21);

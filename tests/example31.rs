@@ -99,13 +99,16 @@ fn algorithm_6_selects_v2_then_v7() {
     // this round, the algorithm selects v2"); our deterministic tie-break
     // (smaller id) does the same. Second round must pick v7.
     let idx = example_index();
-    let sel = rwd::core::algo::select_from_index(&idx, GainRule::HittingTime, 2, false, 1)
-        .expect("selection");
+    let sel =
+        rwd::core::algo::select_from_index(&idx, GainRule::HittingTime, 2, Strategy::Sweep, 1)
+            .expect("selection");
     assert_eq!(sel.nodes, vec![v(2), v(7)]);
-    // Lazy mode agrees.
-    let lazy = rwd::core::algo::select_from_index(&idx, GainRule::HittingTime, 2, true, 1)
-        .expect("selection");
-    assert_eq!(lazy.nodes, vec![v(2), v(7)]);
+    // CELF and the delta engine agree.
+    for strategy in [Strategy::Celf, Strategy::Delta] {
+        let other = rwd::core::algo::select_from_index(&idx, GainRule::HittingTime, 2, strategy, 1)
+            .expect("selection");
+        assert_eq!(other.nodes, vec![v(2), v(7)], "{strategy:?}");
+    }
 }
 
 #[test]
@@ -119,7 +122,7 @@ fn problem_2_on_example_walks() {
     assert_eq!(gains[v(2).index()], 4.0);
     assert_eq!(gains[v(7).index()], 4.0);
     assert_eq!(gains[v(5).index()], 6.0);
-    let sel = rwd::core::algo::select_from_index(&idx, GainRule::Coverage, 1, false, 1)
+    let sel = rwd::core::algo::select_from_index(&idx, GainRule::Coverage, 1, Strategy::Sweep, 1)
         .expect("selection");
     assert_eq!(sel.nodes, vec![v(5)]);
 }

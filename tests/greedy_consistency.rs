@@ -222,7 +222,7 @@ fn all_solvers_agree_on_obvious_instance() {
 }
 
 #[test]
-fn selections_invariant_to_threads_and_lazy() {
+fn selections_invariant_to_threads_and_strategy() {
     let g = ba_graph();
     let base = Params {
         k: 12,
@@ -230,16 +230,16 @@ fn selections_invariant_to_threads_and_lazy() {
         r: 64,
         seed: 9,
         threads: 1,
-        lazy: false,
+        strategy: Strategy::Sweep,
     };
     let reference = ApproxGreedy::new(Problem::MinHittingTime, base)
         .run(&g)
         .unwrap();
     for threads in [0usize, 2, 8] {
-        for lazy in [false, true] {
+        for strategy in [Strategy::Sweep, Strategy::Celf, Strategy::Delta] {
             let p = Params {
                 threads,
-                lazy,
+                strategy,
                 ..base
             };
             let sel = ApproxGreedy::new(Problem::MinHittingTime, p)
@@ -247,7 +247,7 @@ fn selections_invariant_to_threads_and_lazy() {
                 .unwrap();
             assert_eq!(
                 sel.nodes, reference.nodes,
-                "threads={threads} lazy={lazy} changed the selection"
+                "threads={threads} strategy={strategy:?} changed the selection"
             );
         }
     }

@@ -3,6 +3,9 @@
 //! monotonicity and submodularity of `F1`/`F2`.
 
 use proptest::prelude::*;
+// `rwd::prelude` also exports a (greedy) `Strategy`; this file means the
+// proptest trait.
+use proptest::Strategy;
 use rwd::prelude::*;
 use rwd::walks::{enumerate, hitting};
 
