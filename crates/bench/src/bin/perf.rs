@@ -10,15 +10,20 @@
 //! * the same selection under `Strategy::Delta` — the output-sensitive
 //!   engine over the dual-view index — with per-round touched-posting
 //!   counts showing how little each round actually re-reads,
+//! * the evolving pipeline: a deterministic temporal edge trace applied
+//!   batch by batch, timing graph edit + **incremental index refresh**
+//!   against a full per-batch rebuild (asserted bit-identical), with
+//!   per-batch resampled-group counts,
 //!
-//! and writes the measurements as JSON (default `BENCH_3.json`, the PR-3
+//! and writes the measurements as JSON (default `BENCH_4.json`, the PR-4
 //! snapshot; earlier `BENCH_<n>.json` files stay beside it so the
 //! trajectory is diffable).
 //!
-//! Schema `rwd-perf/2`: every timing records the worker count it actually
-//! ran with, and `available_parallelism` is a top-level field — so a
-//! snapshot taken on a 1-core container is self-describing instead of
-//! silently reporting ~1.0 speedups.
+//! Schema `rwd-perf/3` (extends `rwd-perf/2` with the `stream` block and
+//! the `incremental_vs_rebuild` speedup): every timing records the worker
+//! count it actually ran with, and `available_parallelism` is a top-level
+//! field — so a snapshot taken on a 1-core container is self-describing
+//! instead of silently reporting ~1.0 speedups.
 //!
 //! Usage: `cargo run --release -p rwd-bench --bin perf -- [--scale small|full]
 //! [--out PATH] [--reps N]`. The small scale exists for CI, where the run
@@ -36,6 +41,7 @@ use std::time::Instant;
 use rwd_core::algo::{delta_greedy_with_stats, select_from_index};
 use rwd_core::greedy::approx::{GainEngine, GainRule};
 use rwd_core::Strategy;
+use rwd_datasets::temporal::{temporal_trace, TemporalTraceSpec, TraceModel};
 use rwd_graph::generators::{barabasi_albert, erdos_renyi_gnp};
 use rwd_graph::weighted::weighted_twin;
 use rwd_graph::CsrGraph;
@@ -75,6 +81,12 @@ struct Scale {
     l: u32,
     r: usize,
     k: usize,
+    /// Temporal-trace batches timed by the stream block.
+    stream_batches: usize,
+    /// Edits per batch — sized so touched nodes stay ≤ 10% of `n` (at most
+    /// two endpoints per edit), the regime the incremental-vs-rebuild CI
+    /// assertion targets.
+    stream_edits: usize,
 }
 
 const FULL: Scale = Scale {
@@ -85,6 +97,8 @@ const FULL: Scale = Scale {
     l: 10,
     r: 16,
     k: 20,
+    stream_batches: 6,
+    stream_edits: 100,
 };
 
 const SMALL: Scale = Scale {
@@ -95,6 +109,8 @@ const SMALL: Scale = Scale {
     l: 8,
     r: 16,
     k: 20,
+    stream_batches: 6,
+    stream_edits: 20,
 };
 
 const GRAPH_SEED: u64 = 0x2013;
@@ -126,7 +142,7 @@ struct Timing {
 
 fn main() {
     let mut scale = FULL;
-    let mut out_path = String::from("BENCH_3.json");
+    let mut out_path = String::from("BENCH_4.json");
     let mut reps = 3usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -239,6 +255,65 @@ fn main() {
         idx.total_postings()
     );
 
+    // --- evolving pipeline: incremental refresh vs per-batch rebuild -----
+    // The trace spec reuses the scale's model/seed, so its base graph is
+    // the graph already benchmarked above; each batch is timed once (the
+    // index mutates, so reps would measure a different epoch).
+    let spec = TemporalTraceSpec {
+        model: match scale.model {
+            Model::Ba => TraceModel::BarabasiAlbert { mdeg: scale.mdeg },
+            Model::ErdosRenyi => TraceModel::ErdosRenyi {
+                mean_degree: scale.mdeg as f64,
+            },
+        },
+        nodes: scale.n,
+        batches: scale.stream_batches,
+        batch_edits: scale.stream_edits,
+        delete_fraction: 0.5,
+        seed: GRAPH_SEED,
+    };
+    let trace = temporal_trace(&spec).expect("valid trace spec");
+    assert_eq!(trace.base.m(), g.m(), "trace base must be the bench graph");
+    let mut inc = idx.clone();
+    let mut cur = g.clone();
+    let (mut apply_ms, mut refresh_ms, mut rebuild_ms) = (0.0f64, 0.0f64, 0.0f64);
+    let mut touched_per_batch: Vec<usize> = Vec::new();
+    let mut groups_per_batch: Vec<usize> = Vec::new();
+    for batch in &trace.batches {
+        let t0 = Instant::now();
+        let delta = batch.apply(&cur).expect("trace batches are valid");
+        apply_ms += t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let stats = inc.refresh_with_threads(&delta.graph, &delta.touched, 0);
+        refresh_ms += t1.elapsed().as_secs_f64() * 1e3;
+        let t2 = Instant::now();
+        let rebuilt = WalkIndex::build_with_threads(&delta.graph, scale.l, scale.r, WALK_SEED, 0);
+        rebuild_ms += t2.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            inc == rebuilt,
+            "incremental refresh must be bit-identical to a rebuild"
+        );
+        touched_per_batch.push(delta.touched.len());
+        groups_per_batch.push(stats.groups_resampled);
+        cur = delta.graph;
+    }
+    let groups_total = inc.n() * inc.r();
+    let max_touched_fraction = touched_per_batch
+        .iter()
+        .map(|&t| t as f64 / scale.n as f64)
+        .fold(0.0f64, f64::max);
+    record("stream_batch_apply_total", apply_ms, 1);
+    record("stream_refresh_total", refresh_ms, cores);
+    record("stream_rebuild_total", rebuild_ms, cores);
+    eprintln!(
+        "      stream: {} batches × {} edits; touched/batch {touched_per_batch:?}; \
+         groups resampled/batch {groups_per_batch:?} of {groups_total}; \
+         incremental {refresh_ms:.1} ms vs rebuild {rebuild_ms:.1} ms ({:.2}x)",
+        scale.stream_batches,
+        scale.stream_edits,
+        rebuild_ms / refresh_ms.max(1e-9),
+    );
+
     let unix_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
@@ -255,11 +330,17 @@ fn main() {
         })
         .collect();
     let touched_json: Vec<String> = touched.iter().map(|t| t.to_string()).collect();
+    let join = |v: &[usize]| {
+        v.iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
 
     let json = format!(
         r#"{{
-  "schema": "rwd-perf/2",
-  "pr": 3,
+  "schema": "rwd-perf/3",
+  "pr": 4,
   "unix_secs": {unix_secs},
   "available_parallelism": {cores},
   "scale": "{scale_name}",
@@ -272,13 +353,25 @@ fn main() {
   "speedups": {{
     "unweighted_build_all_vs_1t": {uw_speedup},
     "weighted_build_all_vs_1t": {w_speedup},
-    "delta_vs_celf_greedy": {delta_speedup}
+    "delta_vs_celf_greedy": {delta_speedup},
+    "incremental_vs_rebuild": {stream_speedup}
   }},
   "greedy_evaluations": {celf_evals},
   "greedy_delta": {{
     "evaluations": {delta_evals},
     "touched_postings_per_round": [{touched}],
     "index_postings": {postings}
+  }},
+  "stream": {{
+    "batches": {stream_batches},
+    "edits_per_batch": {stream_edits},
+    "touched_nodes_per_batch": [{stream_touched}],
+    "groups_resampled_per_batch": [{stream_groups}],
+    "groups_total": {groups_total},
+    "max_touched_fraction": {max_touched},
+    "batch_apply_ms_total": {apply_ms_s},
+    "incremental_refresh_ms_total": {refresh_ms_s},
+    "full_rebuild_ms_total": {rebuild_ms_s}
   }}
 }}
 "#,
@@ -298,9 +391,18 @@ fn main() {
         uw_speedup = fmt_ms(uw_1t / uw_all.max(1e-9)),
         w_speedup = fmt_ms(w_1t / w_all.max(1e-9)),
         delta_speedup = fmt_ms(celf_ms / delta_ms.max(1e-9)),
+        stream_speedup = fmt_ms(rebuild_ms / refresh_ms.max(1e-9)),
         celf_evals = celf.evaluations,
         delta_evals = delta.evaluations,
         touched = touched_json.join(", "),
+        stream_batches = scale.stream_batches,
+        stream_edits = scale.stream_edits,
+        stream_touched = join(&touched_per_batch),
+        stream_groups = join(&groups_per_batch),
+        max_touched = fmt_ms(max_touched_fraction),
+        apply_ms_s = fmt_ms(apply_ms),
+        refresh_ms_s = fmt_ms(refresh_ms),
+        rebuild_ms_s = fmt_ms(rebuild_ms),
     );
     std::fs::write(&out_path, json).expect("write perf snapshot");
     eprintln!("perf: wrote {out_path}");

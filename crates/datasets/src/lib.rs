@@ -25,9 +25,19 @@
 //!
 //! [`scalability_graph`] builds the paper's ten-graph Barabási–Albert series
 //! `G_1 … G_10` (Fig. 9) at an arbitrary scale factor.
+//!
+//! The [`temporal`] module generates deterministic **edge-churn traces**
+//! (timestamped insert/delete batches over a BA or Erdős–Rényi base graph)
+//! for the evolving-graph subsystem — the shared workload of the
+//! `rwdom stream` CLI, the perf harness's `stream` block, and the
+//! incremental-vs-rebuild equivalence tests.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+
+pub mod temporal;
+
+pub use temporal::{temporal_trace, TemporalTrace, TemporalTraceSpec, TraceModel};
 
 use std::path::PathBuf;
 

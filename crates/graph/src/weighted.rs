@@ -234,22 +234,229 @@ impl WeightedCsrGraph {
     pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
         (0..self.n() as u32).map(NodeId)
     }
+
+    /// True if `{u, v}` is an edge. O(log deg(u)).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let (lo, hi) = (self.offsets[u.index()], self.offsets[u.index() + 1]);
+        self.targets[lo..hi].binary_search(&v).is_ok()
+    }
+
+    /// Applies a batch of weighted edge edits, producing the next-epoch
+    /// graph and the sorted list of **touched** nodes (endpoints of any
+    /// applied edit). Deletions are applied before insertions, so listing an
+    /// edge in both acts as a **weight update**.
+    ///
+    /// Samplers are patched, not rebuilt: the cumulative-weight prefix sums
+    /// and the Walker/Vose alias table are recomputed **only for touched
+    /// nodes**; untouched rows are copied verbatim (alias fallback slots are
+    /// row-relative, so they stay valid when offsets shift). The result is
+    /// bit-identical to [`WeightedCsrGraph::from_weighted_edges`] on the
+    /// final edge list — alias construction is deterministic per row.
+    ///
+    /// Validation matches the constructor: weights must be positive and
+    /// finite, no self-loops, deletions must exist, insertions must not
+    /// (unless the batch also deletes them), no duplicates within a list.
+    pub fn with_edits(
+        &self,
+        insertions: &[(u32, u32, f64)],
+        deletions: &[(u32, u32)],
+    ) -> Result<(WeightedCsrGraph, Vec<NodeId>)> {
+        let n = self.n();
+        let check = |u: u32, v: u32, what: &str| -> Result<()> {
+            if u as usize >= n || v as usize >= n {
+                return Err(GraphError::InvalidInput(format!(
+                    "{what} ({u}, {v}) out of range (n = {n})"
+                )));
+            }
+            if u == v {
+                return Err(GraphError::InvalidInput(format!(
+                    "{what} ({u}, {v}) is a self-loop"
+                )));
+            }
+            Ok(())
+        };
+        let mut ins: Vec<(u32, u32, f64)> = Vec::with_capacity(insertions.len());
+        for &(u, v, w) in insertions {
+            check(u, v, "insertion")?;
+            if !(w.is_finite() && w > 0.0) {
+                return Err(GraphError::InvalidInput(format!(
+                    "insertion ({u}, {v}) has non-positive weight {w}"
+                )));
+            }
+            ins.push(if u > v { (v, u, w) } else { (u, v, w) });
+        }
+        let mut del: Vec<(u32, u32)> = Vec::with_capacity(deletions.len());
+        for &(u, v) in deletions {
+            check(u, v, "deletion")?;
+            del.push(if u > v { (v, u) } else { (u, v) });
+        }
+        ins.sort_unstable_by_key(|a| (a.0, a.1));
+        del.sort_unstable();
+        if let Some(w) = ins
+            .windows(2)
+            .find(|w| (w[0].0, w[0].1) == (w[1].0, w[1].1))
+        {
+            return Err(GraphError::InvalidInput(format!(
+                "duplicate insertion ({}, {})",
+                w[0].0, w[0].1
+            )));
+        }
+        if let Some(w) = del.windows(2).find(|w| w[0] == w[1]) {
+            return Err(GraphError::InvalidInput(format!(
+                "duplicate deletion ({}, {})",
+                w[0].0, w[0].1
+            )));
+        }
+        for &(u, v) in &del {
+            if !self.has_edge(NodeId(u), NodeId(v)) {
+                return Err(GraphError::InvalidInput(format!(
+                    "deletion ({u}, {v}) does not exist"
+                )));
+            }
+        }
+        for &(u, v, _) in &ins {
+            let replaced = del.binary_search(&(u, v)).is_ok();
+            if !replaced && self.has_edge(NodeId(u), NodeId(v)) {
+                return Err(GraphError::InvalidInput(format!(
+                    "insertion ({u}, {v}) already exists"
+                )));
+            }
+        }
+
+        // Expand edges to per-row arcs.
+        let mut add_arcs: Vec<(u32, u32, f64)> = Vec::with_capacity(ins.len() * 2);
+        for &(u, v, w) in &ins {
+            add_arcs.push((u, v, w));
+            add_arcs.push((v, u, w));
+        }
+        add_arcs.sort_unstable_by_key(|a| (a.0, a.1));
+        let mut del_arcs: Vec<(u32, u32)> = Vec::with_capacity(del.len() * 2);
+        for &(u, v) in &del {
+            del_arcs.push((u, v));
+            del_arcs.push((v, u));
+        }
+        del_arcs.sort_unstable();
+
+        let mut touched: Vec<NodeId> = add_arcs
+            .iter()
+            .map(|&(u, _, _)| NodeId(u))
+            .chain(del_arcs.iter().map(|&(u, _)| NodeId(u)))
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+
+        let new_slots = self.targets.len() + add_arcs.len() - del_arcs.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut targets: Vec<NodeId> = Vec::with_capacity(new_slots);
+        let mut weights: Vec<f64> = Vec::with_capacity(new_slots);
+        let mut cumulative: Vec<f64> = Vec::with_capacity(new_slots);
+        let mut alias_prob: Vec<f64> = Vec::with_capacity(new_slots);
+        let mut alias: Vec<u32> = Vec::with_capacity(new_slots);
+        let mut scaled: Vec<f64> = Vec::new();
+
+        let mut ti = touched.iter().peekable();
+        for u in 0..n as u32 {
+            let (lo, hi) = (self.offsets[u as usize], self.offsets[u as usize + 1]);
+            let is_touched = ti.peek() == Some(&&NodeId(u));
+            if is_touched {
+                ti.next();
+            }
+            if !is_touched {
+                targets.extend_from_slice(&self.targets[lo..hi]);
+                weights.extend_from_slice(&self.weights[lo..hi]);
+                cumulative.extend_from_slice(&self.cumulative[lo..hi]);
+                alias_prob.extend_from_slice(&self.alias_prob[lo..hi]);
+                alias.extend_from_slice(&self.alias[lo..hi]);
+                offsets.push(targets.len());
+                continue;
+            }
+            // Merge this row: old minus dels, plus adds, sorted by target.
+            let adds = {
+                let a = add_arcs.partition_point(|&(a, _, _)| a < u);
+                let b = add_arcs.partition_point(|&(a, _, _)| a <= u);
+                &add_arcs[a..b]
+            };
+            let dels = {
+                let a = del_arcs.partition_point(|&(a, _)| a < u);
+                let b = del_arcs.partition_point(|&(a, _)| a <= u);
+                &del_arcs[a..b]
+            };
+            let row_lo = targets.len();
+            let mut di = 0;
+            let mut ai = 0;
+            for k in lo..hi {
+                let w = self.targets[k];
+                if di < dels.len() && dels[di].1 == w.raw() {
+                    di += 1;
+                    continue;
+                }
+                while ai < adds.len() && adds[ai].1 < w.raw() {
+                    targets.push(NodeId(adds[ai].1));
+                    weights.push(adds[ai].2);
+                    ai += 1;
+                }
+                targets.push(w);
+                weights.push(self.weights[k]);
+            }
+            for &(_, v, w) in &adds[ai..] {
+                targets.push(NodeId(v));
+                weights.push(w);
+            }
+            // Rebuild this row's samplers from scratch (deterministic, so
+            // identical to a full constructor run on the same row).
+            let mut acc = 0.0;
+            for &w in &weights[row_lo..] {
+                acc += w;
+                cumulative.push(acc);
+            }
+            let d = targets.len() - row_lo;
+            alias_prob.resize(row_lo + d, 1.0);
+            alias.resize(row_lo + d, 0);
+            if d > 0 {
+                let total = cumulative[row_lo + d - 1];
+                scaled.clear();
+                scaled.extend(weights[row_lo..].iter().map(|&w| w * d as f64 / total));
+                fill_alias_table(&mut scaled, &mut alias_prob[row_lo..], &mut alias[row_lo..]);
+            }
+            offsets.push(targets.len());
+        }
+
+        Ok((
+            WeightedCsrGraph {
+                offsets,
+                targets,
+                weights,
+                cumulative,
+                alias_prob,
+                alias,
+                num_edges: self.num_edges + ins.len() - del.len(),
+            },
+            touched,
+        ))
+    }
+}
+
+/// The deterministic `(seed, u, v) → weight` mix behind [`weighted_twin`]:
+/// splitmix64-style finalizer into `(0, 2]`. Exported so other weight
+/// sources (e.g. temporal-trace insertions) can share one weight universe
+/// per seed bit-for-bit instead of hand-syncing a copy of the formula.
+pub fn twin_weight(seed: u64, u: u32, v: u32) -> f64 {
+    let mut z = seed ^ (((u as u64) << 32) | v as u64);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    let w = ((z >> 11) as f64 / (1u64 << 53) as f64) * 2.0;
+    w.max(1e-9)
 }
 
 /// Deterministic weighted twin of an unweighted graph: the same edge set
-/// with each weight mixed (splitmix64-style) from `(seed, u, v)` into
-/// `(0, 2]` — the standard fixture for benchmarking and testing the
-/// weighted pipeline against a structurally identical unweighted one.
+/// with each weight drawn by [`twin_weight`] — the standard fixture for
+/// benchmarking and testing the weighted pipeline against a structurally
+/// identical unweighted one.
 pub fn weighted_twin(g: &crate::CsrGraph, seed: u64) -> Result<WeightedCsrGraph> {
     let edges: Vec<(u32, u32, f64)> = g
         .edges()
-        .map(|(u, v)| {
-            let mut z = seed ^ ((u.raw() as u64) << 32 | v.raw() as u64);
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            let w = ((z >> 11) as f64 / (1u64 << 53) as f64) * 2.0;
-            (u.raw(), v.raw(), w.max(1e-9))
-        })
+        .map(|(u, v)| (u.raw(), v.raw(), twin_weight(seed, u.raw(), v.raw())))
         .collect();
     WeightedCsrGraph::from_weighted_edges(g.n(), &edges)
 }
@@ -366,6 +573,96 @@ mod tests {
         assert!(
             WeightedCsrGraph::from_weighted_edges(2, &[(0, 1, 1.0), (1, 0, 2.0)]).is_err(),
             "duplicate across orientations must be rejected"
+        );
+    }
+
+    /// Asserts two weighted graphs are bit-identical in every column —
+    /// the contract `with_edits` promises against a from-scratch build.
+    fn assert_same(a: &WeightedCsrGraph, b: &WeightedCsrGraph) {
+        assert_eq!(a.offsets, b.offsets);
+        assert_eq!(a.targets, b.targets);
+        assert_eq!(
+            a.weights.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+            b.weights.iter().map(|w| w.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            a.cumulative.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+            b.cumulative.iter().map(|w| w.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            a.alias_prob.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+            b.alias_prob.iter().map(|w| w.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(a.alias, b.alias);
+        assert_eq!(a.num_edges, b.num_edges);
+    }
+
+    #[test]
+    fn with_edits_matches_from_scratch_build() {
+        let g = WeightedCsrGraph::from_weighted_edges(
+            5,
+            &[(0, 1, 1.0), (0, 2, 3.0), (1, 2, 0.5), (3, 4, 2.0)],
+        )
+        .unwrap();
+        let (g2, touched) = g
+            .with_edits(&[(2, 4, 1.5), (0, 3, 0.25)], &[(1, 2)])
+            .unwrap();
+        assert_eq!(
+            touched,
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+        );
+        let fresh = WeightedCsrGraph::from_weighted_edges(
+            5,
+            &[
+                (0, 1, 1.0),
+                (0, 2, 3.0),
+                (3, 4, 2.0),
+                (2, 4, 1.5),
+                (0, 3, 0.25),
+            ],
+        )
+        .unwrap();
+        assert_same(&g2, &fresh);
+    }
+
+    #[test]
+    fn with_edits_weight_update_via_delete_insert() {
+        let g = wg();
+        let (g2, touched) = g.with_edits(&[(0, 1, 5.0)], &[(1, 0)]).unwrap();
+        assert_eq!(touched, vec![NodeId(0), NodeId(1)]);
+        assert_eq!(g2.m(), 2);
+        let fresh = WeightedCsrGraph::from_weighted_edges(3, &[(0, 1, 5.0), (0, 2, 3.0)]).unwrap();
+        assert_same(&g2, &fresh);
+    }
+
+    #[test]
+    fn with_edits_untouched_rows_copied_verbatim() {
+        let g = WeightedCsrGraph::from_weighted_edges(6, &[(0, 1, 1.0), (2, 3, 0.7), (4, 5, 2.0)])
+            .unwrap();
+        let (g2, touched) = g.with_edits(&[], &[(4, 5)]).unwrap();
+        assert_eq!(touched, vec![NodeId(4), NodeId(5)]);
+        let fresh = WeightedCsrGraph::from_weighted_edges(6, &[(0, 1, 1.0), (2, 3, 0.7)]).unwrap();
+        assert_same(&g2, &fresh);
+        assert_eq!(g2.degree(NodeId(4)), 0);
+        assert_eq!(g2.pick_neighbor_alias(NodeId(4), 0.5), None);
+    }
+
+    #[test]
+    fn with_edits_rejects_bad_batches() {
+        let g = wg();
+        assert!(g.with_edits(&[(0, 0, 1.0)], &[]).is_err(), "self-loop");
+        assert!(g.with_edits(&[(0, 9, 1.0)], &[]).is_err(), "out of range");
+        assert!(g.with_edits(&[(0, 1, 1.0)], &[]).is_err(), "exists");
+        assert!(g.with_edits(&[(1, 2, 0.0)], &[]).is_err(), "zero weight");
+        assert!(g.with_edits(&[(1, 2, f64::NAN)], &[]).is_err(), "nan");
+        assert!(g.with_edits(&[], &[(1, 2)]).is_err(), "missing edge");
+        assert!(
+            g.with_edits(&[(1, 2, 1.0), (2, 1, 2.0)], &[]).is_err(),
+            "duplicate insertion across orientations"
+        );
+        assert!(
+            g.with_edits(&[], &[(0, 1), (1, 0)]).is_err(),
+            "duplicate deletion across orientations"
         );
     }
 

@@ -1,0 +1,132 @@
+//! Timestamped edge-churn batches and their application to graphs.
+
+use rwd_graph::weighted::WeightedCsrGraph;
+use rwd_graph::{CsrGraph, GraphError, NodeId};
+use rwd_walks::NodeSet;
+
+/// One timestamped batch of edge churn.
+///
+/// Insertions carry a weight so one trace can drive both pipelines: the
+/// unweighted application ignores the weight, the weighted application uses
+/// it. Listing an edge in both `deletions` and `insertions` is a
+/// delete-then-reinsert — a weight update on weighted graphs.
+///
+/// The node universe is fixed (`0..n`): churn adds and removes edges, never
+/// nodes. A node that loses its last edge simply becomes isolated (walks
+/// from it stay put, the documented degree-0 convention).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EdgeBatch {
+    /// Event time of the batch (opaque to the engine; reported back in
+    /// [`crate::BatchReport`] so churn stats can be joined to a timeline).
+    pub timestamp: u64,
+    /// Edges to insert, with the weight used by weighted graphs.
+    pub insertions: Vec<(u32, u32, f64)>,
+    /// Edges to delete.
+    pub deletions: Vec<(u32, u32)>,
+}
+
+impl EdgeBatch {
+    /// Creates an empty batch at `timestamp`.
+    pub fn new(timestamp: u64) -> Self {
+        EdgeBatch {
+            timestamp,
+            ..EdgeBatch::default()
+        }
+    }
+
+    /// Number of edits (insertions plus deletions) in the batch.
+    pub fn len(&self) -> usize {
+        self.insertions.len() + self.deletions.len()
+    }
+
+    /// True when the batch contains no edits.
+    pub fn is_empty(&self) -> bool {
+        self.insertions.is_empty() && self.deletions.is_empty()
+    }
+
+    /// Applies the batch to an unweighted graph, producing the next-epoch
+    /// graph and its touched set. Insertion weights are ignored. See
+    /// [`CsrGraph::with_edits`] for validation rules.
+    pub fn apply(&self, g: &CsrGraph) -> Result<GraphDelta, GraphError> {
+        let ins: Vec<(u32, u32)> = self.insertions.iter().map(|&(u, v, _)| (u, v)).collect();
+        let (graph, touched) = g.with_edits(&ins, &self.deletions)?;
+        let touched = NodeSet::from_nodes(graph.n(), touched);
+        Ok(GraphDelta { graph, touched })
+    }
+
+    /// Applies the batch to a weighted graph: alias tables and cumulative
+    /// weights are rebuilt only for touched rows
+    /// ([`WeightedCsrGraph::with_edits`]).
+    pub fn apply_weighted(&self, g: &WeightedCsrGraph) -> Result<WeightedGraphDelta, GraphError> {
+        let (graph, touched) = g.with_edits(&self.insertions, &self.deletions)?;
+        let touched = NodeSet::from_nodes(graph.n(), touched);
+        Ok(WeightedGraphDelta { graph, touched })
+    }
+}
+
+/// The result of applying an [`EdgeBatch`] to a [`CsrGraph`]: the next
+/// epoch's graph plus the set of nodes whose adjacency changed — the only
+/// nodes whose outgoing walks can have changed.
+#[derive(Clone, Debug)]
+pub struct GraphDelta {
+    /// The post-batch graph.
+    pub graph: CsrGraph,
+    /// Nodes whose adjacency list changed.
+    pub touched: NodeSet,
+}
+
+impl GraphDelta {
+    /// Touched nodes in ascending id order.
+    pub fn touched_nodes(&self) -> Vec<NodeId> {
+        self.touched.to_vec()
+    }
+}
+
+/// The result of applying an [`EdgeBatch`] to a [`WeightedCsrGraph`].
+#[derive(Clone, Debug)]
+pub struct WeightedGraphDelta {
+    /// The post-batch graph (alias tables patched for touched rows only).
+    pub graph: WeightedCsrGraph,
+    /// Nodes whose adjacency list (and thus sampler) changed.
+    pub touched: NodeSet,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_tracks_touched_endpoints() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2)]).unwrap();
+        let mut batch = EdgeBatch::new(42);
+        batch.insertions.push((2, 3, 1.0));
+        batch.deletions.push((0, 1));
+        assert_eq!(batch.len(), 2);
+        assert!(!batch.is_empty());
+        let delta = batch.apply(&g).unwrap();
+        assert_eq!(delta.graph.m(), 2);
+        assert_eq!(
+            delta.touched_nodes(),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
+    }
+
+    #[test]
+    fn apply_weighted_uses_insertion_weights() {
+        let g = WeightedCsrGraph::from_weighted_edges(3, &[(0, 1, 1.0)]).unwrap();
+        let mut batch = EdgeBatch::new(0);
+        batch.insertions.push((1, 2, 7.5));
+        let delta = batch.apply_weighted(&g).unwrap();
+        assert_eq!(delta.graph.m(), 2);
+        assert!((delta.graph.strength(NodeId(2)) - 7.5).abs() < 1e-12);
+        assert_eq!(delta.touched.to_vec(), vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn invalid_batches_are_rejected() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]).unwrap();
+        let mut bad = EdgeBatch::new(0);
+        bad.deletions.push((1, 2));
+        assert!(bad.apply(&g).is_err());
+    }
+}

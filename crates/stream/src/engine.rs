@@ -1,0 +1,331 @@
+//! The end-to-end evolving pipeline: graph → index → seeds, per batch.
+
+use rwd_core::greedy::approx::GainRule;
+use rwd_graph::weighted::WeightedCsrGraph;
+use rwd_graph::{CsrGraph, NodeId};
+use rwd_walks::{RefreshStats, WalkIndex};
+
+use crate::batch::EdgeBatch;
+use crate::index::IncrementalIndex;
+use crate::maintain::{MaintainReport, SeedMaintainer};
+use crate::{Result, StreamError};
+
+/// Configuration of a [`StreamEngine`].
+#[derive(Clone, Copy, Debug)]
+pub struct StreamConfig {
+    /// Walk-length bound `L`.
+    pub l: u32,
+    /// Walks per node `R`.
+    pub r: usize,
+    /// Seed-set budget `k`.
+    pub k: usize,
+    /// Walk RNG seed (the counter-based streams that make maintenance
+    /// exact all derive from it).
+    pub seed: u64,
+    /// Gain rule the maintained seed set optimizes.
+    pub rule: GainRule,
+    /// Worker threads (`0` = all cores). Changing this never changes any
+    /// result, only wall time.
+    pub threads: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        // The paper's real-data defaults (L = 6, R = 100, k = 10).
+        StreamConfig {
+            l: 6,
+            r: 100,
+            k: 10,
+            seed: 0,
+            rule: GainRule::HittingTime,
+            threads: 0,
+        }
+    }
+}
+
+/// The current graph epoch, unweighted or weighted.
+#[derive(Clone, Debug)]
+enum EvolvingGraph {
+    Unweighted(CsrGraph),
+    Weighted(WeightedCsrGraph),
+}
+
+/// Per-batch churn report — the observability surface of the subsystem.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Epoch number after this batch (epoch 0 is the cold start).
+    pub epoch: u64,
+    /// The batch's event timestamp, echoed back.
+    pub timestamp: u64,
+    /// Edge insertions applied.
+    pub insertions: usize,
+    /// Edge deletions applied.
+    pub deletions: usize,
+    /// Edges in the post-batch graph.
+    pub edges: usize,
+    /// Nodes whose adjacency changed.
+    pub touched_nodes: usize,
+    /// Index-maintenance accounting (groups resampled, postings rewritten).
+    pub refresh: RefreshStats,
+    /// Seed-maintenance accounting (swaps, kept prefix, objective).
+    pub maintain: MaintainReport,
+}
+
+impl BatchReport {
+    /// Fraction of walk groups the batch forced to resample.
+    pub fn resampled_fraction(&self) -> f64 {
+        if self.refresh.groups_total == 0 {
+            0.0
+        } else {
+            self.refresh.groups_resampled as f64 / self.refresh.groups_total as f64
+        }
+    }
+}
+
+/// The evolving random-walk domination system: applies [`EdgeBatch`]es to
+/// the graph, maintains the walk index incrementally, and repairs the seed
+/// set — reporting what each batch actually cost.
+///
+/// Invariant (asserted by the equivalence suite): after any sequence of
+/// batches, `engine.index()` is bit-identical to a cold
+/// `WalkIndex::build`/`build_weighted` on `engine`'s current graph, and
+/// `engine.seeds()` equals the static `Strategy::Delta` selection on that
+/// index — the evolving system never drifts from what a from-scratch run
+/// would compute.
+#[derive(Clone, Debug)]
+pub struct StreamEngine {
+    cfg: StreamConfig,
+    graph: EvolvingGraph,
+    index: IncrementalIndex,
+    maintainer: SeedMaintainer,
+    epoch: u64,
+}
+
+impl StreamEngine {
+    fn validate(cfg: &StreamConfig, n: usize) -> Result<()> {
+        if cfg.k == 0 || cfg.k > n {
+            return Err(StreamError::InvalidConfig(format!(
+                "k = {} outside [1, n = {n}]",
+                cfg.k
+            )));
+        }
+        if cfg.r == 0 {
+            return Err(StreamError::InvalidConfig("r must be >= 1".into()));
+        }
+        if cfg.l == 0 || cfg.l > u16::MAX as u32 {
+            return Err(StreamError::InvalidConfig(format!(
+                "l = {} outside [1, {}]",
+                cfg.l,
+                u16::MAX
+            )));
+        }
+        if let GainRule::Combined { lambda } = cfg.rule {
+            if !(0.0..=1.0).contains(&lambda) {
+                return Err(StreamError::InvalidConfig(format!(
+                    "lambda = {lambda} outside [0, 1]"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Cold-starts the system on an unweighted graph: builds the epoch-0
+    /// index and bootstraps the seed set.
+    pub fn new(graph: CsrGraph, cfg: StreamConfig) -> Result<Self> {
+        Self::validate(&cfg, graph.n())?;
+        let index = IncrementalIndex::build(&graph, cfg.l, cfg.r, cfg.seed, cfg.threads);
+        let mut maintainer = SeedMaintainer::new(cfg.rule, cfg.k, cfg.threads);
+        maintainer.maintain(index.index());
+        Ok(StreamEngine {
+            cfg,
+            graph: EvolvingGraph::Unweighted(graph),
+            index,
+            maintainer,
+            epoch: 0,
+        })
+    }
+
+    /// Cold-starts the system on a weighted graph.
+    pub fn new_weighted(graph: WeightedCsrGraph, cfg: StreamConfig) -> Result<Self> {
+        Self::validate(&cfg, graph.n())?;
+        let index = IncrementalIndex::build_weighted(&graph, cfg.l, cfg.r, cfg.seed, cfg.threads);
+        let mut maintainer = SeedMaintainer::new(cfg.rule, cfg.k, cfg.threads);
+        maintainer.maintain(index.index());
+        Ok(StreamEngine {
+            cfg,
+            graph: EvolvingGraph::Weighted(graph),
+            index,
+            maintainer,
+            epoch: 0,
+        })
+    }
+
+    /// Applies one churn batch end to end: graph edit → incremental index
+    /// refresh → seed repair. On a batch validation error the engine state
+    /// is unchanged (the graph edit is applied functionally first).
+    pub fn apply(&mut self, batch: &EdgeBatch) -> Result<BatchReport> {
+        let (touched_nodes, refresh, edges) = match &mut self.graph {
+            EvolvingGraph::Unweighted(g) => {
+                let delta = batch.apply(g)?;
+                let stats = self.index.apply(&delta);
+                let touched = delta.touched.len();
+                let edges = delta.graph.m();
+                *g = delta.graph;
+                (touched, stats, edges)
+            }
+            EvolvingGraph::Weighted(g) => {
+                let delta = batch.apply_weighted(g)?;
+                let stats = self.index.apply_weighted(&delta);
+                let touched = delta.touched.len();
+                let edges = delta.graph.m();
+                *g = delta.graph;
+                (touched, stats, edges)
+            }
+        };
+        let maintain = self.maintainer.maintain(self.index.index());
+        self.epoch += 1;
+        Ok(BatchReport {
+            epoch: self.epoch,
+            timestamp: batch.timestamp,
+            insertions: batch.insertions.len(),
+            deletions: batch.deletions.len(),
+            edges,
+            touched_nodes,
+            refresh,
+            maintain,
+        })
+    }
+
+    /// The maintained seed set in selection order.
+    pub fn seeds(&self) -> &[NodeId] {
+        self.maintainer.seeds()
+    }
+
+    /// The maintained walk index.
+    pub fn index(&self) -> &WalkIndex {
+        self.index.index()
+    }
+
+    /// The current unweighted graph (`None` when running weighted).
+    pub fn graph(&self) -> Option<&CsrGraph> {
+        match &self.graph {
+            EvolvingGraph::Unweighted(g) => Some(g),
+            EvolvingGraph::Weighted(_) => None,
+        }
+    }
+
+    /// The current weighted graph (`None` when running unweighted).
+    pub fn weighted_graph(&self) -> Option<&WeightedCsrGraph> {
+        match &self.graph {
+            EvolvingGraph::Unweighted(_) => None,
+            EvolvingGraph::Weighted(g) => Some(g),
+        }
+    }
+
+    /// Number of batches applied since the cold start.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
+    /// Accumulated index-churn statistics over every applied batch.
+    pub fn lifetime_stats(&self) -> RefreshStats {
+        self.index.lifetime_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rwd_core::algo::select_from_index;
+    use rwd_core::Strategy;
+    use rwd_graph::generators::erdos_renyi_gnp;
+
+    fn cfg(k: usize) -> StreamConfig {
+        StreamConfig {
+            l: 5,
+            r: 6,
+            k,
+            seed: 13,
+            rule: GainRule::HittingTime,
+            threads: 0,
+        }
+    }
+
+    #[test]
+    fn engine_never_drifts_from_cold_start() {
+        let g0 = erdos_renyi_gnp(90, 0.06, 21).unwrap();
+        let mut engine = StreamEngine::new(g0.clone(), cfg(5)).unwrap();
+
+        let mut batch = EdgeBatch::new(100);
+        'outer: for u in 0..90u32 {
+            for v in (u + 1)..90 {
+                if !g0.has_edge(NodeId(u), NodeId(v)) {
+                    batch.insertions.push((u, v, 1.0));
+                    if batch.insertions.len() == 2 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let report = engine.apply(&batch).unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.timestamp, 100);
+        assert!(report.touched_nodes >= 2);
+        assert!(report.refresh.groups_resampled > 0);
+        assert!(report.resampled_fraction() > 0.0);
+
+        // Cold-start comparison on the evolved graph.
+        let g1 = engine.graph().unwrap().clone();
+        let fresh = WalkIndex::build(&g1, 5, 6, 13);
+        assert!(*engine.index() == fresh, "index drifted from cold start");
+        let sel = select_from_index(&fresh, GainRule::HittingTime, 5, Strategy::Delta, 0).unwrap();
+        assert_eq!(engine.seeds(), &sel.nodes[..], "seeds drifted");
+    }
+
+    #[test]
+    fn weighted_engine_round_trips() {
+        let g0 = erdos_renyi_gnp(60, 0.08, 4).unwrap();
+        let w0 = rwd_graph::weighted::weighted_twin(&g0, 7).unwrap();
+        let mut engine = StreamEngine::new_weighted(w0.clone(), cfg(4)).unwrap();
+        assert!(engine.graph().is_none());
+        let del = g0.edges().next().map(|(u, v)| (u.raw(), v.raw())).unwrap();
+        let mut batch = EdgeBatch::new(7);
+        batch.deletions.push(del);
+        batch.insertions.push((del.0, del.1, 2.5)); // weight update
+        let report = engine.apply(&batch).unwrap();
+        assert_eq!(report.touched_nodes, 2);
+        let w1 = engine.weighted_graph().unwrap().clone();
+        let fresh = WalkIndex::build_weighted(&w1, 5, 6, 13);
+        assert!(*engine.index() == fresh);
+    }
+
+    #[test]
+    fn failed_batch_leaves_state_unchanged() {
+        let g0 = erdos_renyi_gnp(40, 0.1, 2).unwrap();
+        let mut engine = StreamEngine::new(g0, cfg(3)).unwrap();
+        let seeds = engine.seeds().to_vec();
+        let mut bad = EdgeBatch::new(1);
+        bad.deletions.push((0, 0)); // self-loop: rejected
+        assert!(engine.apply(&bad).is_err());
+        assert_eq!(engine.epoch(), 0);
+        assert_eq!(engine.seeds(), &seeds[..]);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let g = erdos_renyi_gnp(10, 0.3, 1).unwrap();
+        assert!(StreamEngine::new(g.clone(), cfg(0)).is_err());
+        assert!(StreamEngine::new(g.clone(), cfg(11)).is_err());
+        let mut c = cfg(2);
+        c.r = 0;
+        assert!(StreamEngine::new(g.clone(), c).is_err());
+        let mut c = cfg(2);
+        c.rule = GainRule::Combined { lambda: 2.0 };
+        assert!(StreamEngine::new(g, c).is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! Epoch-to-epoch maintenance of the walk index.
+
+use rwd_graph::weighted::WeightedCsrGraph;
+use rwd_graph::CsrGraph;
+use rwd_walks::{RefreshStats, WalkIndex};
+
+use crate::batch::{GraphDelta, WeightedGraphDelta};
+
+/// A [`WalkIndex`] maintained across graph epochs.
+///
+/// The wrapper pins the build parameters (walk kind, seed, worker budget)
+/// so every refresh replays the right RNG streams, and accumulates the
+/// lifetime churn statistics. The invariant it preserves — asserted by the
+/// equivalence test suite — is that after any number of
+/// [`IncrementalIndex::apply`] calls, the wrapped index is bit-identical to
+/// `WalkIndex::build` (or `build_weighted`) on the current graph: postings,
+/// forward views, and per-node aggregates alike.
+#[derive(Clone, Debug)]
+pub struct IncrementalIndex {
+    idx: WalkIndex,
+    weighted: bool,
+    threads: usize,
+    lifetime: RefreshStats,
+}
+
+impl IncrementalIndex {
+    /// Builds the epoch-0 index over an unweighted graph.
+    pub fn build(g: &CsrGraph, l: u32, r: usize, seed: u64, threads: usize) -> Self {
+        IncrementalIndex {
+            idx: WalkIndex::build_with_threads(g, l, r, seed, threads),
+            weighted: false,
+            threads,
+            lifetime: RefreshStats::default(),
+        }
+    }
+
+    /// Builds the epoch-0 index over a weighted graph.
+    pub fn build_weighted(
+        g: &WeightedCsrGraph,
+        l: u32,
+        r: usize,
+        seed: u64,
+        threads: usize,
+    ) -> Self {
+        IncrementalIndex {
+            idx: WalkIndex::build_weighted_with_threads(g, l, r, seed, threads),
+            weighted: true,
+            threads,
+            lifetime: RefreshStats::default(),
+        }
+    }
+
+    /// Advances the index to the next epoch: resamples exactly the walk
+    /// groups the delta's touched set can have changed.
+    ///
+    /// # Panics
+    /// Panics if the index was built over a weighted graph (use
+    /// [`IncrementalIndex::apply_weighted`]) or the delta changed `n`.
+    pub fn apply(&mut self, delta: &GraphDelta) -> RefreshStats {
+        assert!(
+            !self.weighted,
+            "index was built weighted; apply the weighted delta"
+        );
+        let stats = self
+            .idx
+            .refresh_with_threads(&delta.graph, &delta.touched, self.threads);
+        self.lifetime.merge(&stats);
+        stats
+    }
+
+    /// Weighted twin of [`IncrementalIndex::apply`].
+    pub fn apply_weighted(&mut self, delta: &WeightedGraphDelta) -> RefreshStats {
+        assert!(
+            self.weighted,
+            "index was built unweighted; apply the unweighted delta"
+        );
+        let stats =
+            self.idx
+                .refresh_weighted_with_threads(&delta.graph, &delta.touched, self.threads);
+        self.lifetime.merge(&stats);
+        stats
+    }
+
+    /// The maintained index (always equal to a cold build on the current
+    /// graph).
+    pub fn index(&self) -> &WalkIndex {
+        &self.idx
+    }
+
+    /// Whether the index samples weighted walks.
+    pub fn is_weighted(&self) -> bool {
+        self.weighted
+    }
+
+    /// Accumulated churn over every applied batch.
+    pub fn lifetime_stats(&self) -> RefreshStats {
+        self.lifetime
+    }
+
+    /// Unwraps the maintained index.
+    pub fn into_index(self) -> WalkIndex {
+        self.idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::EdgeBatch;
+    use rwd_graph::generators::erdos_renyi_gnp;
+
+    #[test]
+    fn apply_matches_cold_build_across_epochs() {
+        let g0 = erdos_renyi_gnp(70, 0.07, 3).unwrap();
+        let mut inc = IncrementalIndex::build(&g0, 5, 4, 17, 0);
+        assert!(!inc.is_weighted());
+
+        let mut batch = EdgeBatch::new(1);
+        batch.insertions.push((0, 69, 1.0));
+        let delta = batch.apply(&g0).unwrap();
+        let stats = inc.apply(&delta);
+        assert!(stats.groups_resampled > 0);
+        assert!(*inc.index() == WalkIndex::build(&delta.graph, 5, 4, 17));
+
+        // Second epoch on top of the first.
+        let mut batch2 = EdgeBatch::new(2);
+        batch2.deletions.push((0, 69));
+        let delta2 = batch2.apply(&delta.graph).unwrap();
+        inc.apply(&delta2);
+        assert!(*inc.index() == WalkIndex::build(&delta2.graph, 5, 4, 17));
+        assert!(inc.lifetime_stats().groups_resampled >= stats.groups_resampled);
+    }
+
+    #[test]
+    #[should_panic(expected = "built weighted")]
+    fn unweighted_delta_on_weighted_index_panics() {
+        let g = rwd_graph::generators::classic::path(6).unwrap();
+        let wg = rwd_graph::weighted::weighted_twin(&g, 2).unwrap();
+        let mut inc = IncrementalIndex::build_weighted(&wg, 3, 2, 5, 0);
+        let mut batch = EdgeBatch::new(0);
+        batch.insertions.push((0, 2, 1.0));
+        let delta = batch.apply(&g).unwrap();
+        inc.apply(&delta);
+    }
+}

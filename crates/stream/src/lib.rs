@@ -1,0 +1,78 @@
+//! # rwd-stream
+//!
+//! The evolving-graph subsystem: everything the static pipeline
+//! (sample → index → greedy) needs to serve a graph under **edge churn**
+//! without rebuilding from scratch.
+//!
+//! * [`batch`] — [`EdgeBatch`]: a timestamped set of edge insertions and
+//!   deletions, applied to [`rwd_graph::CsrGraph`] or
+//!   [`rwd_graph::weighted::WeightedCsrGraph`] to produce the next-epoch
+//!   graph plus the set of *touched* endpoints ([`GraphDelta`] /
+//!   [`WeightedGraphDelta`]); weighted application patches alias tables
+//!   only for touched rows,
+//! * [`index`] — [`IncrementalIndex`]: maintains a [`rwd_walks::WalkIndex`]
+//!   across epochs by resampling exactly the `(src, layer)` walk groups a
+//!   batch can have changed; because walks derive from counter-based
+//!   `(seed, src, layer)` RNG streams, the maintained index is
+//!   **bit-identical** to a from-scratch build on the post-update graph,
+//! * [`maintain`] — [`SeedMaintainer`]: repairs the current seed set after
+//!   each batch by replaying greedy rounds over a
+//!   [`rwd_core::greedy::DeltaGainEngine`], evicting a seed only when its
+//!   round's marginal-gain argmax actually changed,
+//! * [`engine`] — [`StreamEngine`]: ties the three together and reports
+//!   per-batch churn statistics ([`BatchReport`]: groups resampled,
+//!   postings rewritten, seeds swapped).
+//!
+//! The determinism contract carries over from the static pipeline: the
+//! state after any prefix of batches is a pure function of
+//! `(base graph, batches, config)` — independent of thread count — and
+//! equals the state a cold start on the current graph would produce.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod batch;
+pub mod engine;
+pub mod index;
+pub mod maintain;
+
+pub use batch::{EdgeBatch, GraphDelta, WeightedGraphDelta};
+pub use engine::{BatchReport, StreamConfig, StreamEngine};
+pub use index::IncrementalIndex;
+pub use maintain::{MaintainReport, SeedMaintainer};
+
+/// Errors produced by the evolving-graph subsystem.
+#[derive(Debug)]
+pub enum StreamError {
+    /// A batch failed validation against the current graph.
+    Graph(rwd_graph::GraphError),
+    /// The engine configuration is invalid for the given graph.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Graph(e) => write!(f, "batch rejected: {e}"),
+            StreamError::InvalidConfig(msg) => write!(f, "invalid stream config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Graph(e) => Some(e),
+            StreamError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<rwd_graph::GraphError> for StreamError {
+    fn from(e: rwd_graph::GraphError) -> Self {
+        StreamError::Graph(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StreamError>;

@@ -174,7 +174,7 @@ type Triple = (u32, u32, u16);
 /// lets incremental-gain repairs stop at the first hop that can no longer
 /// matter. The order is canonical: every construction path, including
 /// `load`, produces it.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 struct Layer {
     offsets: Vec<u32>,
     ids: Vec<u32>,
@@ -307,8 +307,41 @@ impl Layer {
     }
 }
 
+/// Per-batch accounting of an incremental [`WalkIndex::refresh`]: how many
+/// `(src, layer)` walk groups were actually re-walked and how many postings
+/// the layer surgery rewrote. The resampled-group count is the
+/// output-sensitivity measure of the evolving-graph pipeline — it scales
+/// with the touched set (via the inverted lists of the touched nodes), not
+/// with `n`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RefreshStats {
+    /// `(src, layer)` groups re-walked on the new graph.
+    pub groups_resampled: usize,
+    /// Total groups in the index (`n · R`).
+    pub groups_total: usize,
+    /// Old postings dropped by resampled groups.
+    pub postings_removed: usize,
+    /// New postings produced by resampled groups.
+    pub postings_added: usize,
+}
+
+impl RefreshStats {
+    /// Total postings rewritten by the batch (removed + added).
+    pub fn postings_rewritten(&self) -> usize {
+        self.postings_removed + self.postings_added
+    }
+
+    /// Merges another batch's stats into this one (totals must agree).
+    pub fn merge(&mut self, other: &RefreshStats) {
+        self.groups_resampled += other.groups_resampled;
+        self.groups_total = self.groups_total.max(other.groups_total);
+        self.postings_removed += other.postings_removed;
+        self.postings_added += other.postings_added;
+    }
+}
+
 /// The materialized sample store `I[1:R][1:n]` of Algorithm 3.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WalkIndex {
     n: usize,
     l: u32,
@@ -354,6 +387,287 @@ impl VisitScratch {
     }
 }
 
+/// Runs the single `(seed, src, layer)` walk, appending its first-visit
+/// triples. Every construction *and maintenance* path funnels through this
+/// function, so a resampled group is bit-identical to the group a
+/// from-scratch build would produce on the same graph.
+#[inline]
+fn walk_one<F>(
+    layer_idx: usize,
+    src: usize,
+    l: u32,
+    seed: u64,
+    step: &F,
+    scratch: &mut VisitScratch,
+    triples: &mut Vec<Triple>,
+) where
+    F: Fn(NodeId, &mut WalkRng) -> NodeId,
+{
+    let s = scratch.next_stamp();
+    let mut rng = WalkRng::for_stream(seed, src as u64, layer_idx as u64);
+    let mut u = NodeId::new(src);
+    scratch.visited[src] = s;
+    for j in 1..=l {
+        u = step(u, &mut rng);
+        if scratch.visited[u.index()] != s {
+            scratch.visited[u.index()] = s;
+            triples.push((u.raw(), src as u32, j as u16));
+        }
+    }
+}
+
+/// Per-worker scratch for incremental layer patching: stamped affected-set
+/// marks (reset-free across layers) and the worker's staged per-node
+/// aggregate deltas.
+struct PatchScratch {
+    visit: VisitScratch,
+    /// `affected[src] == stamp` ⟺ src's walk group resamples this layer.
+    affected: Vec<u32>,
+    /// `owner_stamp[v] == stamp` ⟺ `v`'s inverted row loses or gains a
+    /// posting this layer (and must be re-merged instead of copied).
+    owner_stamp: Vec<u32>,
+    stamp: u32,
+    /// Σ over this worker's layers of posting-count changes per node.
+    agg_dcount: Vec<i64>,
+    /// Σ over this worker's layers of hop-sum changes per node.
+    agg_dhops: Vec<i64>,
+    /// Reused staging for the fresh postings re-sorted by `(owner, src)`.
+    adds: Vec<Triple>,
+    /// Recycled column buffers: each patch builds the next epoch's columns
+    /// here and swaps them with the layer's, so steady-state refreshes
+    /// reuse two generations of allocations instead of mallocing ~12 bytes
+    /// per posting per epoch. Together with the stamp arrays this keeps the
+    /// per-layer patch free of `O(n)` allocations.
+    buf: Layer,
+}
+
+impl PatchScratch {
+    fn new(n: usize) -> Self {
+        PatchScratch {
+            visit: VisitScratch::new(n),
+            affected: vec![u32::MAX; n],
+            owner_stamp: vec![u32::MAX; n],
+            stamp: 0,
+            agg_dcount: vec![0; n],
+            agg_dhops: vec![0; n],
+            adds: Vec::new(),
+            buf: Layer {
+                offsets: Vec::new(),
+                ids: Vec::new(),
+                weights: Vec::new(),
+                fwd_offsets: Vec::new(),
+                fwd_ids: Vec::new(),
+                fwd_weights: Vec::new(),
+            },
+        }
+    }
+
+    /// Advances to a fresh stamp for both mark arrays (same wrap policy as
+    /// [`VisitScratch`]).
+    fn next_stamp(&mut self) -> u32 {
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == u32::MAX {
+            self.affected.fill(u32::MAX);
+            self.owner_stamp.fill(u32::MAX);
+            self.stamp = 1;
+        }
+        self.stamp
+    }
+}
+
+/// Patches one layer for the next graph epoch: detects the affected walk
+/// groups through the *old* inverted lists of the touched nodes, re-walks
+/// exactly those groups on the new graph, and rebuilds both CSR views with
+/// **row-level** surgery — rows owned by unaffected nodes are copied
+/// verbatim (bulk `memcpy`), only rows with stale or fresh postings are
+/// re-merged. The canonical orders are preserved exactly (inverted rows:
+/// ascending source; forward rows: ascending hop = walk order), so the
+/// patched layer is bit-identical to the layer a from-scratch build on the
+/// new graph would produce.
+#[allow(clippy::too_many_arguments)]
+fn patch_layer<F>(
+    layer: &mut Layer,
+    n: usize,
+    l: u32,
+    seed: u64,
+    layer_idx: usize,
+    touched: &NodeSet,
+    step: &F,
+    ws: &mut PatchScratch,
+) -> RefreshStats
+where
+    F: Fn(NodeId, &mut WalkRng) -> NodeId,
+{
+    let mut out = RefreshStats::default();
+    // --- 1. affected groups: touched sources ∪ sources visiting them ----
+    let stamp = ws.next_stamp();
+    let mut affected_srcs: Vec<u32> = Vec::new();
+    for v in touched.iter() {
+        if ws.affected[v.index()] != stamp {
+            ws.affected[v.index()] = stamp;
+            affected_srcs.push(v.raw());
+        }
+        for &src in layer.postings(v).ids() {
+            if ws.affected[src as usize] != stamp {
+                ws.affected[src as usize] = stamp;
+                affected_srcs.push(src);
+            }
+        }
+    }
+    affected_srcs.sort_unstable();
+    out.groups_resampled = affected_srcs.len();
+    if affected_srcs.is_empty() {
+        return out;
+    }
+
+    // --- 2. re-walk affected groups with their original RNG streams -----
+    // Ascending source order makes the triple stream canonical; per-source
+    // bounds let the forward patch splice each group back in directly.
+    let mut new_triples: Vec<Triple> = Vec::with_capacity(affected_srcs.len() * 4);
+    let mut new_src_bounds: Vec<u32> = Vec::with_capacity(affected_srcs.len() + 1);
+    new_src_bounds.push(0);
+    for &src in &affected_srcs {
+        walk_one(
+            layer_idx,
+            src as usize,
+            l,
+            seed,
+            step,
+            &mut ws.visit,
+            &mut new_triples,
+        );
+        new_src_bounds.push(new_triples.len() as u32);
+    }
+    out.postings_added = new_triples.len();
+
+    // --- 3. per-owner deltas: stale rows, fresh rows, aggregate edits ---
+    // Owners needing a re-merge are exactly those losing a stale posting
+    // (they appear in an affected source's old forward list) or gaining a
+    // fresh one; every other row is copied wholesale below.
+    for &src in &affected_srcs {
+        let lo = layer.fwd_offsets[src as usize] as usize;
+        let hi = layer.fwd_offsets[src as usize + 1] as usize;
+        out.postings_removed += hi - lo;
+        for k in lo..hi {
+            let owner = layer.fwd_ids[k] as usize;
+            ws.owner_stamp[owner] = stamp;
+            ws.agg_dcount[owner] -= 1;
+            ws.agg_dhops[owner] -= layer.fwd_weights[k] as i64;
+        }
+    }
+    // The fresh postings re-sorted by `(owner, src)` — the inverted rows'
+    // canonical order. The sort is over the (small) add set only, so the
+    // patch stays proportional to the churn, not to `n`.
+    ws.adds.clear();
+    ws.adds.extend_from_slice(&new_triples);
+    ws.adds
+        .sort_unstable_by_key(|&(owner, src, _)| (owner, src));
+    for &(owner, _, hop) in &ws.adds {
+        ws.owner_stamp[owner as usize] = stamp;
+        ws.agg_dcount[owner as usize] += 1;
+        ws.agg_dhops[owner as usize] += hop as i64;
+    }
+
+    // --- 4. inverted columns: row-level rebuild -------------------------
+    let new_total = layer.ids.len() + out.postings_added - out.postings_removed;
+    assert!(
+        new_total <= u32::MAX as usize,
+        "layer posting count {new_total} overflows u32 CSR offsets"
+    );
+    let mut offsets = std::mem::take(&mut ws.buf.offsets);
+    offsets.clear();
+    offsets.reserve(n + 1);
+    offsets.push(0u32);
+    let mut ids = std::mem::take(&mut ws.buf.ids);
+    ids.clear();
+    ids.reserve(new_total);
+    let mut weights = std::mem::take(&mut ws.buf.weights);
+    weights.clear();
+    weights.reserve(new_total);
+    let mut ac = 0usize; // cursor into ws.adds (owner-ascending)
+    for v in 0..n {
+        let lo = layer.offsets[v] as usize;
+        let hi = layer.offsets[v + 1] as usize;
+        if ws.owner_stamp[v] != stamp {
+            ids.extend_from_slice(&layer.ids[lo..hi]);
+            weights.extend_from_slice(&layer.weights[lo..hi]);
+        } else {
+            // Merge kept old entries (stale sources dropped) with this
+            // owner's adds, both ascending by source id. All adds belong to
+            // stamped owners, and the outer loop visits owners ascending,
+            // so the cursor is already positioned at `v`'s first add.
+            let mut ahi = ac;
+            while ahi < ws.adds.len() && ws.adds[ahi].0 as usize == v {
+                ahi += 1;
+            }
+            for k in lo..hi {
+                let src = layer.ids[k];
+                if ws.affected[src as usize] == stamp {
+                    continue;
+                }
+                while ac < ahi && ws.adds[ac].1 < src {
+                    ids.push(ws.adds[ac].1);
+                    weights.push(ws.adds[ac].2);
+                    ac += 1;
+                }
+                ids.push(src);
+                weights.push(layer.weights[k]);
+            }
+            for &(_, src, hop) in &ws.adds[ac..ahi] {
+                ids.push(src);
+                weights.push(hop);
+            }
+            ac = ahi;
+        }
+        offsets.push(ids.len() as u32);
+    }
+
+    // --- 5. forward columns: affected rows spliced, others copied -------
+    let mut fwd_offsets = std::mem::take(&mut ws.buf.fwd_offsets);
+    fwd_offsets.clear();
+    fwd_offsets.reserve(n + 1);
+    fwd_offsets.push(0u32);
+    let mut fwd_ids = std::mem::take(&mut ws.buf.fwd_ids);
+    fwd_ids.clear();
+    fwd_ids.reserve(new_total);
+    let mut fwd_weights = std::mem::take(&mut ws.buf.fwd_weights);
+    fwd_weights.clear();
+    fwd_weights.reserve(new_total);
+    let mut next_aff = 0usize;
+    for src in 0..n {
+        if next_aff < affected_srcs.len() && affected_srcs[next_aff] as usize == src {
+            let tlo = new_src_bounds[next_aff] as usize;
+            let thi = new_src_bounds[next_aff + 1] as usize;
+            for &(owner, _, hop) in &new_triples[tlo..thi] {
+                fwd_ids.push(owner);
+                fwd_weights.push(hop);
+            }
+            next_aff += 1;
+        } else {
+            let lo = layer.fwd_offsets[src] as usize;
+            let hi = layer.fwd_offsets[src + 1] as usize;
+            fwd_ids.extend_from_slice(&layer.fwd_ids[lo..hi]);
+            fwd_weights.extend_from_slice(&layer.fwd_weights[lo..hi]);
+        }
+        fwd_offsets.push(fwd_ids.len() as u32);
+    }
+
+    // Swap the fresh columns in and keep the displaced generation as the
+    // next patch's buffers.
+    ws.buf = std::mem::replace(
+        layer,
+        Layer {
+            offsets,
+            ids,
+            weights,
+            fwd_offsets,
+            fwd_ids,
+            fwd_weights,
+        },
+    );
+    out
+}
+
 /// Walks nodes `[lo, hi)` of one layer, appending first-visit triples.
 fn walk_node_range<F>(
     layer_idx: usize,
@@ -369,17 +683,7 @@ where
 {
     let mut triples: Vec<Triple> = Vec::with_capacity((hi - lo) * (l as usize).min(8));
     for w in lo..hi {
-        let s = scratch.next_stamp();
-        let mut rng = WalkRng::for_stream(seed, w as u64, layer_idx as u64);
-        let mut u = NodeId::new(w);
-        scratch.visited[w] = s;
-        for j in 1..=l {
-            u = step(u, &mut rng);
-            if scratch.visited[u.index()] != s {
-                scratch.visited[u.index()] = s;
-                triples.push((u.raw(), w as u32, j as u16));
-            }
-        }
+        walk_one(layer_idx, w, l, seed, step, scratch, &mut triples);
     }
     triples
 }
@@ -490,11 +794,27 @@ impl WalkIndex {
     /// (`0` = all cores). Every public constructor funnels through here,
     /// so the aggregates always agree with the stored postings.
     fn assemble(n: usize, l: u32, layers: Vec<Layer>, seed: u64, threads: usize) -> WalkIndex {
+        let (posting_counts, posting_hop_sums) = Self::compute_aggregates(n, &layers, threads);
+        WalkIndex {
+            n,
+            l,
+            layers,
+            seed,
+            posting_counts,
+            posting_hop_sums,
+        }
+    }
+
+    /// Recomputes the per-node posting aggregates from the layer columns —
+    /// shared by [`WalkIndex::assemble`] and the incremental
+    /// [`WalkIndex::refresh`] path (all sums are integers, so the result is
+    /// independent of the worker layout).
+    fn compute_aggregates(n: usize, layers: &[Layer], threads: usize) -> (Vec<u64>, Vec<u64>) {
         let total: usize = layers.iter().map(|la| la.ids.len()).sum();
         let mut posting_counts = vec![0u64; n];
         let mut posting_hop_sums = vec![0u64; n];
         let fill = |lo: usize, counts: &mut [u64], sums: &mut [u64]| {
-            for layer in &layers {
+            for layer in layers {
                 for (slot, v) in (lo..lo + counts.len()).enumerate() {
                     let a = layer.offsets[v] as usize;
                     let b = layer.offsets[v + 1] as usize;
@@ -527,14 +847,7 @@ impl WalkIndex {
                 }
             });
         }
-        WalkIndex {
-            n,
-            l,
-            layers,
-            seed,
-            posting_counts,
-            posting_hop_sums,
-        }
+        (posting_counts, posting_hop_sums)
     }
 
     /// Builds the index by running `r` walks per node (Algorithm 3),
@@ -606,6 +919,157 @@ impl WalkIndex {
         let step = |u: NodeId, rng: &mut WalkRng| walker::step_weighted(g, u, rng);
         let layers = build_layers(n, l, r, seed, threads, &step);
         WalkIndex::assemble(n, l, layers, seed, threads)
+    }
+
+    /// Incrementally maintains the index after edge churn: given the
+    /// next-epoch graph and the set of **touched** nodes (nodes whose
+    /// adjacency list changed, e.g. from
+    /// [`CsrGraph::with_edits`](rwd_graph::CsrGraph::with_edits)), re-walks
+    /// exactly the `(src, layer)` groups the churn can have changed and
+    /// patches the layer columns in place. Uses all cores; see
+    /// [`WalkIndex::refresh_with_threads`].
+    pub fn refresh(&mut self, g: &CsrGraph, touched: &NodeSet) -> RefreshStats {
+        self.refresh_with_threads(g, touched, 0)
+    }
+
+    /// [`WalkIndex::refresh`] with an explicit worker count (`0` = all
+    /// cores). The maintained index is **bit-identical** to
+    /// [`WalkIndex::build`] on the new graph at any worker count.
+    ///
+    /// Why resampling only touched groups is exact: a walk is a pure
+    /// function of its counter-based `(seed, src, layer)` RNG stream and of
+    /// the adjacency lists of the nodes it steps from, all of which it
+    /// visits. A group whose recorded visit set (`src` plus its forward
+    /// list) avoids every touched node therefore replays **identically** on
+    /// the new graph — its stored postings already are what a from-scratch
+    /// build would sample. Conversely any group whose walk *would* change
+    /// must step differently somewhere, and the first deviating step is
+    /// drawn at a touched node on the old walk — so the affected groups are
+    /// exactly `{src touched} ∪ {src ∈ I[i][v] : v touched}`, found via the
+    /// inverted lists of the touched nodes in time proportional to their
+    /// postings, not to `n`.
+    ///
+    /// The caller must pass the graph the index's walks now live on: the
+    /// index must have been built by [`WalkIndex::build`] (same seed) on a
+    /// predecessor of `g`, and `touched` must cover every node whose
+    /// adjacency differs (indexes from explicit walks cannot be refreshed —
+    /// there is no RNG stream to replay). Panics if `g` changed the node
+    /// universe.
+    pub fn refresh_with_threads(
+        &mut self,
+        g: &CsrGraph,
+        touched: &NodeSet,
+        threads: usize,
+    ) -> RefreshStats {
+        assert_eq!(g.n(), self.n, "refresh requires an unchanged node universe");
+        let step = |u: NodeId, rng: &mut WalkRng| walker::step(g, u, rng);
+        self.refresh_with_step(touched, threads, &step)
+    }
+
+    /// Weighted twin of [`WalkIndex::refresh`]: the index must have been
+    /// built by [`WalkIndex::build_weighted`] on a predecessor of `g` (e.g.
+    /// maintained through
+    /// [`WeightedCsrGraph::with_edits`](rwd_graph::weighted::WeightedCsrGraph::with_edits),
+    /// which patches alias tables only for touched rows, keeping untouched
+    /// rows bit-identical — the property the replay argument needs).
+    pub fn refresh_weighted(
+        &mut self,
+        g: &rwd_graph::weighted::WeightedCsrGraph,
+        touched: &NodeSet,
+    ) -> RefreshStats {
+        self.refresh_weighted_with_threads(g, touched, 0)
+    }
+
+    /// [`WalkIndex::refresh_weighted`] with an explicit worker count
+    /// (`0` = all cores); same exactness guarantees as
+    /// [`WalkIndex::refresh_with_threads`].
+    pub fn refresh_weighted_with_threads(
+        &mut self,
+        g: &rwd_graph::weighted::WeightedCsrGraph,
+        touched: &NodeSet,
+        threads: usize,
+    ) -> RefreshStats {
+        assert_eq!(g.n(), self.n, "refresh requires an unchanged node universe");
+        let step = |u: NodeId, rng: &mut WalkRng| walker::step_weighted(g, u, rng);
+        self.refresh_with_step(touched, threads, &step)
+    }
+
+    /// Shared refresh driver: layers fan out over workers; each layer is
+    /// patched independently by [`patch_layer`] (affected-group detection →
+    /// selective re-walk → row-level column surgery), and each worker
+    /// accumulates integer deltas for the per-node aggregates that are
+    /// applied after the join. Every operation is integer-exact and
+    /// per-layer, so the result is bit-identical at any worker count.
+    fn refresh_with_step<F>(&mut self, touched: &NodeSet, threads: usize, step: &F) -> RefreshStats
+    where
+        F: Fn(NodeId, &mut WalkRng) -> NodeId + Sync,
+    {
+        let n = self.n;
+        assert_eq!(
+            touched.capacity(),
+            n,
+            "touched-set universe must match the index"
+        );
+        let r = self.layers.len();
+        let mut stats = RefreshStats {
+            groups_total: n * r,
+            ..RefreshStats::default()
+        };
+        if touched.is_empty() {
+            return stats;
+        }
+        let (l, seed) = (self.l, self.seed);
+
+        // Patches a chunk of layers with one reused scratch; returns the
+        // chunk's stats plus its staged aggregate deltas.
+        let patch_chunk =
+            |base: usize, layers: &mut [Layer]| -> (RefreshStats, Vec<i64>, Vec<i64>) {
+                let mut ws = PatchScratch::new(n);
+                let mut out = RefreshStats::default();
+                for (off, layer) in layers.iter_mut().enumerate() {
+                    let part = patch_layer(layer, n, l, seed, base + off, touched, step, &mut ws);
+                    out.groups_resampled += part.groups_resampled;
+                    out.postings_removed += part.postings_removed;
+                    out.postings_added += part.postings_added;
+                }
+                (out, ws.agg_dcount, ws.agg_dhops)
+            };
+
+        let workers = resolve_threads(threads).min(r);
+        let mut partials: Vec<(RefreshStats, Vec<i64>, Vec<i64>)> = Vec::with_capacity(workers);
+        if workers == 1 {
+            partials.push(patch_chunk(0, &mut self.layers));
+        } else {
+            let chunk = r.div_ceil(workers);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .layers
+                    .chunks_mut(chunk)
+                    .enumerate()
+                    .map(|(ci, layers)| {
+                        let patch_chunk = &patch_chunk;
+                        scope.spawn(move || patch_chunk(ci * chunk, layers))
+                    })
+                    .collect();
+                for h in handles {
+                    partials.push(h.join().expect("refresh worker panicked"));
+                }
+            });
+        }
+        for (p, dcount, dhops) in partials {
+            stats.groups_resampled += p.groups_resampled;
+            stats.postings_removed += p.postings_removed;
+            stats.postings_added += p.postings_added;
+            // Integer deltas commute, so application order (and hence the
+            // worker layout) cannot change the aggregates.
+            for (slot, d) in self.posting_counts.iter_mut().zip(dcount) {
+                *slot = (*slot as i64 + d) as u64;
+            }
+            for (slot, d) in self.posting_hop_sums.iter_mut().zip(dhops) {
+                *slot = (*slot as i64 + d) as u64;
+            }
+        }
+        stats
     }
 
     /// Builds an index from explicitly supplied walks: `walks[w]` is the
@@ -1323,6 +1787,98 @@ mod tests {
             "error should name the old format: {err}"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn refresh_is_bit_identical_to_rebuild() {
+        // Churn a G(n, p) graph and maintain the index incrementally; the
+        // result must equal a from-scratch build on the final graph in every
+        // column (PartialEq covers inverted + forward views and aggregates).
+        let g0 = rwd_graph::generators::erdos_renyi_gnp(80, 0.06, 11).unwrap();
+        let (g1, touched) = g0
+            .with_edits(
+                &[(0, 79), (3, 41), (17, 60)],
+                &[g0.edges().next().map(|(u, v)| (u.raw(), v.raw())).unwrap()],
+            )
+            .unwrap();
+        let touched = NodeSet::from_nodes(g1.n(), touched);
+        let mut idx = WalkIndex::build(&g0, 5, 6, 23);
+        let stats = idx.refresh(&g1, &touched);
+        let fresh = WalkIndex::build(&g1, 5, 6, 23);
+        assert!(idx == fresh, "maintained index must equal a rebuild");
+        assert!(stats.groups_resampled >= touched.len() * idx.r());
+        assert!(stats.groups_resampled <= stats.groups_total);
+        assert!(stats.postings_rewritten() > 0);
+    }
+
+    #[test]
+    fn refresh_weighted_is_bit_identical_to_rebuild() {
+        let g0 = rwd_graph::generators::erdos_renyi_gnp(60, 0.08, 5).unwrap();
+        let w0 = rwd_graph::weighted::weighted_twin(&g0, 9).unwrap();
+        let del = g0.edges().next().map(|(u, v)| (u.raw(), v.raw())).unwrap();
+        let (w1, touched) = w0
+            .with_edits(&[(2, 59, 1.25), (10, 30, 0.5)], &[del])
+            .unwrap();
+        let touched = NodeSet::from_nodes(w1.n(), touched);
+        let mut idx = WalkIndex::build_weighted(&w0, 6, 5, 31);
+        idx.refresh_weighted(&w1, &touched);
+        let fresh = WalkIndex::build_weighted(&w1, 6, 5, 31);
+        assert!(
+            idx == fresh,
+            "maintained weighted index must equal a rebuild"
+        );
+    }
+
+    #[test]
+    fn refresh_empty_touched_is_a_noop() {
+        let g = paper_example::figure1();
+        let mut idx = WalkIndex::build(&g, 4, 3, 7);
+        let before = idx.clone();
+        let stats = idx.refresh(&g, &NodeSet::new(g.n()));
+        assert_eq!(
+            stats,
+            RefreshStats {
+                groups_total: g.n() * 3,
+                ..RefreshStats::default()
+            }
+        );
+        assert!(idx == before);
+    }
+
+    #[test]
+    fn refresh_is_thread_invariant() {
+        let g0 = rwd_graph::generators::barabasi_albert(150, 3, 13).unwrap();
+        // Insert the first two absent edges (hubs make fixed pairs brittle).
+        let mut inserts = Vec::new();
+        'outer: for u in 0..150u32 {
+            for v in (u + 1)..150u32 {
+                if !g0.has_edge(NodeId(u), NodeId(v)) {
+                    inserts.push((u, v));
+                    if inserts.len() == 2 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let (g1, touched) = g0.with_edits(&inserts, &[]).unwrap();
+        let touched = NodeSet::from_nodes(g1.n(), touched);
+        let mut serial = WalkIndex::build(&g0, 5, 8, 3);
+        let serial_stats = serial.refresh_with_threads(&g1, &touched, 1);
+        for threads in [2, 8] {
+            let mut idx = WalkIndex::build(&g0, 5, 8, 3);
+            let stats = idx.refresh_with_threads(&g1, &touched, threads);
+            assert_eq!(stats, serial_stats, "threads {threads}");
+            assert!(idx == serial, "threads {threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unchanged node universe")]
+    fn refresh_rejects_resized_graph() {
+        let g = paper_example::figure1();
+        let mut idx = WalkIndex::build(&g, 3, 2, 1);
+        let bigger = rwd_graph::generators::classic::path(9).unwrap();
+        idx.refresh(&bigger, &NodeSet::new(9));
     }
 
     #[test]

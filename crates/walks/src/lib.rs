@@ -33,6 +33,6 @@ pub mod rng;
 pub mod walker;
 
 pub use estimate::{Estimates, SampleEstimator};
-pub use index::{Posting, PostingsRef, WalkIndex};
+pub use index::{Posting, PostingsRef, RefreshStats, WalkIndex};
 pub use nodeset::NodeSet;
 pub use rng::WalkRng;

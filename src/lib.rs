@@ -14,8 +14,10 @@
 //!   index ([`rwd_walks`])
 //! * [`core`] — problems, objectives, greedy solvers, baselines, metrics
 //!   ([`rwd_core`])
-//! * [`datasets`] — SNAP stand-ins and the scalability series
-//!   ([`rwd_datasets`])
+//! * [`stream`] — the evolving-graph subsystem: edge churn, incremental
+//!   walk-index maintenance, seed repair ([`rwd_stream`])
+//! * [`datasets`] — SNAP stand-ins, the scalability series and temporal
+//!   edge traces ([`rwd_datasets`])
 //!
 //! ## Example
 //!
@@ -39,6 +41,7 @@
 pub use rwd_core as core;
 pub use rwd_datasets as datasets;
 pub use rwd_graph as graph;
+pub use rwd_stream as stream;
 pub use rwd_walks as walks;
 
 /// Convenient glob-import surface for applications.
@@ -50,5 +53,6 @@ pub mod prelude {
     pub use rwd_core::metrics::{self, MetricParams};
     pub use rwd_core::problem::{Params, Problem, Selection};
     pub use rwd_graph::{CsrGraph, GraphBuilder, NodeId};
+    pub use rwd_stream::{EdgeBatch, StreamConfig, StreamEngine};
     pub use rwd_walks::{NodeSet, WalkIndex};
 }
