@@ -14,16 +14,20 @@
 //!   batch by batch, timing graph edit + **incremental index refresh**
 //!   against a full per-batch rebuild (asserted bit-identical), with
 //!   per-batch resampled-group counts,
+//! * the serving path: the threaded query server answering point queries
+//!   **while churn batches apply concurrently** — throughput plus
+//!   p50/p99/max point-query latency, against the full-sweep estimator
+//!   time the point path replaces,
 //!
-//! and writes the measurements as JSON (default `BENCH_4.json`, the PR-4
+//! and writes the measurements as JSON (default `BENCH_5.json`, the PR-5
 //! snapshot; earlier `BENCH_<n>.json` files stay beside it so the
 //! trajectory is diffable).
 //!
-//! Schema `rwd-perf/3` (extends `rwd-perf/2` with the `stream` block and
-//! the `incremental_vs_rebuild` speedup): every timing records the worker
-//! count it actually ran with, and `available_parallelism` is a top-level
-//! field — so a snapshot taken on a 1-core container is self-describing
-//! instead of silently reporting ~1.0 speedups.
+//! Schema `rwd-perf/4` (extends `rwd-perf/3` with the `serve` block):
+//! every timing records the worker count it actually ran with, and
+//! `available_parallelism` is a top-level field — so a snapshot taken on a
+//! 1-core container is self-describing instead of silently reporting ~1.0
+//! speedups.
 //!
 //! Usage: `cargo run --release -p rwd-bench --bin perf -- [--scale small|full]
 //! [--out PATH] [--reps N]`. The small scale exists for CI, where the run
@@ -44,8 +48,10 @@ use rwd_core::Strategy;
 use rwd_datasets::temporal::{temporal_trace, TemporalTraceSpec, TraceModel};
 use rwd_graph::generators::{barabasi_albert, erdos_renyi_gnp};
 use rwd_graph::weighted::weighted_twin;
-use rwd_graph::CsrGraph;
-use rwd_walks::WalkIndex;
+use rwd_graph::{CsrGraph, NodeId};
+use rwd_serve::{Query, ServeEngine, Server};
+use rwd_stream::{StreamConfig, StreamEngine};
+use rwd_walks::{NodeSet, WalkIndex};
 
 #[derive(Clone, Copy)]
 enum Model {
@@ -140,9 +146,18 @@ struct Timing {
     threads: usize,
 }
 
+/// Sorted-latency percentile (ceil rank), in the vector's unit.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+    sorted[idx - 1]
+}
+
 fn main() {
     let mut scale = FULL;
-    let mut out_path = String::from("BENCH_4.json");
+    let mut out_path = String::from("BENCH_5.json");
     let mut reps = 3usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -314,6 +329,114 @@ fn main() {
         rebuild_ms / refresh_ms.max(1e-9),
     );
 
+    // --- serving path: point queries racing concurrent churn -------------
+    // The comparator the CI gate uses: one full-sweep hit-time estimate on
+    // the current index — the cost a point query must stay well under.
+    let final_seeds = select_from_index(&inc, GainRule::HittingTime, scale.k, Strategy::Delta, 0)
+        .expect("valid selection parameters")
+        .nodes;
+    let final_set = NodeSet::from_nodes(scale.n, final_seeds.iter().copied());
+    let (full_sweep_ms, _) = time_ms(reps, || inc.estimate_hit_times(&final_set));
+    record("estimate_hit_times_sweep", full_sweep_ms, cores);
+
+    let serve_queries: usize = if scale.n >= 10_000 { 4000 } else { 1500 };
+    let query_workers = cores.saturating_sub(1).max(1);
+    let serve_cfg = StreamConfig {
+        l: scale.l,
+        r: scale.r,
+        k: scale.k,
+        seed: WALK_SEED,
+        rule: GainRule::HittingTime,
+        threads: 0,
+    };
+    let stream_engine = StreamEngine::new(g.clone(), serve_cfg).expect("valid serve configuration");
+    let server = Server::start(ServeEngine::from_stream(stream_engine), query_workers);
+    let handle = server.handle();
+    // Feed the whole churn trace to the writer up front: the queries below
+    // then race real batch applications the entire run.
+    let apply_tickets: Vec<_> = trace
+        .batches
+        .iter()
+        .map(|b| handle.apply(b.clone()).expect("server accepting"))
+        .collect();
+    let t0 = Instant::now();
+    let mut point_us: Vec<f64> = Vec::with_capacity(serve_queries);
+    let mut other_queries = 0usize;
+    const WINDOW: usize = 64;
+    let mut pending: Vec<(bool, rwd_serve::Ticket<rwd_serve::QueryAnswer>)> =
+        Vec::with_capacity(WINDOW);
+    let mut issued = 0usize;
+    while issued < serve_queries {
+        pending.clear();
+        while pending.len() < WINDOW && issued < serve_queries {
+            issued += 1;
+            let (point, query) = match issued % 16 {
+                15 => (false, Query::Coverage),
+                14 => (false, Query::TopUncovered(8)),
+                13 => (false, Query::Seeds),
+                i if i % 2 == 0 => (
+                    true,
+                    Query::HitTime(NodeId((issued * 131 % scale.n) as u32)),
+                ),
+                _ => (
+                    true,
+                    Query::HitProb(NodeId((issued * 197 % scale.n) as u32)),
+                ),
+            };
+            pending.push((point, handle.query(query).expect("server accepting")));
+        }
+        for (point, ticket) in pending.drain(..) {
+            let answer = ticket.wait();
+            if point {
+                point_us.push(answer.latency.as_secs_f64() * 1e6);
+            } else {
+                other_queries += 1;
+            }
+        }
+    }
+    let serve_wall_s = t0.elapsed().as_secs_f64();
+    let mut batches_applied = 0usize;
+    for t in apply_tickets {
+        let outcome = t.wait();
+        outcome.report.expect("trace batches are valid");
+        batches_applied += 1;
+    }
+    let final_snapshot = handle.snapshot();
+    server.shutdown();
+    assert_eq!(final_snapshot.epoch(), batches_applied as u64);
+    point_us.sort_by(f64::total_cmp);
+    let (p50_us, p99_us) = (percentile(&point_us, 0.50), percentile(&point_us, 0.99));
+    let max_us = point_us.last().copied().unwrap_or(0.0);
+    let throughput_qps = serve_queries as f64 / serve_wall_s.max(1e-9);
+
+    // Service time of one point query against a pinned snapshot — the
+    // apples-to-apples comparator against the full sweep it replaces
+    // (end-to-end latency above additionally includes queueing behind
+    // other requests and, on starved machines, behind churn CPU).
+    let mut service_us: Vec<f64> = Vec::with_capacity(1000);
+    for i in 0..1000usize {
+        let v = NodeId((i * 131 % scale.n) as u32);
+        let t = Instant::now();
+        let x = if i % 2 == 0 {
+            final_snapshot.hit_time(v)
+        } else {
+            final_snapshot.hit_prob(v)
+        };
+        service_us.push(t.elapsed().as_secs_f64() * 1e6);
+        assert!(x.is_finite());
+    }
+    service_us.sort_by(f64::total_cmp);
+    let service_p99_us = percentile(&service_us, 0.99);
+    record("serve_point_service_p99", service_p99_us / 1e3, 1);
+    eprintln!(
+        "      serve: {serve_queries} queries ({} point + {other_queries} set) over \
+         {query_workers} worker(s) racing {batches_applied} batches; \
+         {throughput_qps:.0} q/s; end-to-end point p50 {p50_us:.1} µs \
+         p99 {p99_us:.1} µs max {max_us:.1} µs; service p99 {service_p99_us:.1} µs \
+         vs full sweep {full_sweep_ms:.3} ms",
+        point_us.len(),
+    );
+
     let unix_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
@@ -339,8 +462,8 @@ fn main() {
 
     let json = format!(
         r#"{{
-  "schema": "rwd-perf/3",
-  "pr": 4,
+  "schema": "rwd-perf/4",
+  "pr": 5,
   "unix_secs": {unix_secs},
   "available_parallelism": {cores},
   "scale": "{scale_name}",
@@ -372,6 +495,19 @@ fn main() {
     "batch_apply_ms_total": {apply_ms_s},
     "incremental_refresh_ms_total": {refresh_ms_s},
     "full_rebuild_ms_total": {rebuild_ms_s}
+  }},
+  "serve": {{
+    "query_workers": {query_workers},
+    "queries_total": {serve_queries},
+    "point_queries": {point_queries},
+    "set_queries": {other_queries},
+    "batches_applied_concurrently": {batches_applied},
+    "throughput_qps": {throughput_qps_s},
+    "point_p50_us": {p50_us_s},
+    "point_p99_us": {p99_us_s},
+    "point_max_us": {max_us_s},
+    "point_service_p99_us": {service_p99_us_s},
+    "full_sweep_ms": {full_sweep_ms_s}
   }}
 }}
 "#,
@@ -403,6 +539,13 @@ fn main() {
         apply_ms_s = fmt_ms(apply_ms),
         refresh_ms_s = fmt_ms(refresh_ms),
         rebuild_ms_s = fmt_ms(rebuild_ms),
+        point_queries = point_us.len(),
+        throughput_qps_s = fmt_ms(throughput_qps),
+        p50_us_s = fmt_ms(p50_us),
+        p99_us_s = fmt_ms(p99_us),
+        max_us_s = fmt_ms(max_us),
+        service_p99_us_s = fmt_ms(service_p99_us),
+        full_sweep_ms_s = fmt_ms(full_sweep_ms),
     );
     std::fs::write(&out_path, json).expect("write perf snapshot");
     eprintln!("perf: wrote {out_path}");

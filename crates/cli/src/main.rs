@@ -7,6 +7,7 @@
 //! rwdom eval     g.edges --nodes 5,17,99 --l 6 --r 500
 //! rwdom cover    g.edges --alpha 0.9 --l 6 --r 100
 //! rwdom stream   --model ba --nodes 2000 --batches 10 --batch-edits 20 --k 10
+//! rwdom serve    --model ba --nodes 2000 --batches 5 --queries-per-batch 8
 //! rwdom demo
 //! ```
 //!
@@ -38,6 +39,8 @@ USAGE:
   rwdom stream --model <ba|er> --nodes <n> [--degree <d>] [--batches <B>]
                [--batch-edits <E>] [--delete-frac <f>] [--k <k>] [--l <L>]
                [--r <R>] [--seed <s>] [--problem <f1|f2>] [--weighted] [--verify]
+  rwdom serve  --model <ba|er> --nodes <n> [stream flags] [--workers <W>]
+               [--queries-per-batch <Q>] [--script <file>]
   rwdom demo
 
 MODELS (gen):
@@ -59,6 +62,14 @@ STREAM: drives a deterministic temporal edge trace through the evolving
   touched (src, layer) groups resampled), seed repair — and prints churn
   stats. --verify additionally rebuilds the index from scratch each epoch
   and asserts the maintained one is bit-identical.
+
+SERVE: starts the online query server over the evolving engine and drives
+  a request trace through it, printing one row per request with its epoch
+  provenance and latency. The trace comes from --script (lines: `batch`,
+  `hit_time <v>`, `hit_prob <v>`, `coverage`, `top <m>`, `seeds`; `#`
+  comments) or is generated: each churn batch followed by
+  --queries-per-batch point queries. Queries are answered from pinned
+  snapshots in O(postings), never a full sweep.
 ";
 
 fn main() -> ExitCode {
@@ -121,6 +132,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "eval" => cmd_eval(rest),
         "cover" => cmd_cover(rest),
         "stream" => cmd_stream(rest),
+        "serve" => cmd_serve(rest),
         "demo" => cmd_demo(),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -318,56 +330,89 @@ fn cmd_cover(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Drives a deterministic temporal edge trace through the evolving
-/// pipeline and prints per-batch churn statistics.
-fn cmd_stream(args: &[String]) -> Result<(), String> {
-    use rwd_core::greedy::approx::GainRule;
-    use rwd_datasets::temporal::{temporal_trace, TemporalTraceSpec, TraceModel};
-    use rwd_stream::{StreamConfig, StreamEngine};
-    use rwd_walks::WalkIndex;
+/// The evolving-pipeline setup shared by `stream` and `serve`: a temporal
+/// trace spec plus an engine configuration, parsed from the same flags.
+struct StreamSetup {
+    model_name: String,
+    spec: rwd_datasets::temporal::TemporalTraceSpec,
+    cfg: rwd_stream::StreamConfig,
+    problem: String,
+    weighted: bool,
+}
 
-    let (pos, flags) = parse(args)?;
+fn parse_stream_setup(
+    cmd: &str,
+    pos: &[String],
+    flags: &HashMap<String, String>,
+) -> Result<StreamSetup, String> {
+    use rwd_core::greedy::approx::GainRule;
+    use rwd_datasets::temporal::{TemporalTraceSpec, TraceModel};
+    use rwd_stream::StreamConfig;
+
     if let Some(extra) = pos.first() {
         return Err(format!(
-            "stream takes no positional arguments (got `{extra}`); it \
+            "{cmd} takes no positional arguments (got `{extra}`); it \
              generates its own temporal trace — use --model/--nodes/--seed"
         ));
     }
-    let model_name: String = get(&flags, "model", Some("ba".to_string()))?;
-    let nodes: usize = get(&flags, "nodes", Some(2_000))?;
+    let model_name: String = get(flags, "model", Some("ba".to_string()))?;
+    let nodes: usize = get(flags, "nodes", Some(2_000))?;
     let model = match model_name.as_str() {
         "ba" => TraceModel::BarabasiAlbert {
-            mdeg: get(&flags, "degree", Some(4))?,
+            mdeg: get(flags, "degree", Some(4))?,
         },
         "er" => TraceModel::ErdosRenyi {
-            mean_degree: get(&flags, "degree", Some(8.0))?,
+            mean_degree: get(flags, "degree", Some(8.0))?,
         },
-        other => return Err(format!("unknown stream model `{other}` (ba|er)")),
+        other => return Err(format!("unknown {cmd} model `{other}` (ba|er)")),
     };
-    let seed: u64 = get(&flags, "seed", Some(42))?;
+    let seed: u64 = get(flags, "seed", Some(42))?;
     let spec = TemporalTraceSpec {
         model,
         nodes,
-        batches: get(&flags, "batches", Some(10))?,
-        batch_edits: get(&flags, "batch-edits", Some(20))?,
-        delete_fraction: get(&flags, "delete-frac", Some(0.5))?,
+        batches: get(flags, "batches", Some(10))?,
+        batch_edits: get(flags, "batch-edits", Some(20))?,
+        delete_fraction: get(flags, "delete-frac", Some(0.5))?,
         seed,
     };
-    let problem: String = get(&flags, "problem", Some("f1".to_string()))?;
+    let problem: String = get(flags, "problem", Some("f1".to_string()))?;
     let rule = match problem.as_str() {
         "f1" => GainRule::HittingTime,
         "f2" => GainRule::Coverage,
         other => return Err(format!("unknown problem `{other}` (f1|f2)")),
     };
     let cfg = StreamConfig {
-        l: get(&flags, "l", Some(6))?,
-        r: get(&flags, "r", Some(16))?,
-        k: get(&flags, "k", Some(10))?,
+        l: get(flags, "l", Some(6))?,
+        r: get(flags, "r", Some(16))?,
+        k: get(flags, "k", Some(10))?,
         seed: seed ^ 0x5EED,
         rule,
         threads: 0,
     };
-    let weighted = flags.contains_key("weighted");
+    Ok(StreamSetup {
+        model_name,
+        spec,
+        cfg,
+        problem,
+        weighted: flags.contains_key("weighted"),
+    })
+}
+
+/// Drives a deterministic temporal edge trace through the evolving
+/// pipeline and prints per-batch churn statistics.
+fn cmd_stream(args: &[String]) -> Result<(), String> {
+    use rwd_datasets::temporal::temporal_trace;
+    use rwd_stream::StreamEngine;
+    use rwd_walks::WalkIndex;
+
+    let (pos, flags) = parse(args)?;
+    let StreamSetup {
+        model_name,
+        spec,
+        cfg,
+        problem,
+        weighted,
+    } = parse_stream_setup("stream", &pos, &flags)?;
     let verify = flags.contains_key("verify");
 
     let trace = temporal_trace(&spec).map_err(|e| e.to_string())?;
@@ -465,6 +510,230 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     );
     let ids: Vec<String> = engine.seeds().iter().map(|u| u.to_string()).collect();
     println!("# final seeds: {}", ids.join(","));
+    Ok(())
+}
+
+/// One parsed request of a serve script.
+enum ServeRequest {
+    Batch,
+    Query(rwd_serve::Query),
+}
+
+/// Parses a request script: one request per line (`#` comments, blank
+/// lines ignored).
+fn parse_serve_script(text: &str, n: usize) -> Result<Vec<ServeRequest>, String> {
+    let node = |tok: Option<&str>, line: &str| -> Result<NodeId, String> {
+        let raw: u32 = tok
+            .ok_or_else(|| format!("`{line}`: missing node id"))?
+            .parse()
+            .map_err(|_| format!("`{line}`: bad node id"))?;
+        if raw as usize >= n {
+            return Err(format!("`{line}`: node {raw} outside universe {n}"));
+        }
+        Ok(NodeId(raw))
+    };
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let req = match it.next().unwrap_or_default() {
+            "batch" => ServeRequest::Batch,
+            "hit_time" => ServeRequest::Query(rwd_serve::Query::HitTime(node(it.next(), line)?)),
+            "hit_prob" => ServeRequest::Query(rwd_serve::Query::HitProb(node(it.next(), line)?)),
+            "coverage" => ServeRequest::Query(rwd_serve::Query::Coverage),
+            "top" => {
+                let m: usize = it
+                    .next()
+                    .ok_or_else(|| format!("`{line}`: missing m"))?
+                    .parse()
+                    .map_err(|_| format!("`{line}`: bad m"))?;
+                ServeRequest::Query(rwd_serve::Query::TopUncovered(m))
+            }
+            "seeds" => ServeRequest::Query(rwd_serve::Query::Seeds),
+            other => return Err(format!("unknown serve request `{other}` in `{line}`")),
+        };
+        out.push(req);
+    }
+    Ok(out)
+}
+
+/// The default request trace: every churn batch followed by a round-robin
+/// mix of point queries over deterministic targets.
+fn default_serve_script(batches: usize, queries_per_batch: usize, n: usize) -> Vec<ServeRequest> {
+    use rwd_serve::Query;
+    let mut out = Vec::new();
+    let mut q = 0usize;
+    for _ in 0..batches {
+        out.push(ServeRequest::Batch);
+        for _ in 0..queries_per_batch {
+            q += 1;
+            out.push(ServeRequest::Query(match q % 5 {
+                0 => Query::Coverage,
+                1 => Query::HitTime(NodeId((q * 131 % n) as u32)),
+                2 => Query::HitProb(NodeId((q * 197 % n) as u32)),
+                3 => Query::TopUncovered(3),
+                _ => Query::Seeds,
+            }));
+        }
+    }
+    out
+}
+
+fn fmt_query(q: &rwd_serve::Query) -> String {
+    use rwd_serve::Query;
+    match q {
+        Query::HitTime(v) => format!("hit_time {v}"),
+        Query::HitProb(v) => format!("hit_prob {v}"),
+        Query::Coverage => "coverage".into(),
+        Query::TopUncovered(m) => format!("top {m}"),
+        Query::Seeds => "seeds".into(),
+    }
+}
+
+fn fmt_answer(value: &rwd_serve::QueryValue) -> String {
+    use rwd_serve::QueryValue;
+    match value {
+        QueryValue::Scalar(x) => fmt_f(*x, 4),
+        QueryValue::Ranked(nodes) => {
+            let head: Vec<String> = nodes
+                .iter()
+                .take(4)
+                .map(|(v, p)| format!("{v}@{}", fmt_f(*p, 3)))
+                .collect();
+            let ellipsis = if nodes.len() > 4 { ",…" } else { "" };
+            format!("[{}{}]", head.join(","), ellipsis)
+        }
+        QueryValue::Seeds { seeds, objective } => {
+            let ids: Vec<String> = seeds.iter().map(|u| u.to_string()).collect();
+            format!("{{{}}} F̂={}", ids.join(","), fmt_f(*objective, 2))
+        }
+        QueryValue::Invalid(msg) => format!("invalid: {msg}"),
+    }
+}
+
+/// Starts the online query server over the evolving engine and replays a
+/// request trace through it, printing per-request epoch provenance and
+/// latency.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use rwd_datasets::temporal::temporal_trace;
+    use rwd_serve::{ServeEngine, Server};
+    use rwd_stream::StreamEngine;
+
+    let (pos, flags) = parse(args)?;
+    let StreamSetup {
+        model_name,
+        spec,
+        cfg,
+        problem,
+        weighted,
+    } = parse_stream_setup("serve", &pos, &flags)?;
+    let workers: usize = get(&flags, "workers", Some(2))?;
+    let queries_per_batch: usize = get(&flags, "queries-per-batch", Some(6))?;
+
+    let trace = temporal_trace(&spec).map_err(|e| e.to_string())?;
+    let requests = match flags.get("script") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read --script {path}: {e}"))?;
+            parse_serve_script(&text, trace.base.n())?
+        }
+        None => default_serve_script(spec.batches, queries_per_batch, trace.base.n()),
+    };
+
+    let stream = if weighted {
+        let wbase = rwd_graph::weighted::weighted_twin(&trace.base, spec.seed)
+            .map_err(|e| e.to_string())?;
+        StreamEngine::new_weighted(wbase, cfg)
+    } else {
+        StreamEngine::new(trace.base.clone(), cfg)
+    }
+    .map_err(|e| e.to_string())?;
+    let engine = ServeEngine::from_stream(stream);
+    println!(
+        "# serve: model={model_name} n={} m0={} problem={problem} k={} l={} r={} \
+         workers={workers}{} — {} requests",
+        trace.base.n(),
+        trace.base.m(),
+        cfg.k,
+        cfg.l,
+        cfg.r,
+        if weighted { " weighted" } else { "" },
+        requests.len(),
+    );
+
+    let server = Server::start(engine, workers);
+    let handle = server.handle();
+    let mut batches = trace.batches.iter();
+    let mut t = Table::new(["#", "request", "epoch", "latency µs", "answer"]);
+    let mut query_latencies_us: Vec<f64> = Vec::new();
+    for (i, req) in requests.iter().enumerate() {
+        match req {
+            ServeRequest::Batch => {
+                let Some(batch) = batches.next() else {
+                    return Err(format!(
+                        "request {} asks for a batch but the trace has only {}",
+                        i + 1,
+                        spec.batches
+                    ));
+                };
+                let outcome = handle
+                    .apply(batch.clone())
+                    .map_err(|e| e.to_string())?
+                    .wait();
+                let us = outcome.latency.as_secs_f64() * 1e6;
+                match outcome.report {
+                    Ok(rep) => {
+                        t.row([
+                            (i + 1).to_string(),
+                            format!("batch +{} -{}", rep.insertions, rep.deletions),
+                            rep.epoch.to_string(),
+                            fmt_f(us, 0),
+                            format!(
+                                "touched {} groups {} swaps {}",
+                                rep.touched_nodes,
+                                rep.refresh.groups_resampled,
+                                rep.maintain.seeds_swapped
+                            ),
+                        ]);
+                    }
+                    Err(e) => return Err(format!("batch {} rejected: {e}", i + 1)),
+                }
+            }
+            ServeRequest::Query(q) => {
+                let answer = handle.query(q.clone()).map_err(|e| e.to_string())?.wait();
+                let us = answer.latency.as_secs_f64() * 1e6;
+                query_latencies_us.push(us);
+                t.row([
+                    (i + 1).to_string(),
+                    fmt_query(q),
+                    answer.epoch.to_string(),
+                    fmt_f(us, 0),
+                    fmt_answer(&answer.value),
+                ]);
+            }
+        }
+    }
+    println!("{}", t.render());
+    server.shutdown();
+
+    if !query_latencies_us.is_empty() {
+        query_latencies_us.sort_by(f64::total_cmp);
+        let pct = |p: f64| -> f64 {
+            let idx = ((query_latencies_us.len() as f64 * p).ceil() as usize)
+                .clamp(1, query_latencies_us.len());
+            query_latencies_us[idx - 1]
+        };
+        println!(
+            "# {} point queries: p50 = {} µs, p99 = {} µs, max = {} µs",
+            query_latencies_us.len(),
+            fmt_f(pct(0.50), 0),
+            fmt_f(pct(0.99), 0),
+            fmt_f(*query_latencies_us.last().expect("non-empty"), 0),
+        );
+    }
     Ok(())
 }
 
@@ -684,6 +953,109 @@ mod tests {
             "--verify",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn serve_replays_default_and_scripted_traces() {
+        // Default generated request trace, unweighted.
+        run(&argv(&[
+            "serve",
+            "--model",
+            "er",
+            "--nodes",
+            "150",
+            "--degree",
+            "8",
+            "--batches",
+            "2",
+            "--batch-edits",
+            "5",
+            "--k",
+            "3",
+            "--l",
+            "4",
+            "--r",
+            "5",
+            "--queries-per-batch",
+            "4",
+            "--workers",
+            "2",
+        ]))
+        .unwrap();
+        // Scripted trace, weighted pipeline.
+        let dir = std::env::temp_dir().join("rwdom_cli_serve");
+        std::fs::create_dir_all(&dir).unwrap();
+        let script = dir.join("requests.txt");
+        std::fs::write(
+            &script,
+            "# warm-up queries on epoch 0\nseeds\nhit_time 3\nbatch\ncoverage\ntop 4\nhit_prob 7\n",
+        )
+        .unwrap();
+        run(&argv(&[
+            "serve",
+            "--model",
+            "ba",
+            "--nodes",
+            "120",
+            "--degree",
+            "3",
+            "--batches",
+            "1",
+            "--batch-edits",
+            "4",
+            "--k",
+            "3",
+            "--l",
+            "4",
+            "--r",
+            "4",
+            "--weighted",
+            "--script",
+            script.to_str().unwrap(),
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_rejects_bad_scripts() {
+        let dir = std::env::temp_dir().join("rwdom_cli_serve_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mk = |name: &str, content: &str| {
+            let p = dir.join(name);
+            std::fs::write(&p, content).unwrap();
+            p.to_str().unwrap().to_string()
+        };
+        let base = [
+            "serve",
+            "--model",
+            "er",
+            "--nodes",
+            "50",
+            "--batches",
+            "1",
+            "--batch-edits",
+            "2",
+            "--k",
+            "2",
+            "--l",
+            "3",
+            "--r",
+            "3",
+            "--script",
+        ];
+        let with_script = |p: String| {
+            let mut v = argv(&base);
+            v.push(p);
+            v
+        };
+        // Unknown verb, out-of-range node, more `batch` lines than the trace.
+        assert!(run(&with_script(mk("verb.txt", "frobnicate 3\n"))).is_err());
+        assert!(run(&with_script(mk("range.txt", "hit_time 99\n"))).is_err());
+        assert!(run(&with_script(mk("batches.txt", "batch\nbatch\n"))).is_err());
+        // Missing script file.
+        assert!(run(&with_script(dir.join("nope.txt").to_str().unwrap().into())).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

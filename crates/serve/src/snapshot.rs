@@ -1,0 +1,239 @@
+//! Epoch-stamped, cheaply-cloneable views of one engine state.
+
+use std::sync::Arc;
+
+use rwd_graph::weighted::WeightedCsrGraph;
+use rwd_graph::{CsrGraph, NodeId};
+use rwd_stream::StreamEngine;
+use rwd_walks::{NodeSet, WalkIndex};
+
+/// The graph of one epoch, shared with the engine that published it.
+#[derive(Clone, Debug)]
+pub enum SnapshotGraph {
+    /// Unweighted pipeline.
+    Unweighted(Arc<CsrGraph>),
+    /// Weighted pipeline.
+    Weighted(Arc<WeightedCsrGraph>),
+}
+
+impl SnapshotGraph {
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        match self {
+            SnapshotGraph::Unweighted(g) => g.n(),
+            SnapshotGraph::Weighted(g) => g.n(),
+        }
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        match self {
+            SnapshotGraph::Unweighted(g) => g.m(),
+            SnapshotGraph::Weighted(g) => g.m(),
+        }
+    }
+}
+
+/// One coherent engine state: graph, walk index, seed set and objective,
+/// all from the same epoch, all behind `Arc`s.
+///
+/// Cloning is O(1) (a handful of reference-count bumps); holding any clone
+/// **pins** the epoch — the writer publishes later epochs as *new*
+/// snapshots and copy-on-writes the index instead of mutating pinned
+/// state, so a reader that interleaves queries with concurrent churn still
+/// sees one frozen world.
+///
+/// Point queries are answered from the index's dual-view columns in
+/// `O(postings)` and are bit-identical to the full-sweep
+/// `estimate_hit_times` / `estimate_hit_probs` on this epoch's index (the
+/// contract `rwd_walks::point` pins with property tests).
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    epoch: u64,
+    graph: SnapshotGraph,
+    index: Arc<WalkIndex>,
+    seeds: Arc<Vec<NodeId>>,
+    seed_set: Arc<NodeSet>,
+    objective: f64,
+}
+
+impl Snapshot {
+    /// Captures the engine's current state. (Used by the serving engine on
+    /// publication; cheap relative to a batch, O(k + n/64) for the seed
+    /// bitset.)
+    pub fn capture(engine: &StreamEngine) -> Snapshot {
+        let graph = match engine.graph_shared() {
+            Some(g) => SnapshotGraph::Unweighted(g),
+            None => SnapshotGraph::Weighted(
+                engine
+                    .weighted_graph_shared()
+                    .expect("engine is unweighted or weighted"),
+            ),
+        };
+        let index = engine.index_shared();
+        let seeds: Vec<NodeId> = engine.seeds().to_vec();
+        let seed_set = NodeSet::from_nodes(index.n(), seeds.iter().copied());
+        Snapshot {
+            epoch: engine.epoch(),
+            graph,
+            index,
+            seeds: Arc::new(seeds),
+            seed_set: Arc::new(seed_set),
+            objective: engine.objective(),
+        }
+    }
+
+    /// The epoch this snapshot observes (0 = cold start; +1 per non-empty
+    /// batch — no-op batches do not advance it).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The epoch's graph.
+    pub fn graph(&self) -> &SnapshotGraph {
+        &self.graph
+    }
+
+    /// The epoch's walk index.
+    pub fn index(&self) -> &WalkIndex {
+        &self.index
+    }
+
+    /// The maintained seed set, in selection order.
+    pub fn seeds(&self) -> &[NodeId] {
+        &self.seeds
+    }
+
+    /// The maintained seed set as a membership bitset.
+    pub fn seed_set(&self) -> &NodeSet {
+        &self.seed_set
+    }
+
+    /// Estimated objective `F̂` of the maintained seed set (the greedy
+    /// gain-trace sum; auditable via
+    /// `rwd_core::algo::objective_from_index`).
+    #[inline]
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// Number of edges at this epoch.
+    pub fn m(&self) -> usize {
+        self.graph.m()
+    }
+
+    /// Estimated `L`-truncated hitting time of `v` into the maintained seed
+    /// set — `estimate_hit_times(seeds)[v]` bit for bit, in
+    /// `O(Σ_i |forward(i, v)|)`.
+    pub fn hit_time(&self, v: NodeId) -> f64 {
+        self.index.point_hit_time(v, &self.seed_set)
+    }
+
+    /// Estimated probability that `v`'s `L`-walk reaches the maintained
+    /// seed set — `estimate_hit_probs(seeds)[v]` bit for bit.
+    pub fn hit_prob(&self, v: NodeId) -> f64 {
+        self.index.point_hit_prob(v, &self.seed_set)
+    }
+
+    /// Expected number of nodes the maintained seed set dominates
+    /// (`F̂2(seeds)`), streamed from the seeds' inverted lists only.
+    pub fn coverage(&self) -> f64 {
+        self.index.coverage(&self.seed_set)
+    }
+
+    /// Expected number of nodes an **arbitrary** set dominates at this
+    /// epoch.
+    ///
+    /// # Panics
+    /// Panics if `set` was built over a different node universe.
+    pub fn coverage_of(&self, set: &NodeSet) -> f64 {
+        self.index.coverage(set)
+    }
+
+    /// The `m` nodes least covered by the maintained seed set (lowest hit
+    /// probability first, ties toward the smaller id), each with its
+    /// sweep-identical probability.
+    pub fn top_m_uncovered(&self, m: usize) -> Vec<(NodeId, f64)> {
+        self.index.top_m_uncovered(m, &self.seed_set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rwd_core::greedy::approx::GainRule;
+    use rwd_graph::generators::erdos_renyi_gnp;
+    use rwd_stream::{EdgeBatch, StreamConfig};
+
+    fn cfg() -> StreamConfig {
+        StreamConfig {
+            l: 5,
+            r: 6,
+            k: 4,
+            seed: 3,
+            rule: GainRule::HittingTime,
+            threads: 0,
+        }
+    }
+
+    #[test]
+    fn capture_reflects_engine_state_and_pins_it() {
+        let g0 = erdos_renyi_gnp(80, 0.06, 17).unwrap();
+        let mut engine = StreamEngine::new(g0.clone(), cfg()).unwrap();
+        let snap = Snapshot::capture(&engine);
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.n(), 80);
+        assert_eq!(snap.m(), g0.m());
+        assert_eq!(snap.seeds(), engine.seeds());
+        assert_eq!(snap.objective().to_bits(), engine.objective().to_bits());
+        assert_eq!(snap.seed_set().len(), 4);
+
+        // Full-sweep references on the pinned epoch.
+        let ht = snap.index().estimate_hit_times(snap.seed_set());
+        let hp = snap.index().estimate_hit_probs(snap.seed_set());
+
+        // Churn the engine; the pinned snapshot must not move.
+        let (u, v) = (0..80u32)
+            .flat_map(|u| ((u + 1)..80).map(move |v| (u, v)))
+            .find(|&(u, v)| !g0.has_edge(NodeId(u), NodeId(v)))
+            .unwrap();
+        let mut batch = EdgeBatch::new(1);
+        batch.insertions.push((u, v, 1.0));
+        engine.apply(&batch).unwrap();
+
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.m(), g0.m(), "pinned graph gained an edge");
+        for w in 0..80u32 {
+            let w = NodeId(w);
+            assert_eq!(snap.hit_time(w).to_bits(), ht[w.index()].to_bits());
+            assert_eq!(snap.hit_prob(w).to_bits(), hp[w.index()].to_bits());
+        }
+
+        // A fresh capture observes the new epoch.
+        let snap2 = Snapshot::capture(&engine);
+        assert_eq!(snap2.epoch(), 1);
+        assert_eq!(snap2.m(), g0.m() + 1);
+    }
+
+    #[test]
+    fn weighted_capture_works() {
+        let g0 = erdos_renyi_gnp(40, 0.12, 2).unwrap();
+        let w0 = rwd_graph::weighted::weighted_twin(&g0, 5).unwrap();
+        let engine = StreamEngine::new_weighted(w0, cfg()).unwrap();
+        let snap = Snapshot::capture(&engine);
+        assert!(matches!(snap.graph(), SnapshotGraph::Weighted(_)));
+        assert_eq!(snap.n(), 40);
+        // coverage_of on an arbitrary set agrees with the point query sum.
+        let probe = NodeSet::from_nodes(40, [NodeId(1), NodeId(3)]);
+        let total: f64 = (0..40)
+            .map(|v| snap.index().point_hit_prob(NodeId(v), &probe))
+            .sum();
+        assert!((snap.coverage_of(&probe) - total).abs() < 1e-9);
+    }
+}

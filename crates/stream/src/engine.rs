@@ -1,5 +1,7 @@
 //! The end-to-end evolving pipeline: graph → index → seeds, per batch.
 
+use std::sync::Arc;
+
 use rwd_core::greedy::approx::GainRule;
 use rwd_graph::weighted::WeightedCsrGraph;
 use rwd_graph::{CsrGraph, NodeId};
@@ -43,11 +45,14 @@ impl Default for StreamConfig {
     }
 }
 
-/// The current graph epoch, unweighted or weighted.
+/// The current graph epoch, unweighted or weighted. Graph epochs are
+/// [`Arc`]'d: batch application is functional (it builds the next graph and
+/// swaps it in), so a snapshot holding the previous epoch's handle stays
+/// valid and untouched for as long as it likes.
 #[derive(Clone, Debug)]
 enum EvolvingGraph {
-    Unweighted(CsrGraph),
-    Weighted(WeightedCsrGraph),
+    Unweighted(Arc<CsrGraph>),
+    Weighted(Arc<WeightedCsrGraph>),
 }
 
 /// Per-batch churn report — the observability surface of the subsystem.
@@ -138,7 +143,7 @@ impl StreamEngine {
         maintainer.maintain(index.index());
         Ok(StreamEngine {
             cfg,
-            graph: EvolvingGraph::Unweighted(graph),
+            graph: EvolvingGraph::Unweighted(Arc::new(graph)),
             index,
             maintainer,
             epoch: 0,
@@ -153,7 +158,7 @@ impl StreamEngine {
         maintainer.maintain(index.index());
         Ok(StreamEngine {
             cfg,
-            graph: EvolvingGraph::Weighted(graph),
+            graph: EvolvingGraph::Weighted(Arc::new(graph)),
             index,
             maintainer,
             epoch: 0,
@@ -163,14 +168,41 @@ impl StreamEngine {
     /// Applies one churn batch end to end: graph edit → incremental index
     /// refresh → seed repair. On a batch validation error the engine state
     /// is unchanged (the graph edit is applied functionally first).
+    ///
+    /// **No-op batches.** A batch with no edits short-circuits: nothing is
+    /// refreshed, no greedy round is replayed, and — deliberately — the
+    /// epoch does **not** advance. The epoch stamps *state*, not batch
+    /// arrivals: readers cache per-epoch answers, so identical state must
+    /// keep an identical stamp. The returned report carries the current
+    /// epoch with all churn counters at zero.
     pub fn apply(&mut self, batch: &EdgeBatch) -> Result<BatchReport> {
+        if batch.is_empty() {
+            return Ok(BatchReport {
+                epoch: self.epoch,
+                timestamp: batch.timestamp,
+                insertions: 0,
+                deletions: 0,
+                edges: self.edges(),
+                touched_nodes: 0,
+                refresh: RefreshStats {
+                    groups_total: self.index.index().n() * self.index.index().r(),
+                    ..RefreshStats::default()
+                },
+                maintain: MaintainReport {
+                    seeds_swapped: 0,
+                    rounds_kept: self.maintainer.seeds().len(),
+                    objective: self.maintainer.objective(),
+                    touched_postings: 0,
+                },
+            });
+        }
         let (touched_nodes, refresh, edges) = match &mut self.graph {
             EvolvingGraph::Unweighted(g) => {
                 let delta = batch.apply(g)?;
                 let stats = self.index.apply(&delta);
                 let touched = delta.touched.len();
                 let edges = delta.graph.m();
-                *g = delta.graph;
+                *g = Arc::new(delta.graph);
                 (touched, stats, edges)
             }
             EvolvingGraph::Weighted(g) => {
@@ -178,7 +210,7 @@ impl StreamEngine {
                 let stats = self.index.apply_weighted(&delta);
                 let touched = delta.touched.len();
                 let edges = delta.graph.m();
-                *g = delta.graph;
+                *g = Arc::new(delta.graph);
                 (touched, stats, edges)
             }
         };
@@ -196,14 +228,43 @@ impl StreamEngine {
         })
     }
 
+    /// Edges in the current graph epoch.
+    fn edges(&self) -> usize {
+        match &self.graph {
+            EvolvingGraph::Unweighted(g) => g.m(),
+            EvolvingGraph::Weighted(g) => g.m(),
+        }
+    }
+
     /// The maintained seed set in selection order.
     pub fn seeds(&self) -> &[NodeId] {
         self.maintainer.seeds()
     }
 
+    /// Marginal gain of each maintained seed at its selection round.
+    pub fn gain_trace(&self) -> &[f64] {
+        self.maintainer.gain_trace()
+    }
+
+    /// Estimated objective of the maintained seed set (the gain-trace sum
+    /// every [`BatchReport`] also carries).
+    pub fn objective(&self) -> f64 {
+        self.maintainer.objective()
+    }
+
     /// The maintained walk index.
     pub fn index(&self) -> &WalkIndex {
         self.index.index()
+    }
+
+    /// A shared handle to the current epoch's index; holding it pins this
+    /// epoch (the next batch copies-on-write instead of mutating what the
+    /// holder observes). This — together with
+    /// [`StreamEngine::graph_shared`] /
+    /// [`StreamEngine::weighted_graph_shared`] — is the snapshot
+    /// publication surface the serving layer builds on.
+    pub fn index_shared(&self) -> Arc<WalkIndex> {
+        self.index.share()
     }
 
     /// The current unweighted graph (`None` when running weighted).
@@ -219,6 +280,25 @@ impl StreamEngine {
         match &self.graph {
             EvolvingGraph::Unweighted(_) => None,
             EvolvingGraph::Weighted(g) => Some(g),
+        }
+    }
+
+    /// Shared handle to the current unweighted graph epoch (`None` when
+    /// running weighted). Graph epochs are immutable once published, so the
+    /// handle stays valid across later batches.
+    pub fn graph_shared(&self) -> Option<Arc<CsrGraph>> {
+        match &self.graph {
+            EvolvingGraph::Unweighted(g) => Some(Arc::clone(g)),
+            EvolvingGraph::Weighted(_) => None,
+        }
+    }
+
+    /// Shared handle to the current weighted graph epoch (`None` when
+    /// running unweighted).
+    pub fn weighted_graph_shared(&self) -> Option<Arc<WeightedCsrGraph>> {
+        match &self.graph {
+            EvolvingGraph::Unweighted(_) => None,
+            EvolvingGraph::Weighted(g) => Some(Arc::clone(g)),
         }
     }
 
@@ -302,6 +382,72 @@ mod tests {
         let w1 = engine.weighted_graph().unwrap().clone();
         let fresh = WalkIndex::build_weighted(&w1, 5, 6, 13);
         assert!(*engine.index() == fresh);
+    }
+
+    #[test]
+    fn empty_batch_is_a_true_noop() {
+        // Regression: an empty batch used to pay the full pipeline — a
+        // zero-touched refresh plus a complete k-round maintain replay —
+        // and still bumped the epoch. It must now short-circuit: same
+        // epoch, untouched index and seeds, all-zero churn counters, and
+        // the objective echoed from the last real pass.
+        let g0 = erdos_renyi_gnp(60, 0.08, 9).unwrap();
+        let mut engine = StreamEngine::new(g0, cfg(4)).unwrap();
+        let seeds = engine.seeds().to_vec();
+        let objective = engine.objective();
+        let index_before = engine.index().clone();
+
+        let report = engine.apply(&EdgeBatch::new(77)).unwrap();
+        assert_eq!(engine.epoch(), 0, "no-op batch must not bump the epoch");
+        assert_eq!(report.epoch, 0);
+        assert_eq!(report.timestamp, 77);
+        assert_eq!((report.insertions, report.deletions), (0, 0));
+        assert_eq!(report.touched_nodes, 0);
+        assert_eq!(report.refresh.groups_resampled, 0);
+        assert_eq!(report.refresh.postings_rewritten(), 0);
+        assert_eq!(report.refresh.groups_total, 60 * 6);
+        assert_eq!(report.maintain.seeds_swapped, 0);
+        assert_eq!(report.maintain.rounds_kept, 4);
+        assert_eq!(report.maintain.touched_postings, 0);
+        assert_eq!(report.maintain.objective.to_bits(), objective.to_bits());
+        assert_eq!(engine.seeds(), &seeds[..]);
+        assert!(*engine.index() == index_before);
+        assert_eq!(engine.lifetime_stats(), RefreshStats::default());
+
+        // A later real batch then advances to epoch 1 as usual.
+        let mut batch = EdgeBatch::new(78);
+        let g = engine.graph().unwrap();
+        let (u, v) = (0..60u32)
+            .flat_map(|u| ((u + 1)..60).map(move |v| (u, v)))
+            .find(|&(u, v)| !g.has_edge(NodeId(u), NodeId(v)))
+            .unwrap();
+        batch.insertions.push((u, v, 1.0));
+        let report = engine.apply(&batch).unwrap();
+        assert_eq!(report.epoch, 1);
+    }
+
+    #[test]
+    fn shared_handles_pin_the_published_epoch() {
+        let g0 = erdos_renyi_gnp(50, 0.1, 3).unwrap();
+        let mut engine = StreamEngine::new(g0, cfg(3)).unwrap();
+        let idx0 = engine.index_shared();
+        let g0_shared = engine.graph_shared().unwrap();
+        assert!(engine.weighted_graph_shared().is_none());
+        let before = (*idx0).clone();
+
+        let mut batch = EdgeBatch::new(1);
+        let (u, v) = (0..50u32)
+            .flat_map(|u| ((u + 1)..50).map(move |v| (u, v)))
+            .find(|&(u, v)| !g0_shared.has_edge(NodeId(u), NodeId(v)))
+            .unwrap();
+        batch.insertions.push((u, v, 1.0));
+        engine.apply(&batch).unwrap();
+
+        // The pinned epoch is untouched; the engine moved on.
+        assert!(*idx0 == before);
+        assert!(!g0_shared.has_edge(NodeId(u), NodeId(v)));
+        assert!(engine.graph().unwrap().has_edge(NodeId(u), NodeId(v)));
+        assert!(*engine.index() != *idx0);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Epoch-to-epoch maintenance of the walk index.
 
+use std::sync::Arc;
+
 use rwd_graph::weighted::WeightedCsrGraph;
 use rwd_graph::CsrGraph;
 use rwd_walks::{RefreshStats, WalkIndex};
@@ -15,9 +17,16 @@ use crate::batch::{GraphDelta, WeightedGraphDelta};
 /// [`IncrementalIndex::apply`] calls, the wrapped index is bit-identical to
 /// `WalkIndex::build` (or `build_weighted`) on the current graph: postings,
 /// forward views, and per-node aggregates alike.
+///
+/// The index lives behind an [`Arc`] so the serving layer can pin a
+/// snapshot of one epoch at zero cost: [`IncrementalIndex::share`] hands
+/// out the current epoch's handle, and the next `apply` mutates in place
+/// when no snapshot still holds it (the steady state) or transparently
+/// clones first when one does (`Arc::make_mut`), so a pinned reader never
+/// observes a mid-refresh index.
 #[derive(Clone, Debug)]
 pub struct IncrementalIndex {
-    idx: WalkIndex,
+    idx: Arc<WalkIndex>,
     weighted: bool,
     threads: usize,
     lifetime: RefreshStats,
@@ -27,7 +36,7 @@ impl IncrementalIndex {
     /// Builds the epoch-0 index over an unweighted graph.
     pub fn build(g: &CsrGraph, l: u32, r: usize, seed: u64, threads: usize) -> Self {
         IncrementalIndex {
-            idx: WalkIndex::build_with_threads(g, l, r, seed, threads),
+            idx: Arc::new(WalkIndex::build_with_threads(g, l, r, seed, threads)),
             weighted: false,
             threads,
             lifetime: RefreshStats::default(),
@@ -43,7 +52,9 @@ impl IncrementalIndex {
         threads: usize,
     ) -> Self {
         IncrementalIndex {
-            idx: WalkIndex::build_weighted_with_threads(g, l, r, seed, threads),
+            idx: Arc::new(WalkIndex::build_weighted_with_threads(
+                g, l, r, seed, threads,
+            )),
             weighted: true,
             threads,
             lifetime: RefreshStats::default(),
@@ -51,7 +62,8 @@ impl IncrementalIndex {
     }
 
     /// Advances the index to the next epoch: resamples exactly the walk
-    /// groups the delta's touched set can have changed.
+    /// groups the delta's touched set can have changed. Snapshots pinned
+    /// via [`IncrementalIndex::share`] keep observing the previous epoch.
     ///
     /// # Panics
     /// Panics if the index was built over a weighted graph (use
@@ -61,9 +73,11 @@ impl IncrementalIndex {
             !self.weighted,
             "index was built weighted; apply the weighted delta"
         );
-        let stats = self
-            .idx
-            .refresh_with_threads(&delta.graph, &delta.touched, self.threads);
+        let stats = Arc::make_mut(&mut self.idx).refresh_with_threads(
+            &delta.graph,
+            &delta.touched,
+            self.threads,
+        );
         self.lifetime.merge(&stats);
         stats
     }
@@ -74,9 +88,11 @@ impl IncrementalIndex {
             self.weighted,
             "index was built unweighted; apply the unweighted delta"
         );
-        let stats =
-            self.idx
-                .refresh_weighted_with_threads(&delta.graph, &delta.touched, self.threads);
+        let stats = Arc::make_mut(&mut self.idx).refresh_weighted_with_threads(
+            &delta.graph,
+            &delta.touched,
+            self.threads,
+        );
         self.lifetime.merge(&stats);
         stats
     }
@@ -85,6 +101,13 @@ impl IncrementalIndex {
     /// graph).
     pub fn index(&self) -> &WalkIndex {
         &self.idx
+    }
+
+    /// A shared handle to the current epoch's index. Cloning the `Arc` is
+    /// O(1); holding it pins this epoch — a later [`IncrementalIndex::apply`]
+    /// leaves the pinned index untouched (copy-on-write).
+    pub fn share(&self) -> Arc<WalkIndex> {
+        Arc::clone(&self.idx)
     }
 
     /// Whether the index samples weighted walks.
@@ -97,9 +120,10 @@ impl IncrementalIndex {
         self.lifetime
     }
 
-    /// Unwraps the maintained index.
+    /// Unwraps the maintained index (cloning only if a snapshot still
+    /// shares it).
     pub fn into_index(self) -> WalkIndex {
-        self.idx
+        Arc::try_unwrap(self.idx).unwrap_or_else(|arc| (*arc).clone())
     }
 }
 
@@ -129,6 +153,38 @@ mod tests {
         inc.apply(&delta2);
         assert!(*inc.index() == WalkIndex::build(&delta2.graph, 5, 4, 17));
         assert!(inc.lifetime_stats().groups_resampled >= stats.groups_resampled);
+    }
+
+    #[test]
+    fn shared_handle_pins_its_epoch() {
+        // A snapshot taken before a batch keeps observing the old epoch
+        // bit for bit, while the maintained index advances.
+        let g0 = erdos_renyi_gnp(50, 0.1, 8).unwrap();
+        let mut inc = IncrementalIndex::build(&g0, 4, 3, 5, 0);
+        let pinned = inc.share();
+        let before = (*pinned).clone();
+
+        let (u, v) = (0..50u32)
+            .flat_map(|u| ((u + 1)..50).map(move |v| (u, v)))
+            .find(|&(u, v)| !g0.has_edge(rwd_graph::NodeId(u), rwd_graph::NodeId(v)))
+            .unwrap();
+        let mut batch = EdgeBatch::new(1);
+        batch.insertions.push((u, v, 1.0));
+        let delta = batch.apply(&g0).unwrap();
+        inc.apply(&delta);
+
+        assert!(*pinned == before, "pinned epoch mutated under the reader");
+        assert!(*inc.index() == WalkIndex::build(&delta.graph, 4, 3, 5));
+        assert!(*inc.index() != *pinned, "engine should have advanced");
+
+        // With the pin dropped, the next apply mutates in place again (no
+        // observable difference, just the steady-state path).
+        drop(pinned);
+        let mut batch2 = EdgeBatch::new(2);
+        batch2.deletions.push((u, v));
+        let delta2 = batch2.apply(&delta.graph).unwrap();
+        inc.apply(&delta2);
+        assert!(*inc.index() == WalkIndex::build(&delta2.graph, 4, 3, 5));
     }
 
     #[test]

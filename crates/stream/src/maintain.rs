@@ -66,6 +66,13 @@ impl SeedMaintainer {
         &self.gain_trace
     }
 
+    /// Estimated objective of the current seed set — the gain-trace sum the
+    /// last [`SeedMaintainer::maintain`] pass reported (0 before the first
+    /// pass). Lets no-op batches echo the objective without a replay.
+    pub fn objective(&self) -> f64 {
+        self.gain_trace.iter().sum()
+    }
+
     /// Cardinality budget `k`.
     pub fn k(&self) -> usize {
         self.k

@@ -1,0 +1,144 @@
+//! Property tests for `EdgeBatch` canonicalization: whatever shape a batch
+//! arrives in — repeated edits, both orientations, weight conflicts —
+//! applying it must either fail cleanly or produce a **simple** graph that
+//! matches a from-scratch build on the post-batch edge list, on both graph
+//! kinds and on the weighted pipeline.
+
+use proptest::prelude::*;
+use proptest::Strategy;
+use rwd_graph::weighted::WeightedCsrGraph;
+use rwd_graph::{CsrGraph, GraphBuilder, NodeId};
+use rwd_stream::EdgeBatch;
+
+/// Raw insertions (endpoints + weight bucket) and deletions.
+type RawEdits = (Vec<(u32, u32, u8)>, Vec<(u32, u32)>);
+
+/// Raw edit lists drawn with heavy duplicate pressure: few distinct node
+/// ids, so repeated edges, flipped orientations and insert/delete overlaps
+/// all occur constantly.
+fn raw_batch() -> impl Strategy<Value = RawEdits> {
+    (
+        proptest::collection::vec((0u32..6, 0u32..6, 0u8..3), 0..=8),
+        proptest::collection::vec((0u32..6, 0u32..6), 0..=5),
+    )
+}
+
+fn base_edges() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0u32..6, 0u32..6), 0..=10)
+}
+
+fn simple(g: &CsrGraph) -> bool {
+    g.nodes()
+        .all(|u| g.neighbors(u).windows(2).all(|w| w[0] < w[1]))
+}
+
+/// Arc slots must match the logical edge count for the graph kind.
+fn consistent(g: &CsrGraph) -> bool {
+    let expect = match g.kind() {
+        rwd_graph::GraphKind::Undirected => 2 * g.m(),
+        rwd_graph::GraphKind::Directed => g.m(),
+    };
+    g.arc_count() == expect
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// Unweighted, both graph kinds: no batch — however degenerate — can
+    /// produce a non-simple graph or a wrong edge count.
+    #[test]
+    fn apply_preserves_simple_graph_invariant(
+        edges in base_edges(),
+        (raw_ins, dels) in raw_batch(),
+        kind in 0u8..2
+    ) {
+        let directed = kind == 1;
+        let mut b = if directed {
+            GraphBuilder::directed()
+        } else {
+            GraphBuilder::undirected()
+        }
+        .with_nodes(6);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let g = b.build().expect("default policies always build");
+        let mut batch = EdgeBatch::new(0);
+        for &(u, v, w) in &raw_ins {
+            batch.insertions.push((u, v, 1.0 + w as f64));
+        }
+        batch.deletions = dels.clone();
+        if let Ok(delta) = batch.apply(&g) {
+            prop_assert!(simple(&delta.graph), "parallel edge or unsorted row");
+            prop_assert!(consistent(&delta.graph), "edge count drifted");
+            // Every touched node really changed (or was delete-reinserted);
+            // at minimum the touched set covers all applied-edit endpoints.
+            let (ins, del) = batch.dedup_edits(!directed).expect("apply succeeded");
+            for &(u, v, _) in &ins {
+                prop_assert!(delta.touched.contains(NodeId(u)), "insert src untouched");
+                if !directed {
+                    prop_assert!(delta.touched.contains(NodeId(v)));
+                }
+            }
+            for &(u, v) in &del {
+                prop_assert!(delta.touched.contains(NodeId(u)), "delete src untouched");
+                if !directed {
+                    prop_assert!(delta.touched.contains(NodeId(v)));
+                }
+            }
+        }
+    }
+
+    /// Weighted pipeline: an accepted batch must yield the same graph a
+    /// from-scratch weighted constructor builds from the post-batch edge
+    /// list — which in particular proves the simple-graph invariant.
+    #[test]
+    fn apply_weighted_matches_from_scratch_build(
+        edges in base_edges(),
+        (raw_ins, dels) in raw_batch()
+    ) {
+        let mut b = GraphBuilder::undirected().with_nodes(6);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let g = b.build().expect("default policies always build");
+        let wg = rwd_graph::weighted::weighted_twin(&g, 9).expect("twin of simple graph");
+        let mut batch = EdgeBatch::new(0);
+        for &(u, v, w) in &raw_ins {
+            batch.insertions.push((u, v, 1.0 + w as f64));
+        }
+        batch.deletions = dels.clone();
+        if let Ok(delta) = batch.apply_weighted(&wg) {
+            // Reconstruct the post-batch weighted edge list and rebuild.
+            let (ins, del) = batch.dedup_edits(true).expect("apply succeeded");
+            let mut final_edges: Vec<(u32, u32, f64)> = g
+                .edges()
+                .filter(|&(u, v)| !del.contains(&(u.raw(), v.raw())))
+                .map(|(u, v)| {
+                    (
+                        u.raw(),
+                        v.raw(),
+                        rwd_graph::weighted::twin_weight(9, u.raw(), v.raw()),
+                    )
+                })
+                .collect();
+            for &(u, v, w) in &ins {
+                final_edges.retain(|&(a, b, _)| (a, b) != (u, v));
+                final_edges.push((u, v, w));
+            }
+            let fresh = WeightedCsrGraph::from_weighted_edges(6, &final_edges)
+                .expect("applied batch yields a simple weighted graph");
+            prop_assert_eq!(delta.graph.m(), fresh.m());
+            for u in delta.graph.nodes() {
+                let got: Vec<(NodeId, u64)> = delta
+                    .graph
+                    .neighbors(u)
+                    .map(|(v, w)| (v, w.to_bits()))
+                    .collect();
+                let want: Vec<(NodeId, u64)> =
+                    fresh.neighbors(u).map(|(v, w)| (v, w.to_bits())).collect();
+                prop_assert_eq!(got, want, "row {} diverged", u);
+            }
+        }
+    }
+}

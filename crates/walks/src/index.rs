@@ -1377,9 +1377,32 @@ impl WalkIndex {
         r.read_exact(&mut header)?;
         let u64_at = |i: usize| u64::from_le_bytes(header[i * 8..(i + 1) * 8].try_into().unwrap());
         let n64 = u64_at(0);
-        let l = u64_at(1) as u32;
+        let l64 = u64_at(1);
         let layer_count64 = u64_at(2);
         let seed = u64_at(3);
+        // Cross-field header validation: the three counts constrain each
+        // other and the posting encoding, so values no builder can produce
+        // are rejected here instead of yielding a nonsense index.
+        // * posting ids are u32, so an index over more than u32::MAX nodes
+        //   is unrepresentable (every id bound check would pass vacuously);
+        // * walks have 1 ≤ hop ≤ l ≤ u16::MAX (the builder asserts it and
+        //   hops are stored as u16), so l = 0 admits no posting at all;
+        // * every constructor requires r ≥ 1 — an index with zero layers
+        //   would make each estimator divide by zero.
+        if n64 > u32::MAX as u64 {
+            return Err(bad(
+                "corrupt walk-index file (node count exceeds the u32 posting-id range)",
+            ));
+        }
+        if l64 == 0 || l64 > u16::MAX as u64 {
+            return Err(bad(
+                "corrupt walk-index file (walk length outside 1..=65535)",
+            ));
+        }
+        if layer_count64 == 0 {
+            return Err(bad("corrupt walk-index file (zero walk layers)"));
+        }
+        let l = l64 as u32;
         // A layer block stores (n + 1) 4-byte offsets, so n and layer_count
         // are bounded by the file length.
         if n64.saturating_mul(4) > file_len || layer_count64.saturating_mul(8) > file_len {
@@ -1770,6 +1793,64 @@ mod tests {
         let path = dir.join("huge_entries.rwdidx");
         std::fs::write(&path, &bytes).unwrap();
         assert!(WalkIndex::load(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_cross_field_header_corruption() {
+        // Corpus of headers that pass the magic check and the raw size
+        // heuristics but violate cross-field invariants no builder can
+        // produce: such files must be InvalidData, never a nonsense index.
+        let dir = std::env::temp_dir().join("rwd_index_io_header");
+        std::fs::create_dir_all(&dir).unwrap();
+        let header = |n: u64, l: u64, layers: u64| -> Vec<u8> {
+            let mut bytes = b"RWDIDX2\0".to_vec();
+            bytes.extend_from_slice(&n.to_le_bytes());
+            bytes.extend_from_slice(&l.to_le_bytes());
+            bytes.extend_from_slice(&layers.to_le_bytes());
+            bytes.extend_from_slice(&7u64.to_le_bytes()); // seed
+            bytes
+        };
+        // One structurally valid empty layer block for n nodes.
+        let empty_layer = |n: usize| -> Vec<u8> {
+            let mut bytes = 0u64.to_le_bytes().to_vec(); // entries
+            bytes.extend(vec![0u8; (n + 1) * 4]); // offsets
+            bytes
+        };
+
+        // n just past the u32 posting-id range (ids could never reference
+        // the upper nodes, so the index is unrepresentable).
+        let mut bytes = header(u32::MAX as u64 + 1, 4, 1);
+        bytes.extend(empty_layer(4)); // content irrelevant; header rejects
+        let path = dir.join("n_past_u32.rwdidx");
+        std::fs::write(&path, &bytes).unwrap();
+        let err = WalkIndex::load(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("posting-id range"), "{err}");
+
+        // l = 0: no posting can satisfy 1 <= hop <= l. Without the check
+        // this loaded "successfully" as an all-empty nonsense index.
+        let mut bytes = header(4, 0, 1);
+        bytes.extend(empty_layer(4));
+        let path = dir.join("l_zero.rwdidx");
+        std::fs::write(&path, &bytes).unwrap();
+        let err = WalkIndex::load(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("walk length"), "{err}");
+
+        // l past the u16 hop range (hops are stored as u16).
+        let path = dir.join("l_huge.rwdidx");
+        std::fs::write(&path, header(4, u16::MAX as u64 + 1, 1)).unwrap();
+        assert!(WalkIndex::load(&path).is_err());
+
+        // layer_count = 0: r() would be 0 and every estimator would divide
+        // by zero. Without the check this also loaded "successfully".
+        let path = dir.join("zero_layers.rwdidx");
+        std::fs::write(&path, header(4, 4, 0)).unwrap();
+        let err = WalkIndex::load(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("zero walk layers"), "{err}");
+
         std::fs::remove_dir_all(&dir).ok();
     }
 

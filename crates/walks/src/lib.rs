@@ -15,6 +15,10 @@
 //!   Hoeffding sample-size bounds of Lemmas 3.3/3.4,
 //! * [`index`] — the paper's Algorithm 3 inverted walk index backing the
 //!   approximate greedy algorithm (Algorithm 6),
+//! * [`point`] — single-node hitting-time / hit-probability / coverage
+//!   queries over the index's forward view, `O(postings)` per query and
+//!   bit-identical to the full-sweep estimators (the serving-path entry
+//!   points),
 //! * [`parallel`] — the shared worker-count policy every fan-out uses.
 //!
 //! Degree-0 convention: a walk at an isolated node stays put (self-loop
@@ -29,6 +33,7 @@ pub mod hitting;
 pub mod index;
 pub mod nodeset;
 pub mod parallel;
+pub mod point;
 pub mod rng;
 pub mod walker;
 

@@ -1,0 +1,249 @@
+//! Point queries over the walk index — the serving-path entry points.
+//!
+//! [`WalkIndex::estimate_hit_times`] and [`WalkIndex::estimate_hit_probs`]
+//! answer "what is the estimate for *every* node" in `O(n·R + postings(S))`
+//! — the right shape for a greedy sweep, the wrong shape for an online
+//! query about *one* node. The entry points here answer single-node
+//! questions from the **forward view** instead:
+//!
+//! * [`WalkIndex::point_hit_time`] / [`WalkIndex::point_hit_prob`] — scan
+//!   `forward(i, u)` per layer, `O(Σ_i |forward(i, u)|)` ≤ `O(R·L)` total,
+//!   with early exit at the first set member (forward lists are in
+//!   ascending hop order, so the first member hit *is* the minimum hop);
+//! * [`WalkIndex::coverage`] / [`WalkIndex::top_m_uncovered`] — stream the
+//!   inverted lists of the set members only, `O(n + R·|S| + postings(S))`,
+//!   never the whole index.
+//!
+//! Every function reproduces the corresponding full-sweep estimator
+//! **bit-identically**: all per-layer contributions are small integers
+//! (exactly representable in `f64`, so summation order cannot matter) and
+//! the final division by `R` is the same single operation the sweep
+//! performs. The serving layer (`rwd-serve`) relies on this to answer
+//! queries from a pinned snapshot without ever running a sweep.
+
+use rwd_graph::NodeId;
+
+use crate::index::WalkIndex;
+use crate::nodeset::NodeSet;
+
+impl WalkIndex {
+    /// Point form of [`WalkIndex::estimate_hit_times`]: the estimated
+    /// `L`-truncated hitting time `ĥ^L_{u,S}` of the single node `u` into
+    /// `set`, in `O(Σ_i |forward(i, u)|)` instead of a full sweep.
+    ///
+    /// Bit-identical to `estimate_hit_times(set)[u]` for every `u` and
+    /// `set` (members score 0; a node whose walk never reaches `set`
+    /// scores `L`).
+    ///
+    /// # Panics
+    /// Panics if `set` was built over a different node universe.
+    pub fn point_hit_time(&self, u: NodeId, set: &NodeSet) -> f64 {
+        self.check_set(set);
+        let r = self.r();
+        if set.contains(u) {
+            return 0.0;
+        }
+        let mut acc = 0.0f64;
+        for layer in 0..r {
+            acc += self.layer_hit_hop(layer, u, set) as f64;
+        }
+        acc / r as f64
+    }
+
+    /// Point form of [`WalkIndex::estimate_hit_probs`]: the estimated hit
+    /// probability `p̂^L_{u,S}` of the single node `u` (fraction of layers
+    /// whose walk from `u` reaches `set`; members score 1).
+    ///
+    /// Bit-identical to `estimate_hit_probs(set)[u]`.
+    ///
+    /// # Panics
+    /// Panics if `set` was built over a different node universe.
+    pub fn point_hit_prob(&self, u: NodeId, set: &NodeSet) -> f64 {
+        self.check_set(set);
+        let r = self.r();
+        if set.contains(u) {
+            return 1.0;
+        }
+        let mut hits = 0u32;
+        for layer in 0..r {
+            let fr = self.forward(layer, u);
+            if fr.ids().iter().any(|&id| set.contains(NodeId(id))) {
+                hits += 1;
+            }
+        }
+        hits as f64 / r as f64
+    }
+
+    /// First-visit hop of walk `layer` from `u` into `set`, or `L` when the
+    /// walk misses. Forward lists are in ascending hop order, so the first
+    /// member encountered carries the minimal hop.
+    #[inline]
+    fn layer_hit_hop(&self, layer: usize, u: NodeId, set: &NodeSet) -> u32 {
+        let fr = self.forward(layer, u);
+        for (&id, &hop) in fr.ids().iter().zip(fr.weights()) {
+            if set.contains(NodeId(id)) {
+                return hop as u32;
+            }
+        }
+        self.l()
+    }
+
+    /// Expected number of nodes dominated by `set` — the Problem-2
+    /// objective `F̂2(set) = Σ_u p̂^L_{u,set}` — computed by streaming only
+    /// the set members' inverted lists: `O(n + R·|set| + postings(set))`.
+    ///
+    /// The per-layer covered counts are integers, so the result equals
+    /// `(Σ_i |covered_i|) / R` exactly; it agrees with summing
+    /// [`WalkIndex::estimate_hit_probs`] up to the usual floating-point
+    /// reassociation of `n` divisions (the per-node fractions themselves
+    /// are what is bit-identical, via [`WalkIndex::point_hit_prob`]).
+    ///
+    /// # Panics
+    /// Panics if `set` was built over a different node universe.
+    pub fn coverage(&self, set: &NodeSet) -> f64 {
+        let cnt = self.covered_counts(set);
+        let total: u64 = cnt.iter().map(|&c| c as u64).sum();
+        total as f64 / self.r() as f64
+    }
+
+    /// The `m` nodes *least* covered by `set`: lowest estimated hit
+    /// probability first, ties broken toward the smaller id. Each entry
+    /// carries its hit probability, bit-identical to
+    /// `estimate_hit_probs(set)` at that node.
+    ///
+    /// Cost: `O(n + R·|set| + postings(set))` to count layer hits plus a
+    /// partial selection of the `m` smallest — no full-sweep `D`-table.
+    ///
+    /// # Panics
+    /// Panics if `set` was built over a different node universe.
+    pub fn top_m_uncovered(&self, m: usize, set: &NodeSet) -> Vec<(NodeId, f64)> {
+        let cnt = self.covered_counts(set);
+        let mut order: Vec<u32> = (0..self.n() as u32).collect();
+        let m = m.min(order.len());
+        if m == 0 {
+            return Vec::new();
+        }
+        let key = |v: &u32| (cnt[*v as usize], *v);
+        if m < order.len() {
+            order.select_nth_unstable_by_key(m - 1, key);
+            order.truncate(m);
+        }
+        order.sort_unstable_by_key(key);
+        let r = self.r() as f64;
+        order
+            .into_iter()
+            .map(|v| (NodeId(v), cnt[v as usize] as f64 / r))
+            .collect()
+    }
+
+    /// Per-node count of layers whose walk reaches `set` (members count
+    /// every layer) — the integer numerator behind
+    /// [`WalkIndex::estimate_hit_probs`], produced without a `D`-table
+    /// sweep: one stamped pass over the set members' inverted lists.
+    fn covered_counts(&self, set: &NodeSet) -> Vec<u32> {
+        self.check_set(set);
+        let n = self.n();
+        let mut cnt = vec![0u32; n];
+        let mut stamp = vec![u32::MAX; n];
+        for layer in 0..self.r() {
+            let mark = layer as u32;
+            for s in set.iter() {
+                if stamp[s.index()] != mark {
+                    stamp[s.index()] = mark;
+                    cnt[s.index()] += 1;
+                }
+                for &id in self.postings(layer, s).ids() {
+                    let id = id as usize;
+                    if stamp[id] != mark {
+                        stamp[id] = mark;
+                        cnt[id] += 1;
+                    }
+                }
+            }
+        }
+        cnt
+    }
+
+    #[inline]
+    fn check_set(&self, set: &NodeSet) {
+        assert_eq!(
+            set.capacity(),
+            self.n(),
+            "query set universe must match the index"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rwd_graph::generators::paper_example;
+
+    #[test]
+    fn point_queries_match_sweeps_on_figure1() {
+        let g = paper_example::figure1();
+        let idx = WalkIndex::build(&g, 4, 5, 11);
+        let set = NodeSet::from_nodes(8, [NodeId(1), NodeId(6)]);
+        let ht = idx.estimate_hit_times(&set);
+        let hp = idx.estimate_hit_probs(&set);
+        for v in g.nodes() {
+            assert_eq!(
+                idx.point_hit_time(v, &set).to_bits(),
+                ht[v.index()].to_bits(),
+                "hit time {v}"
+            );
+            assert_eq!(
+                idx.point_hit_prob(v, &set).to_bits(),
+                hp[v.index()].to_bits(),
+                "hit prob {v}"
+            );
+        }
+        let sum: f64 = (0..8).map(|v| idx.point_hit_prob(NodeId(v), &set)).sum();
+        assert!((idx.coverage(&set) - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_m_uncovered_ranks_by_probability_then_id() {
+        let g = paper_example::figure1();
+        let idx = WalkIndex::build(&g, 3, 4, 5);
+        let set = NodeSet::from_nodes(8, [NodeId(4)]);
+        let hp = idx.estimate_hit_probs(&set);
+        let ranked = idx.top_m_uncovered(8, &set);
+        assert_eq!(ranked.len(), 8);
+        for w in ranked.windows(2) {
+            let (a, pa) = w[0];
+            let (b, pb) = w[1];
+            assert!(pa < pb || (pa == pb && a < b), "order {a}/{b}");
+        }
+        for &(v, p) in &ranked {
+            assert_eq!(p.to_bits(), hp[v.index()].to_bits());
+        }
+        // A shorter prefix is exactly the head of the full ranking.
+        assert_eq!(idx.top_m_uncovered(3, &set), ranked[..3].to_vec());
+        assert!(idx.top_m_uncovered(0, &set).is_empty());
+        // m beyond n is clamped.
+        assert_eq!(idx.top_m_uncovered(99, &set), ranked);
+    }
+
+    #[test]
+    fn members_and_isolated_nodes_score_trivially() {
+        let g = rwd_graph::generators::classic::path(4).unwrap();
+        let idx = WalkIndex::build(&g, 3, 2, 9);
+        let set = NodeSet::from_nodes(4, [NodeId(2)]);
+        assert_eq!(idx.point_hit_time(NodeId(2), &set), 0.0);
+        assert_eq!(idx.point_hit_prob(NodeId(2), &set), 1.0);
+        // Empty set: everything misses.
+        let empty = NodeSet::new(4);
+        assert_eq!(idx.point_hit_time(NodeId(0), &empty), 3.0);
+        assert_eq!(idx.point_hit_prob(NodeId(0), &empty), 0.0);
+        assert_eq!(idx.coverage(&empty), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe")]
+    fn mismatched_universe_panics() {
+        let g = paper_example::figure1();
+        let idx = WalkIndex::build(&g, 2, 1, 1);
+        idx.point_hit_time(NodeId(0), &NodeSet::new(5));
+    }
+}

@@ -16,6 +16,8 @@
 //!   ([`rwd_core`])
 //! * [`stream`] — the evolving-graph subsystem: edge churn, incremental
 //!   walk-index maintenance, seed repair ([`rwd_stream`])
+//! * [`serve`] — the serving path: snapshot-consistent epochs and an
+//!   online point-query API over the evolving engine ([`rwd_serve`])
 //! * [`datasets`] — SNAP stand-ins, the scalability series and temporal
 //!   edge traces ([`rwd_datasets`])
 //!
@@ -41,6 +43,7 @@
 pub use rwd_core as core;
 pub use rwd_datasets as datasets;
 pub use rwd_graph as graph;
+pub use rwd_serve as serve;
 pub use rwd_stream as stream;
 pub use rwd_walks as walks;
 
@@ -53,6 +56,7 @@ pub mod prelude {
     pub use rwd_core::metrics::{self, MetricParams};
     pub use rwd_core::problem::{Params, Problem, Selection};
     pub use rwd_graph::{CsrGraph, GraphBuilder, NodeId};
+    pub use rwd_serve::{Query, ServeEngine, Server, Snapshot};
     pub use rwd_stream::{EdgeBatch, StreamConfig, StreamEngine};
     pub use rwd_walks::{NodeSet, WalkIndex};
 }
