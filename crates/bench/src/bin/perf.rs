@@ -18,12 +18,16 @@
 //!   **while churn batches apply concurrently** — throughput plus
 //!   p50/p99/max point-query latency, against the full-sweep estimator
 //!   time the point path replaces,
+//! * the sharded engine core: the same churn trace through 1/2/4-shard
+//!   scatter-gather coordinators (results asserted identical to the
+//!   single-shard engine), with per-count batch-apply totals and gathered
+//!   point-query service latency,
 //!
-//! and writes the measurements as JSON (default `BENCH_5.json`, the PR-5
+//! and writes the measurements as JSON (default `BENCH_6.json`, the PR-6
 //! snapshot; earlier `BENCH_<n>.json` files stay beside it so the
 //! trajectory is diffable).
 //!
-//! Schema `rwd-perf/4` (extends `rwd-perf/3` with the `serve` block):
+//! Schema `rwd-perf/5` (extends `rwd-perf/4` with the `shard` block):
 //! every timing records the worker count it actually ran with, and
 //! `available_parallelism` is a top-level field — so a snapshot taken on a
 //! 1-core container is self-describing instead of silently reporting ~1.0
@@ -49,7 +53,7 @@ use rwd_datasets::temporal::{temporal_trace, TemporalTraceSpec, TraceModel};
 use rwd_graph::generators::{barabasi_albert, erdos_renyi_gnp};
 use rwd_graph::weighted::weighted_twin;
 use rwd_graph::{CsrGraph, NodeId};
-use rwd_serve::{Query, ServeEngine, Server};
+use rwd_serve::{Query, ServeEngine, Server, Snapshot};
 use rwd_stream::{StreamConfig, StreamEngine};
 use rwd_walks::{NodeSet, WalkIndex};
 
@@ -157,7 +161,7 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 
 fn main() {
     let mut scale = FULL;
-    let mut out_path = String::from("BENCH_5.json");
+    let mut out_path = String::from("BENCH_6.json");
     let mut reps = 3usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -437,6 +441,77 @@ fn main() {
         point_us.len(),
     );
 
+    // --- sharded engine core: scatter-gather vs the single-shard engine --
+    // The same churn trace through 1/2/4-shard coordinators. Correctness is
+    // asserted inline (seeds, objective and gathered point answers must be
+    // bit-identical across shard counts); the rows feed the CI gate keeping
+    // sharded point-query p99 within 2x of single-shard.
+    let shard_counts: Vec<usize> = [1usize, 2, 4]
+        .into_iter()
+        .filter(|&s| s <= scale.r)
+        .collect();
+    struct ShardRow {
+        shards: usize,
+        apply_ms: f64,
+        p50_us: f64,
+        p99_us: f64,
+    }
+    let mut shard_rows: Vec<ShardRow> = Vec::new();
+    let mut shard_baseline: Option<(Vec<NodeId>, u64, Vec<u64>)> = None;
+    for &s in &shard_counts {
+        let mut eng =
+            StreamEngine::with_shards(g.clone(), serve_cfg, s).expect("valid shard count");
+        let t0 = Instant::now();
+        for batch in &trace.batches {
+            eng.apply(batch).expect("trace batches are valid");
+        }
+        let shard_apply_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let snap = Snapshot::capture(&eng);
+        let mut us: Vec<f64> = Vec::with_capacity(1000);
+        let mut answers: Vec<u64> = Vec::with_capacity(1000);
+        for i in 0..1000usize {
+            let v = NodeId((i * 131 % scale.n) as u32);
+            let t = Instant::now();
+            let x = if i % 2 == 0 {
+                snap.hit_time(v)
+            } else {
+                snap.hit_prob(v)
+            };
+            us.push(t.elapsed().as_secs_f64() * 1e6);
+            answers.push(x.to_bits());
+        }
+        us.sort_by(f64::total_cmp);
+        let (p50, p99) = (percentile(&us, 0.50), percentile(&us, 0.99));
+        match &shard_baseline {
+            None => {
+                shard_baseline = Some((eng.seeds().to_vec(), eng.objective().to_bits(), answers))
+            }
+            Some((seeds, obj, base_answers)) => {
+                assert_eq!(eng.seeds(), &seeds[..], "{s}-shard seeds drifted");
+                assert_eq!(
+                    eng.objective().to_bits(),
+                    *obj,
+                    "{s}-shard objective drifted"
+                );
+                assert_eq!(&answers, base_answers, "{s}-shard point answers drifted");
+            }
+        }
+        shard_rows.push(ShardRow {
+            shards: s,
+            apply_ms: shard_apply_ms,
+            p50_us: p50,
+            p99_us: p99,
+        });
+    }
+    let shard_base_p99 = shard_rows[0].p99_us;
+    let shard_worst_p99 = shard_rows.iter().map(|r| r.p99_us).fold(0.0f64, f64::max);
+    eprintln!(
+        "      shard: counts {shard_counts:?} all bit-identical over {} batches; \
+         single-shard service p99 {shard_base_p99:.1} µs, worst sharded p99 \
+         {shard_worst_p99:.1} µs",
+        scale.stream_batches,
+    );
+
     let unix_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
@@ -460,10 +535,24 @@ fn main() {
             .join(", ")
     };
 
+    let shard_row_lines: Vec<String> = shard_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "      {{ \"shards\": {}, \"batch_apply_ms_total\": {}, \
+                 \"point_service_p50_us\": {}, \"point_service_p99_us\": {} }}",
+                r.shards,
+                fmt_ms(r.apply_ms),
+                fmt_ms(r.p50_us),
+                fmt_ms(r.p99_us)
+            )
+        })
+        .collect();
+
     let json = format!(
         r#"{{
-  "schema": "rwd-perf/4",
-  "pr": 5,
+  "schema": "rwd-perf/5",
+  "pr": 6,
   "unix_secs": {unix_secs},
   "available_parallelism": {cores},
   "scale": "{scale_name}",
@@ -508,6 +597,15 @@ fn main() {
     "point_max_us": {max_us_s},
     "point_service_p99_us": {service_p99_us_s},
     "full_sweep_ms": {full_sweep_ms_s}
+  }},
+  "shard": {{
+    "counts": [{shard_counts_s}],
+    "trace_batches": {stream_batches},
+    "rows": [
+{shard_rows_s}
+    ],
+    "single_shard_point_service_p99_us": {shard_base_p99_s},
+    "max_sharded_point_service_p99_us": {shard_worst_p99_s}
   }}
 }}
 "#,
@@ -546,6 +644,10 @@ fn main() {
         max_us_s = fmt_ms(max_us),
         service_p99_us_s = fmt_ms(service_p99_us),
         full_sweep_ms_s = fmt_ms(full_sweep_ms),
+        shard_counts_s = join(&shard_counts),
+        shard_rows_s = shard_row_lines.join(",\n"),
+        shard_base_p99_s = fmt_ms(shard_base_p99),
+        shard_worst_p99_s = fmt_ms(shard_worst_p99),
     );
     std::fs::write(&out_path, json).expect("write perf snapshot");
     eprintln!("perf: wrote {out_path}");

@@ -38,9 +38,10 @@ USAGE:
   rwdom cover  <edge-list> --alpha <0..1] [--l <L>] [--r <R>] [--max-k <k>]
   rwdom stream --model <ba|er> --nodes <n> [--degree <d>] [--batches <B>]
                [--batch-edits <E>] [--delete-frac <f>] [--k <k>] [--l <L>]
-               [--r <R>] [--seed <s>] [--problem <f1|f2>] [--weighted] [--verify]
+               [--r <R>] [--seed <s>] [--problem <f1|f2>] [--shards <S>]
+               [--weighted] [--verify]
   rwdom serve  --model <ba|er> --nodes <n> [stream flags] [--workers <W>]
-               [--queries-per-batch <Q>] [--script <file>]
+               [--queries-per-batch <Q>] [--script <file>] [--shards <S>]
   rwdom demo
 
 MODELS (gen):
@@ -60,8 +61,11 @@ ALGORITHMS (select):
 STREAM: drives a deterministic temporal edge trace through the evolving
   pipeline — per batch: graph edit, incremental walk-index refresh (only
   touched (src, layer) groups resampled), seed repair — and prints churn
-  stats. --verify additionally rebuilds the index from scratch each epoch
-  and asserts the maintained one is bit-identical.
+  stats. --shards <S> tiles the R walk layers across S per-shard engines
+  behind the scatter-gather coordinator (identical results, per-shard
+  breakdown in the output; needs 1 <= S <= R). --verify additionally
+  rebuilds each shard's layer range from scratch every epoch and asserts
+  the maintained index is bit-identical.
 
 SERVE: starts the online query server over the evolving engine and drives
   a request trace through it, printing one row per request with its epoch
@@ -338,6 +342,7 @@ struct StreamSetup {
     cfg: rwd_stream::StreamConfig,
     problem: String,
     weighted: bool,
+    shards: usize,
 }
 
 fn parse_stream_setup(
@@ -389,12 +394,16 @@ fn parse_stream_setup(
         rule,
         threads: 0,
     };
+    // Validated by the engine constructors, which reject 0 and > R with a
+    // named `InvalidShardCount` error — never clamped here.
+    let shards: usize = get(flags, "shards", Some(1))?;
     Ok(StreamSetup {
         model_name,
         spec,
         cfg,
         problem,
         weighted: flags.contains_key("weighted"),
+        shards,
     })
 }
 
@@ -412,13 +421,14 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         cfg,
         problem,
         weighted,
+        shards,
     } = parse_stream_setup("stream", &pos, &flags)?;
     let verify = flags.contains_key("verify");
 
     let trace = temporal_trace(&spec).map_err(|e| e.to_string())?;
     println!(
         "# stream: model={model_name} n={} m0={} batches={} edits/batch={} \
-         problem={problem} k={} l={} r={}{}",
+         problem={problem} k={} l={} r={} shards={shards}{}",
         trace.base.n(),
         trace.base.m(),
         spec.batches,
@@ -432,13 +442,13 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     let mut engine = if weighted {
         let wbase = rwd_graph::weighted::weighted_twin(&trace.base, spec.seed)
             .map_err(|e| e.to_string())?;
-        StreamEngine::new_weighted(wbase, cfg)
+        StreamEngine::with_shards_weighted(wbase, cfg, shards)
     } else {
-        StreamEngine::new(trace.base.clone(), cfg)
+        StreamEngine::with_shards(trace.base.clone(), cfg, shards)
     }
     .map_err(|e| e.to_string())?;
 
-    let groups_total = engine.index().n() * engine.index().r();
+    let groups_total = trace.base.n() * cfg.r;
     let mut t = Table::new([
         "epoch",
         "+e",
@@ -450,6 +460,16 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         "swaps",
         "kept",
         "objective",
+    ]);
+    // Per-shard refresh breakdown, one row per (epoch, shard); rendered
+    // after the churn table when running more than one shard.
+    let mut st = Table::new([
+        "epoch",
+        "shard",
+        "layers",
+        "groups",
+        "postings",
+        "refresh ms",
     ]);
     for batch in &trace.batches {
         let rep = engine.apply(batch).map_err(|e| e.to_string())?;
@@ -465,24 +485,33 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
             rep.maintain.rounds_kept.to_string(),
             fmt_f(rep.maintain.objective, 2),
         ]);
+        for row in &rep.shards {
+            st.row([
+                rep.epoch.to_string(),
+                row.shard.to_string(),
+                format!("[{}, {})", row.layers.start(), row.layers.end()),
+                row.refresh.groups_resampled.to_string(),
+                row.refresh.postings_rewritten().to_string(),
+                fmt_f(row.refresh_ms, 2),
+            ]);
+        }
         if verify {
-            let same = if weighted {
-                let fresh = WalkIndex::build_weighted(
-                    engine.weighted_graph().expect("weighted engine"),
-                    cfg.l,
-                    cfg.r,
-                    cfg.seed,
-                );
-                *engine.index() == fresh
-            } else {
-                let fresh = WalkIndex::build(
-                    engine.graph().expect("unweighted engine"),
-                    cfg.l,
-                    cfg.r,
-                    cfg.seed,
-                );
-                *engine.index() == fresh
-            };
+            // Rebuild each shard's layer range from scratch on the current
+            // graph; the maintained partial indexes must match bitwise.
+            // (With shards = 1 this is the historical full-index check.)
+            let same = engine
+                .shard_indexes()
+                .iter()
+                .zip(engine.shard_ranges())
+                .all(|(idx, rg)| {
+                    if weighted {
+                        let g = engine.weighted_graph().expect("weighted engine");
+                        **idx == WalkIndex::build_weighted_layer_range(g, cfg.l, rg, cfg.seed, 0)
+                    } else {
+                        let g = engine.graph().expect("unweighted engine");
+                        **idx == WalkIndex::build_layer_range(g, cfg.l, rg, cfg.seed, 0)
+                    }
+                });
             if !same {
                 return Err(format!(
                     "epoch {}: maintained index diverged from a rebuild",
@@ -492,6 +521,10 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         }
     }
     println!("{}", t.render());
+    if shards > 1 {
+        println!("# per-shard refresh breakdown");
+        println!("{}", st.render());
+    }
     let life = engine.lifetime_stats();
     println!(
         "# lifetime: {} of {} group-epochs resampled ({}%), {} postings rewritten{}",
@@ -629,6 +662,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         cfg,
         problem,
         weighted,
+        shards,
     } = parse_stream_setup("serve", &pos, &flags)?;
     let workers: usize = get(&flags, "workers", Some(2))?;
     let queries_per_batch: usize = get(&flags, "queries-per-batch", Some(6))?;
@@ -646,15 +680,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let stream = if weighted {
         let wbase = rwd_graph::weighted::weighted_twin(&trace.base, spec.seed)
             .map_err(|e| e.to_string())?;
-        StreamEngine::new_weighted(wbase, cfg)
+        StreamEngine::with_shards_weighted(wbase, cfg, shards)
     } else {
-        StreamEngine::new(trace.base.clone(), cfg)
+        StreamEngine::with_shards(trace.base.clone(), cfg, shards)
     }
     .map_err(|e| e.to_string())?;
     let engine = ServeEngine::from_stream(stream);
     println!(
         "# serve: model={model_name} n={} m0={} problem={problem} k={} l={} r={} \
-         workers={workers}{} — {} requests",
+         shards={shards} workers={workers}{} — {} requests",
         trace.base.n(),
         trace.base.m(),
         cfg.k,
@@ -956,6 +990,85 @@ mod tests {
     }
 
     #[test]
+    fn stream_runs_sharded_and_verified() {
+        // 3 shards over r = 6 layers, verified bit-identical per epoch;
+        // exercises the per-shard breakdown rendering too.
+        run(&argv(&[
+            "stream",
+            "--model",
+            "er",
+            "--nodes",
+            "150",
+            "--degree",
+            "8",
+            "--batches",
+            "2",
+            "--batch-edits",
+            "5",
+            "--k",
+            "3",
+            "--l",
+            "4",
+            "--r",
+            "6",
+            "--shards",
+            "3",
+            "--verify",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn shard_count_is_rejected_by_name() {
+        let base = |shards: &str| {
+            argv(&[
+                "stream",
+                "--model",
+                "er",
+                "--nodes",
+                "60",
+                "--batches",
+                "1",
+                "--batch-edits",
+                "2",
+                "--k",
+                "2",
+                "--l",
+                "3",
+                "--r",
+                "4",
+                "--shards",
+                shards,
+            ])
+        };
+        let err = run(&base("0")).unwrap_err();
+        assert!(err.contains("invalid shard count"), "{err}");
+        let err = run(&base("5")).unwrap_err();
+        assert!(err.contains("invalid shard count"), "{err}");
+        assert!(err.contains("5 shards"), "{err}");
+        // Serve shares the same setup parsing and engine validation.
+        let err = run(&argv(&[
+            "serve",
+            "--model",
+            "er",
+            "--nodes",
+            "60",
+            "--batches",
+            "1",
+            "--k",
+            "2",
+            "--l",
+            "3",
+            "--r",
+            "4",
+            "--shards",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("invalid shard count"), "{err}");
+    }
+
+    #[test]
     fn serve_replays_default_and_scripted_traces() {
         // Default generated request trace, unweighted.
         run(&argv(&[
@@ -979,6 +1092,8 @@ mod tests {
             "--queries-per-batch",
             "4",
             "--workers",
+            "2",
+            "--shards",
             "2",
         ]))
         .unwrap();

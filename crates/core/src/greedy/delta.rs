@@ -49,14 +49,21 @@ use rwd_walks::{NodeSet, WalkIndex};
 use crate::greedy::approx::GainRule;
 use crate::greedy::celf::CelfEntry;
 
-/// Incremental exact-gain maintenance over a dual-view [`WalkIndex`].
+/// Incremental exact-gain maintenance over a dual-view [`WalkIndex`] — or
+/// over a **set of layer-range shards** that together cover `[0, R)`
+/// ([`DeltaGainEngine::over_shards`]): every per-layer quantity is an
+/// integer, so walking the shards' layers in absolute order reproduces the
+/// monolithic engine's tables, picks and gain traces bit for bit.
 ///
 /// The greedy loop is: [`DeltaGainEngine::best_candidate`] →
 /// [`DeltaGainEngine::update`] → repeat. Gain entries of already-selected
 /// nodes keep being maintained (they are the hypothetical gain of
 /// re-adding the node) but are skipped by the argmax.
 pub struct DeltaGainEngine<'a> {
-    idx: &'a WalkIndex,
+    shards: Vec<&'a WalkIndex>,
+    /// Global layer → `(shard, local layer)`, in absolute layer order — the
+    /// order every table slice, staged decrement and reduction follows.
+    layer_map: Vec<(usize, usize)>,
     rule: GainRule,
     n: usize,
     r: usize,
@@ -102,14 +109,46 @@ impl<'a> DeltaGainEngine<'a> {
     /// [`DeltaGainEngine::update`]. All tables are exact integers, so
     /// results are bit-identical at any worker count.
     pub fn with_threads(idx: &'a WalkIndex, rule: GainRule, threads: usize) -> Self {
+        Self::over_shards(std::slice::from_ref(&idx), rule, threads)
+    }
+
+    /// Builds the engine over a set of layer-range shards whose
+    /// [`WalkIndex::layer_range`]s tile `[0, R)` contiguously in order —
+    /// the scatter-gather form of [`DeltaGainEngine::with_threads`]. With
+    /// one shard this *is* the monolithic engine; with many, the global
+    /// layer order concatenates the shards' layers, so all tables, argmax
+    /// picks and estimates are bit-identical to a monolithic engine over
+    /// the same `R` layers.
+    ///
+    /// # Panics
+    /// Panics when `shards` is empty, the shards disagree on `n`/`l`, or
+    /// their layer ranges do not tile `[0, R)` in order.
+    pub fn over_shards(shards: &[&'a WalkIndex], rule: GainRule, threads: usize) -> Self {
         rule.validate();
-        let n = idx.n();
-        let r = idx.r();
-        let l = idx.l();
+        assert!(!shards.is_empty(), "engine needs at least one shard");
+        let n = shards[0].n();
+        let l = shards[0].l();
+        let mut layer_map = Vec::new();
+        let mut next_base = 0usize;
+        for (s, shard) in shards.iter().enumerate() {
+            assert_eq!(shard.n(), n, "shard {s} disagrees on the node universe");
+            assert_eq!(shard.l(), l, "shard {s} disagrees on the walk length");
+            assert_eq!(
+                shard.layer_base(),
+                next_base,
+                "shard {s} breaks the contiguous layer tiling"
+            );
+            for local in 0..shard.r() {
+                layer_map.push((s, local));
+            }
+            next_base += shard.r();
+        }
+        let r = layer_map.len();
         let (d1, d2) = rule.alloc_tables(n, r, l);
-        let (gain1, gain2) = Self::init_gains(idx, rule);
+        let (gain1, gain2) = Self::init_gains(shards, r, rule);
         let mut engine = DeltaGainEngine {
-            idx,
+            shards: shards.to_vec(),
+            layer_map,
             rule,
             n,
             r,
@@ -142,16 +181,20 @@ impl<'a> DeltaGainEngine<'a> {
     /// posting counts 1, so `gain2[u] = R + count(u)`. The per-node posting
     /// aggregates are precomputed by the index at construction, so this
     /// touches **no** posting list at all — which is what lets the delta
-    /// path undercut even a single `gains_all` sweep.
-    fn init_gains(idx: &WalkIndex, rule: GainRule) -> (Vec<u64>, Vec<u64>) {
-        let n = idx.n();
-        let r = idx.r() as u64;
-        let l = idx.l() as u64;
+    /// path undercut even a single `gains_all` sweep. With many shards the
+    /// aggregates sum across shards; the sums are the monolith's integers,
+    /// so the closed form is unchanged.
+    fn init_gains(shards: &[&WalkIndex], r: usize, rule: GainRule) -> (Vec<u64>, Vec<u64>) {
+        let n = shards[0].n();
+        let r = r as u64;
+        let l = shards[0].l() as u64;
         let g1 = if rule.needs_f1() {
             (0..n)
                 .map(|u| {
                     let u = NodeId::new(u);
-                    r * l + l * idx.posting_count(u) - idx.posting_hop_sum(u)
+                    let count: u64 = shards.iter().map(|s| s.posting_count(u)).sum();
+                    let hopsum: u64 = shards.iter().map(|s| s.posting_hop_sum(u)).sum();
+                    r * l + l * count - hopsum
                 })
                 .collect()
         } else {
@@ -159,7 +202,11 @@ impl<'a> DeltaGainEngine<'a> {
         };
         let g2 = if rule.needs_f2() {
             (0..n)
-                .map(|u| r + idx.posting_count(NodeId::new(u)))
+                .map(|u| {
+                    let u = NodeId::new(u);
+                    let count: u64 = shards.iter().map(|s| s.posting_count(u)).sum();
+                    r + count
+                })
                 .collect()
         } else {
             Vec::new()
@@ -257,28 +304,32 @@ impl<'a> DeltaGainEngine<'a> {
         // Each improved slot streams its forward list (≤ L entries), so the
         // repair work is up to (1 + L)× the seed's inverted postings — gate
         // on that estimate, not the posting count alone.
-        let postings: usize = (0..self.r).map(|i| self.idx.postings(i, u).len()).sum();
+        let postings: usize = self
+            .layer_map
+            .iter()
+            .map(|&(s, li)| self.shards[s].postings(li, u).len())
+            .sum();
         let work = postings * (1 + self.l as usize);
         let workers = if work < MIN_PARALLEL_SWEEP_WORK {
             1
         } else {
             resolve_threads(self.threads).min(self.r)
         };
-        let (n, idx) = (self.n, self.idx);
+        let n = self.n;
+        let shards = &self.shards;
         self.touched_last = 0;
 
         if workers == 1 {
-            let r = self.r;
             let gain1 = &mut self.gain1;
             let gain2 = &mut self.gain2;
             let mut it1 = self.d1.chunks_mut(n);
             let mut it2 = self.d2.chunks_mut(n);
             let (mut dec1_sum, mut inc2_sum, mut touched_sum) = (0u64, 0u64, 0usize);
-            for i in 0..r {
+            for &(s, li) in &self.layer_map {
                 let (dec1, inc2, touched) = Self::update_layer(
-                    idx,
+                    shards[s],
                     u,
-                    i,
+                    li,
                     it1.next(),
                     it2.next(),
                     &mut |v, dec| gain1[v as usize] -= dec as u64,
@@ -294,13 +345,22 @@ impl<'a> DeltaGainEngine<'a> {
             return;
         }
 
-        /// One layer's update job: its index and its disjoint `D` slices.
-        type LayerJob<'s> = (usize, Option<&'s mut [u32]>, Option<&'s mut [u8]>);
+        /// One layer's update job: its owning index, its local layer index
+        /// and its disjoint `D` slices.
+        type LayerJob<'s, 'i> = (
+            &'i WalkIndex,
+            usize,
+            Option<&'s mut [u32]>,
+            Option<&'s mut [u8]>,
+        );
 
         let mut it1 = self.d1.chunks_mut(n);
         let mut it2 = self.d2.chunks_mut(n);
-        let mut per_layer: Vec<LayerJob<'_>> =
-            (0..self.r).map(|i| (i, it1.next(), it2.next())).collect();
+        let mut per_layer: Vec<LayerJob<'_, 'a>> = self
+            .layer_map
+            .iter()
+            .map(|&(s, li)| (shards[s], li, it1.next(), it2.next()))
+            .collect();
         let chunk = self.r.div_ceil(workers);
         /// Per-worker staged output: `(Σ dec1, Σ inc2, touched, gain1
         /// decrements, gain2 decrement targets)`.
@@ -314,11 +374,11 @@ impl<'a> DeltaGainEngine<'a> {
                         let (mut dec1, mut inc2, mut touched) = (0u64, 0u64, 0usize);
                         let mut decs1: Vec<Dec1> = Vec::new();
                         let mut decs2: Vec<u32> = Vec::new();
-                        for (i, d1, d2) in group.iter_mut() {
+                        for (idx, li, d1, d2) in group.iter_mut() {
                             let (a, b, t) = Self::update_layer(
                                 idx,
                                 u,
-                                *i,
+                                *li,
                                 d1.as_deref_mut(),
                                 d2.as_deref_mut(),
                                 &mut |v, dec| decs1.push((v, dec)),
@@ -604,6 +664,67 @@ mod tests {
             "later rounds must touch fewer postings than one full sweep \
              ({touched:?} vs {total})"
         );
+    }
+
+    #[test]
+    fn sharded_engine_matches_monolith_bitwise() {
+        // Shard the index's layers contiguously; the over_shards engine
+        // must reproduce the monolithic picks, gains and estimates bit for
+        // bit at every shard and thread count.
+        use rwd_walks::LayerRange;
+        let g = barabasi_albert(180, 3, 13).unwrap();
+        let (l, r, seed) = (5u32, 8usize, 27u64);
+        let idx = WalkIndex::build(&g, l, r, seed);
+        for rule in ALL_RULES {
+            let mut mono = DeltaGainEngine::with_threads(&idx, rule, 1);
+            let mut mono_trace = Vec::new();
+            for _ in 0..5 {
+                let (pick, gain) = mono.best_candidate().unwrap();
+                mono.update(pick);
+                mono_trace.push((pick, gain.to_bits(), mono.last_update_touched()));
+            }
+            for shards in [1usize, 2, 4, 8] {
+                let parts: Vec<WalkIndex> = LayerRange::partition(r, shards)
+                    .into_iter()
+                    .map(|rg| WalkIndex::build_layer_range(&g, l, rg, seed, 0))
+                    .collect();
+                let refs: Vec<&WalkIndex> = parts.iter().collect();
+                for threads in [1usize, 2, 8] {
+                    let mut engine = DeltaGainEngine::over_shards(&refs, rule, threads);
+                    for (round, &(pick, gain_bits, touched)) in mono_trace.iter().enumerate() {
+                        let (p, gain) = engine.best_candidate().unwrap();
+                        assert_eq!(p, pick, "rule {rule:?} shards {shards} round {round}");
+                        assert_eq!(gain.to_bits(), gain_bits);
+                        engine.update(p);
+                        assert_eq!(engine.last_update_touched(), touched);
+                    }
+                    for u in 0..idx.n() {
+                        let u = NodeId::new(u);
+                        assert_eq!(
+                            engine.gain(u).to_bits(),
+                            mono.gain(u).to_bits(),
+                            "rule {rule:?} shards {shards} threads {threads} node {u}"
+                        );
+                    }
+                    if rule.needs_f1() {
+                        assert_eq!(engine.est_f1().to_bits(), mono.est_f1().to_bits());
+                    }
+                    if rule.needs_f2() {
+                        assert_eq!(engine.est_f2().to_bits(), mono.est_f2().to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous layer tiling")]
+    fn over_shards_rejects_gapped_ranges() {
+        use rwd_walks::LayerRange;
+        let g = paper_example::figure1();
+        let a = WalkIndex::build_layer_range(&g, 3, LayerRange::new(0, 2), 5, 0);
+        let b = WalkIndex::build_layer_range(&g, 3, LayerRange::new(3, 4), 5, 0);
+        let _ = DeltaGainEngine::over_shards(&[&a, &b], GainRule::Coverage, 0);
     }
 
     #[test]

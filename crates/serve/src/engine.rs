@@ -49,6 +49,30 @@ impl ServeEngine {
         Ok(Self::from_stream(StreamEngine::new_weighted(graph, cfg)?))
     }
 
+    /// Cold-starts serving over a sharded engine (`shards` per-shard
+    /// engines behind the scatter-gather coordinator) and publishes
+    /// epoch 0. Published snapshots gather point queries across the
+    /// shards; every answer is bit-identical to the single-shard engine.
+    /// The epoch advances — and the next snapshot is published — only
+    /// after **every** shard has landed the batch (the coordinator's
+    /// all-or-nothing commit).
+    pub fn with_shards(graph: CsrGraph, cfg: StreamConfig, shards: usize) -> Result<Self> {
+        Ok(Self::from_stream(StreamEngine::with_shards(
+            graph, cfg, shards,
+        )?))
+    }
+
+    /// Weighted twin of [`ServeEngine::with_shards`].
+    pub fn with_shards_weighted(
+        graph: WeightedCsrGraph,
+        cfg: StreamConfig,
+        shards: usize,
+    ) -> Result<Self> {
+        Ok(Self::from_stream(StreamEngine::with_shards_weighted(
+            graph, cfg, shards,
+        )?))
+    }
+
     /// Wraps an already-running evolving engine (publishes its current
     /// state as-is).
     pub fn from_stream(stream: StreamEngine) -> Self {

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use rwd_graph::weighted::WeightedCsrGraph;
 use rwd_graph::{CsrGraph, NodeId};
 use rwd_stream::StreamEngine;
-use rwd_walks::{NodeSet, WalkIndex};
+use rwd_walks::{top_m_from_counts, NodeSet, PartialContribution, WalkIndex};
 
 /// The graph of one epoch, shared with the engine that published it.
 #[derive(Clone, Debug)]
@@ -34,24 +34,38 @@ impl SnapshotGraph {
     }
 }
 
-/// One coherent engine state: graph, walk index, seed set and objective,
-/// all from the same epoch, all behind `Arc`s.
+/// One coherent engine state: graph, walk index (one partial index per
+/// shard), seed set and objective, all from the same epoch, all behind
+/// `Arc`s.
 ///
 /// Cloning is O(1) (a handful of reference-count bumps); holding any clone
 /// **pins** the epoch — the writer publishes later epochs as *new*
-/// snapshots and copy-on-writes the index instead of mutating pinned
-/// state, so a reader that interleaves queries with concurrent churn still
-/// sees one frozen world.
+/// snapshots and copy-on-writes each shard's index instead of mutating
+/// pinned state, so a reader that interleaves queries with concurrent churn
+/// still sees one frozen world. Because the coordinator advances the epoch
+/// only after **every** shard has committed a batch (all-or-nothing
+/// publish), the per-shard handles captured here always describe the same
+/// epoch.
 ///
-/// Point queries are answered from the index's dual-view columns in
-/// `O(postings)` and are bit-identical to the full-sweep
+/// Point queries **scatter** to the shards — each returns its exact integer
+/// contribution over its layer range ([`PartialContribution`], per-node
+/// covered-layer counts) — and the snapshot **gathers** them with integer
+/// addition before the single final division by `R`. Per-layer
+/// contributions are small integers (exactly representable in `f64`), so
+/// the merged answers are bit-identical to the monolithic point queries,
+/// which are themselves bit-identical to the full-sweep
 /// `estimate_hit_times` / `estimate_hit_probs` on this epoch's index (the
 /// contract `rwd_walks::point` pins with property tests).
 #[derive(Clone, Debug)]
 pub struct Snapshot {
     epoch: u64,
     graph: SnapshotGraph,
-    index: Arc<WalkIndex>,
+    /// Per-shard partial indexes in layer order (length 1 for the
+    /// single-shard engine — the historical monolith).
+    shards: Vec<Arc<WalkIndex>>,
+    /// Total walk layers `R` across all shards — the one divisor every
+    /// gathered query applies.
+    r_total: usize,
     seeds: Arc<Vec<NodeId>>,
     seed_set: Arc<NodeSet>,
     objective: f64,
@@ -59,8 +73,8 @@ pub struct Snapshot {
 
 impl Snapshot {
     /// Captures the engine's current state. (Used by the serving engine on
-    /// publication; cheap relative to a batch, O(k + n/64) for the seed
-    /// bitset.)
+    /// publication; cheap relative to a batch, O(k + n/64 + shards) for the
+    /// seed bitset and the per-shard handles.)
     pub fn capture(engine: &StreamEngine) -> Snapshot {
         let graph = match engine.graph_shared() {
             Some(g) => SnapshotGraph::Unweighted(g),
@@ -70,13 +84,15 @@ impl Snapshot {
                     .expect("engine is unweighted or weighted"),
             ),
         };
-        let index = engine.index_shared();
+        let shards = engine.shard_indexes_shared();
+        let n = shards[0].n();
         let seeds: Vec<NodeId> = engine.seeds().to_vec();
-        let seed_set = NodeSet::from_nodes(index.n(), seeds.iter().copied());
+        let seed_set = NodeSet::from_nodes(n, seeds.iter().copied());
         Snapshot {
             epoch: engine.epoch(),
             graph,
-            index,
+            shards,
+            r_total: engine.config().r,
             seeds: Arc::new(seeds),
             seed_set: Arc::new(seed_set),
             objective: engine.objective(),
@@ -96,8 +112,33 @@ impl Snapshot {
     }
 
     /// The epoch's walk index.
+    ///
+    /// # Panics
+    /// Panics on a sharded snapshot — there is no single monolithic index
+    /// there; use [`Snapshot::shards`].
     pub fn index(&self) -> &WalkIndex {
-        &self.index
+        assert_eq!(
+            self.shards.len(),
+            1,
+            "index() needs a single-shard snapshot; a sharded snapshot exposes shards()"
+        );
+        &self.shards[0]
+    }
+
+    /// The per-shard partial indexes, in layer order (length 1 on a
+    /// single-shard engine).
+    pub fn shards(&self) -> &[Arc<WalkIndex>] {
+        &self.shards
+    }
+
+    /// Number of shards this snapshot gathers over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total walk layers `R` across all shards.
+    pub fn r(&self) -> usize {
+        self.r_total
     }
 
     /// The maintained seed set, in selection order.
@@ -128,23 +169,57 @@ impl Snapshot {
         self.graph.m()
     }
 
+    /// Gathers the integer point contributions for `v` across every shard.
+    fn contribution(&self, v: NodeId, set: &NodeSet) -> PartialContribution {
+        let mut c = PartialContribution::default();
+        for shard in &self.shards {
+            c.merge(&shard.point_contribution(v, set));
+        }
+        c
+    }
+
+    /// Gathers per-node covered-layer counts across every shard (integer
+    /// elementwise sums — each layer contributes the same count the
+    /// monolith would).
+    fn merged_counts(&self, set: &NodeSet) -> Vec<u32> {
+        let mut iter = self.shards.iter();
+        let first = iter.next().expect("a snapshot always has >= 1 shard");
+        let mut cnt = first.covered_layer_counts(set);
+        for shard in iter {
+            for (acc, c) in cnt.iter_mut().zip(shard.covered_layer_counts(set)) {
+                *acc += c;
+            }
+        }
+        cnt
+    }
+
     /// Estimated `L`-truncated hitting time of `v` into the maintained seed
     /// set — `estimate_hit_times(seeds)[v]` bit for bit, in
-    /// `O(Σ_i |forward(i, v)|)`.
+    /// `O(Σ_i |forward(i, v)|)`: per-shard integer hop sums, one final
+    /// division by `R`. (A seed contributes hop 0 on every layer, so the
+    /// gathered sum divides to exactly `0.0`, matching the monolith's
+    /// member short-circuit.)
     pub fn hit_time(&self, v: NodeId) -> f64 {
-        self.index.point_hit_time(v, &self.seed_set)
+        let c = self.contribution(v, &self.seed_set);
+        c.hop_sum as f64 / self.r_total as f64
     }
 
     /// Estimated probability that `v`'s `L`-walk reaches the maintained
-    /// seed set — `estimate_hit_probs(seeds)[v]` bit for bit.
+    /// seed set — `estimate_hit_probs(seeds)[v]` bit for bit (gathered hit
+    /// counts over `R`; a member hits on all `R` layers, dividing to
+    /// exactly `1.0`).
     pub fn hit_prob(&self, v: NodeId) -> f64 {
-        self.index.point_hit_prob(v, &self.seed_set)
+        let c = self.contribution(v, &self.seed_set);
+        c.hits as f64 / self.r_total as f64
     }
 
     /// Expected number of nodes the maintained seed set dominates
-    /// (`F̂2(seeds)`), streamed from the seeds' inverted lists only.
+    /// (`F̂2(seeds)`), streamed from the seeds' inverted lists only —
+    /// per-shard integer counts, summed, one division.
     pub fn coverage(&self) -> f64 {
-        self.index.coverage(&self.seed_set)
+        let cnt = self.merged_counts(&self.seed_set);
+        let total: u64 = cnt.iter().map(|&c| c as u64).sum();
+        total as f64 / self.r_total as f64
     }
 
     /// Expected number of nodes an **arbitrary** set dominates at this
@@ -153,14 +228,18 @@ impl Snapshot {
     /// # Panics
     /// Panics if `set` was built over a different node universe.
     pub fn coverage_of(&self, set: &NodeSet) -> f64 {
-        self.index.coverage(set)
+        let cnt = self.merged_counts(set);
+        let total: u64 = cnt.iter().map(|&c| c as u64).sum();
+        total as f64 / self.r_total as f64
     }
 
     /// The `m` nodes least covered by the maintained seed set (lowest hit
     /// probability first, ties toward the smaller id), each with its
-    /// sweep-identical probability.
+    /// sweep-identical probability — the selection runs once over the
+    /// gathered counts.
     pub fn top_m_uncovered(&self, m: usize) -> Vec<(NodeId, f64)> {
-        self.index.top_m_uncovered(m, &self.seed_set)
+        let cnt = self.merged_counts(&self.seed_set);
+        top_m_from_counts(&cnt, self.r_total, m)
     }
 }
 
@@ -190,6 +269,8 @@ mod tests {
         assert_eq!(snap.epoch(), 0);
         assert_eq!(snap.n(), 80);
         assert_eq!(snap.m(), g0.m());
+        assert_eq!(snap.shard_count(), 1);
+        assert_eq!(snap.r(), 6);
         assert_eq!(snap.seeds(), engine.seeds());
         assert_eq!(snap.objective().to_bits(), engine.objective().to_bits());
         assert_eq!(snap.seed_set().len(), 4);
@@ -235,5 +316,40 @@ mod tests {
             .map(|v| snap.index().point_hit_prob(NodeId(v), &probe))
             .sum();
         assert!((snap.coverage_of(&probe) - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sharded_snapshot_answers_bit_match_the_monolith() {
+        let g0 = erdos_renyi_gnp(70, 0.08, 23).unwrap();
+        let mut mono = StreamEngine::new(g0.clone(), cfg()).unwrap();
+        let mut sharded = StreamEngine::with_shards(g0.clone(), cfg(), 4).unwrap();
+        // Same trace through both engines.
+        let (u, v) = (0..70u32)
+            .flat_map(|u| ((u + 1)..70).map(move |v| (u, v)))
+            .find(|&(u, v)| !g0.has_edge(NodeId(u), NodeId(v)))
+            .unwrap();
+        let mut batch = EdgeBatch::new(1);
+        batch.insertions.push((u, v, 1.0));
+        mono.apply(&batch).unwrap();
+        sharded.apply(&batch).unwrap();
+
+        let ms = Snapshot::capture(&mono);
+        let ss = Snapshot::capture(&sharded);
+        assert_eq!(ss.shard_count(), 4);
+        assert_eq!(ss.epoch(), ms.epoch());
+        assert_eq!(ss.seeds(), ms.seeds());
+        assert_eq!(ss.objective().to_bits(), ms.objective().to_bits());
+        for w in 0..70u32 {
+            let w = NodeId(w);
+            assert_eq!(ss.hit_time(w).to_bits(), ms.hit_time(w).to_bits());
+            assert_eq!(ss.hit_prob(w).to_bits(), ms.hit_prob(w).to_bits());
+        }
+        assert_eq!(ss.coverage().to_bits(), ms.coverage().to_bits());
+        assert_eq!(ss.top_m_uncovered(9), ms.top_m_uncovered(9));
+        let probe = NodeSet::from_nodes(70, [NodeId(2), NodeId(5), NodeId(7)]);
+        assert_eq!(
+            ss.coverage_of(&probe).to_bits(),
+            ms.coverage_of(&probe).to_bits()
+        );
     }
 }

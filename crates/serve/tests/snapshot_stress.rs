@@ -7,6 +7,12 @@
 //! `e`'s index with epoch `e`'s statically selected seeds. A torn read —
 //! an index from one epoch paired with seeds from another, or a
 //! mid-refresh index — would mismatch every reference.
+//!
+//! The same race runs twice: once against the single-shard engine, once
+//! against the sharded scatter-gather coordinator — every gathered answer
+//! must still bit-match the per-epoch **monolithic** rebuild, and a torn
+//! cross-shard read (one shard at epoch `e`, another at `e+1`) would
+//! break the bit-match just like a torn single-shard read.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -123,8 +129,7 @@ fn query_mix(i: usize) -> Query {
     }
 }
 
-#[test]
-fn concurrent_readers_always_observe_one_coherent_epoch() {
+fn run_stress(shards: usize) {
     // A deterministic churn trace, valid-by-construction batch by batch.
     let spec = TemporalTraceSpec {
         model: TraceModel::ErdosRenyi { mean_degree: 8.0 },
@@ -153,7 +158,7 @@ fn concurrent_readers_always_observe_one_coherent_epoch() {
         rule: RULE,
         threads: 0,
     };
-    let engine = ServeEngine::new(trace.base.clone(), cfg).unwrap();
+    let engine = ServeEngine::with_shards(trace.base.clone(), cfg, shards).unwrap();
     let server = Server::start(engine, 3);
     let handle = server.handle();
 
@@ -233,9 +238,37 @@ fn concurrent_readers_always_observe_one_coherent_epoch() {
 
     server.shutdown();
     // The final engine state equals the final static rebuild (reachable
-    // through any still-held snapshot handle).
+    // through any still-held snapshot handle): every shard's maintained
+    // index bit-matches a from-scratch build of its layer range.
     let last = handle.snapshot();
     assert_eq!(last.epoch(), total_epochs);
-    let fresh = WalkIndex::build(graphs.last().unwrap(), L, R, WALK_SEED);
-    assert!(*last.index() == fresh, "served index drifted from rebuild");
+    assert_eq!(last.shard_count(), shards);
+    for shard in last.shards() {
+        let fresh = WalkIndex::build_layer_range(
+            graphs.last().unwrap(),
+            L,
+            shard.layer_range(),
+            WALK_SEED,
+            0,
+        );
+        assert!(**shard == fresh, "served shard index drifted from rebuild");
+    }
+    if shards == 1 {
+        let fresh = WalkIndex::build(graphs.last().unwrap(), L, R, WALK_SEED);
+        assert!(*last.index() == fresh, "served index drifted from rebuild");
+    }
+}
+
+#[test]
+fn concurrent_readers_always_observe_one_coherent_epoch() {
+    run_stress(1);
+}
+
+/// The same reader/writer race against a 4-shard coordinator (uneven
+/// tiling of the 6 walk layers): scattered point queries gathered across
+/// shards must bit-match the monolithic per-epoch rebuild throughout, and
+/// no reader may ever observe a half-published epoch.
+#[test]
+fn concurrent_readers_race_the_sharded_coordinator() {
+    run_stress(4);
 }

@@ -5,12 +5,12 @@ use std::sync::Arc;
 use rwd_core::greedy::approx::GainRule;
 use rwd_graph::weighted::WeightedCsrGraph;
 use rwd_graph::{CsrGraph, NodeId};
-use rwd_walks::{RefreshStats, WalkIndex};
+use rwd_walks::{LayerRange, RefreshStats, WalkIndex};
 
 use crate::batch::EdgeBatch;
-use crate::index::IncrementalIndex;
-use crate::maintain::{MaintainReport, SeedMaintainer};
-use crate::{Result, StreamError};
+use crate::maintain::MaintainReport;
+use crate::shard::{ShardBatchStats, ShardSet};
+use crate::Result;
 
 /// Configuration of a [`StreamEngine`].
 #[derive(Clone, Copy, Debug)]
@@ -45,16 +45,6 @@ impl Default for StreamConfig {
     }
 }
 
-/// The current graph epoch, unweighted or weighted. Graph epochs are
-/// [`Arc`]'d: batch application is functional (it builds the next graph and
-/// swaps it in), so a snapshot holding the previous epoch's handle stays
-/// valid and untouched for as long as it likes.
-#[derive(Clone, Debug)]
-enum EvolvingGraph {
-    Unweighted(Arc<CsrGraph>),
-    Weighted(Arc<WeightedCsrGraph>),
-}
-
 /// Per-batch churn report — the observability surface of the subsystem.
 #[derive(Clone, Debug)]
 pub struct BatchReport {
@@ -70,10 +60,14 @@ pub struct BatchReport {
     pub edges: usize,
     /// Nodes whose adjacency changed.
     pub touched_nodes: usize,
-    /// Index-maintenance accounting (groups resampled, postings rewritten).
+    /// Index-maintenance accounting summed across shards (groups
+    /// resampled, postings rewritten, over the whole `n · R`-group index).
     pub refresh: RefreshStats,
     /// Seed-maintenance accounting (swaps, kept prefix, objective).
     pub maintain: MaintainReport,
+    /// Per-shard breakdown of the refresh, in layer order (one row per
+    /// shard; empty for short-circuited no-op batches).
+    pub shards: Vec<ShardBatchStats>,
 }
 
 impl BatchReport {
@@ -91,83 +85,66 @@ impl BatchReport {
 /// the graph, maintains the walk index incrementally, and repairs the seed
 /// set — reporting what each batch actually cost.
 ///
-/// Invariant (asserted by the equivalence suite): after any sequence of
-/// batches, `engine.index()` is bit-identical to a cold
-/// `WalkIndex::build`/`build_weighted` on `engine`'s current graph, and
-/// `engine.seeds()` equals the static `Strategy::Delta` selection on that
-/// index — the evolving system never drifts from what a from-scratch run
-/// would compute.
+/// Since the sharding refactor this is a facade over the scatter-gather
+/// [`ShardSet`] coordinator: [`StreamEngine::new`] runs the 1-shard special
+/// case (identical behavior and API to the historical monolith), and
+/// [`StreamEngine::with_shards`] tiles the `R` walk layers across `N`
+/// per-shard engines. The shard count is **never observable in any
+/// result** — only in wall time and in the per-shard rows of
+/// [`BatchReport::shards`].
+///
+/// Invariant (asserted by the equivalence suites): after any sequence of
+/// batches, the maintained index (concatenated across shards) is
+/// bit-identical to a cold `WalkIndex::build`/`build_weighted` on the
+/// current graph, and `engine.seeds()` equals the static `Strategy::Delta`
+/// selection on that index — the evolving system never drifts from what a
+/// from-scratch run would compute.
 #[derive(Clone, Debug)]
 pub struct StreamEngine {
-    cfg: StreamConfig,
-    graph: EvolvingGraph,
-    index: IncrementalIndex,
-    maintainer: SeedMaintainer,
-    epoch: u64,
+    inner: ShardSet,
 }
 
 impl StreamEngine {
-    fn validate(cfg: &StreamConfig, n: usize) -> Result<()> {
-        if cfg.k == 0 || cfg.k > n {
-            return Err(StreamError::InvalidConfig(format!(
-                "k = {} outside [1, n = {n}]",
-                cfg.k
-            )));
-        }
-        if cfg.r == 0 {
-            return Err(StreamError::InvalidConfig("r must be >= 1".into()));
-        }
-        if cfg.l == 0 || cfg.l > u16::MAX as u32 {
-            return Err(StreamError::InvalidConfig(format!(
-                "l = {} outside [1, {}]",
-                cfg.l,
-                u16::MAX
-            )));
-        }
-        if let GainRule::Combined { lambda } = cfg.rule {
-            if !(0.0..=1.0).contains(&lambda) {
-                return Err(StreamError::InvalidConfig(format!(
-                    "lambda = {lambda} outside [0, 1]"
-                )));
-            }
-        }
-        Ok(())
+    /// Cold-starts the system on an unweighted graph: builds the epoch-0
+    /// index and bootstraps the seed set. Single-shard (the historical
+    /// monolithic engine).
+    pub fn new(graph: CsrGraph, cfg: StreamConfig) -> Result<Self> {
+        Self::with_shards(graph, cfg, 1)
     }
 
-    /// Cold-starts the system on an unweighted graph: builds the epoch-0
-    /// index and bootstraps the seed set.
-    pub fn new(graph: CsrGraph, cfg: StreamConfig) -> Result<Self> {
-        Self::validate(&cfg, graph.n())?;
-        let index = IncrementalIndex::build(&graph, cfg.l, cfg.r, cfg.seed, cfg.threads);
-        let mut maintainer = SeedMaintainer::new(cfg.rule, cfg.k, cfg.threads);
-        maintainer.maintain(index.index());
+    /// Cold-starts the system on a weighted graph. Single-shard.
+    pub fn new_weighted(graph: WeightedCsrGraph, cfg: StreamConfig) -> Result<Self> {
+        Self::with_shards_weighted(graph, cfg, 1)
+    }
+
+    /// Cold-starts a sharded engine: the `R` walk layers are tiled across
+    /// `shards` per-shard engines behind a scatter-gather coordinator.
+    /// Every result (seeds, gains, objectives, index bits) is identical to
+    /// the 1-shard engine; only wall time and the per-shard report rows
+    /// differ. Rejects `shards == 0` and `shards > cfg.r` with
+    /// [`crate::StreamError::InvalidShardCount`].
+    pub fn with_shards(graph: CsrGraph, cfg: StreamConfig, shards: usize) -> Result<Self> {
         Ok(StreamEngine {
-            cfg,
-            graph: EvolvingGraph::Unweighted(Arc::new(graph)),
-            index,
-            maintainer,
-            epoch: 0,
+            inner: ShardSet::new(graph, cfg, shards)?,
         })
     }
 
-    /// Cold-starts the system on a weighted graph.
-    pub fn new_weighted(graph: WeightedCsrGraph, cfg: StreamConfig) -> Result<Self> {
-        Self::validate(&cfg, graph.n())?;
-        let index = IncrementalIndex::build_weighted(&graph, cfg.l, cfg.r, cfg.seed, cfg.threads);
-        let mut maintainer = SeedMaintainer::new(cfg.rule, cfg.k, cfg.threads);
-        maintainer.maintain(index.index());
+    /// Weighted twin of [`StreamEngine::with_shards`].
+    pub fn with_shards_weighted(
+        graph: WeightedCsrGraph,
+        cfg: StreamConfig,
+        shards: usize,
+    ) -> Result<Self> {
         Ok(StreamEngine {
-            cfg,
-            graph: EvolvingGraph::Weighted(Arc::new(graph)),
-            index,
-            maintainer,
-            epoch: 0,
+            inner: ShardSet::new_weighted(graph, cfg, shards)?,
         })
     }
 
     /// Applies one churn batch end to end: graph edit → incremental index
-    /// refresh → seed repair. On a batch validation error the engine state
-    /// is unchanged (the graph edit is applied functionally first).
+    /// refresh on every shard → seed repair. On a batch validation error
+    /// the engine state is unchanged (phase 1 stages the edit functionally
+    /// on every shard before anything commits, so a rejected batch is
+    /// all-or-nothing even under sharding).
     ///
     /// **No-op batches.** A batch with no edits short-circuits: nothing is
     /// refreshed, no greedy round is replayed, and — deliberately — the
@@ -176,85 +153,38 @@ impl StreamEngine {
     /// keep an identical stamp. The returned report carries the current
     /// epoch with all churn counters at zero.
     pub fn apply(&mut self, batch: &EdgeBatch) -> Result<BatchReport> {
-        if batch.is_empty() {
-            return Ok(BatchReport {
-                epoch: self.epoch,
-                timestamp: batch.timestamp,
-                insertions: 0,
-                deletions: 0,
-                edges: self.edges(),
-                touched_nodes: 0,
-                refresh: RefreshStats {
-                    groups_total: self.index.index().n() * self.index.index().r(),
-                    ..RefreshStats::default()
-                },
-                maintain: MaintainReport {
-                    seeds_swapped: 0,
-                    rounds_kept: self.maintainer.seeds().len(),
-                    objective: self.maintainer.objective(),
-                    touched_postings: 0,
-                },
-            });
-        }
-        let (touched_nodes, refresh, edges) = match &mut self.graph {
-            EvolvingGraph::Unweighted(g) => {
-                let delta = batch.apply(g)?;
-                let stats = self.index.apply(&delta);
-                let touched = delta.touched.len();
-                let edges = delta.graph.m();
-                *g = Arc::new(delta.graph);
-                (touched, stats, edges)
-            }
-            EvolvingGraph::Weighted(g) => {
-                let delta = batch.apply_weighted(g)?;
-                let stats = self.index.apply_weighted(&delta);
-                let touched = delta.touched.len();
-                let edges = delta.graph.m();
-                *g = Arc::new(delta.graph);
-                (touched, stats, edges)
-            }
-        };
-        let maintain = self.maintainer.maintain(self.index.index());
-        self.epoch += 1;
-        Ok(BatchReport {
-            epoch: self.epoch,
-            timestamp: batch.timestamp,
-            insertions: batch.insertions.len(),
-            deletions: batch.deletions.len(),
-            edges,
-            touched_nodes,
-            refresh,
-            maintain,
-        })
-    }
-
-    /// Edges in the current graph epoch.
-    fn edges(&self) -> usize {
-        match &self.graph {
-            EvolvingGraph::Unweighted(g) => g.m(),
-            EvolvingGraph::Weighted(g) => g.m(),
-        }
+        self.inner.apply(batch)
     }
 
     /// The maintained seed set in selection order.
     pub fn seeds(&self) -> &[NodeId] {
-        self.maintainer.seeds()
+        self.inner.seeds()
     }
 
     /// Marginal gain of each maintained seed at its selection round.
     pub fn gain_trace(&self) -> &[f64] {
-        self.maintainer.gain_trace()
+        self.inner.gain_trace()
     }
 
     /// Estimated objective of the maintained seed set (the gain-trace sum
     /// every [`BatchReport`] also carries).
     pub fn objective(&self) -> f64 {
-        self.maintainer.objective()
+        self.inner.objective()
     }
 
     /// The maintained walk index.
+    ///
+    /// # Panics
+    /// Panics on a multi-shard engine — there is no single monolithic
+    /// index there; use [`StreamEngine::shard_indexes`] /
+    /// [`StreamEngine::shard_indexes_shared`] instead.
     pub fn index(&self) -> &WalkIndex {
-        self.index.index()
+        assert_eq!(
+            self.inner.shard_count(),
+            1,
+            "index() needs the single-shard engine; a sharded engine exposes shard_indexes()"
+        );
+        self.inner.shards()[0].index()
     }
 
     /// A shared handle to the current epoch's index; holding it pins this
@@ -263,64 +193,85 @@ impl StreamEngine {
     /// [`StreamEngine::graph_shared`] /
     /// [`StreamEngine::weighted_graph_shared`] — is the snapshot
     /// publication surface the serving layer builds on.
+    ///
+    /// # Panics
+    /// Panics on a multi-shard engine (see [`StreamEngine::index`]).
     pub fn index_shared(&self) -> Arc<WalkIndex> {
-        self.index.share()
+        assert_eq!(
+            self.inner.shard_count(),
+            1,
+            "index_shared() needs the single-shard engine; use shard_indexes_shared()"
+        );
+        self.inner.shards()[0].index_shared()
+    }
+
+    /// Number of shards the engine runs (1 for [`StreamEngine::new`]).
+    pub fn shard_count(&self) -> usize {
+        self.inner.shard_count()
+    }
+
+    /// The contiguous layer ranges of the shard tiling, in order.
+    pub fn shard_ranges(&self) -> Vec<LayerRange> {
+        self.inner.ranges()
+    }
+
+    /// Borrowed handles to every shard's partial index, in layer order.
+    /// On a 1-shard engine this is `[self.index()]`.
+    pub fn shard_indexes(&self) -> Vec<&WalkIndex> {
+        self.inner.shard_indexes()
+    }
+
+    /// Shared handles to every shard's current-epoch partial index;
+    /// holding them pins the epoch on every shard. The scatter half of the
+    /// serving layer's scatter-gather queries.
+    pub fn shard_indexes_shared(&self) -> Vec<Arc<WalkIndex>> {
+        self.inner.shard_indexes_shared()
     }
 
     /// The current unweighted graph (`None` when running weighted).
     pub fn graph(&self) -> Option<&CsrGraph> {
-        match &self.graph {
-            EvolvingGraph::Unweighted(g) => Some(g),
-            EvolvingGraph::Weighted(_) => None,
-        }
+        self.inner.graph()
     }
 
     /// The current weighted graph (`None` when running unweighted).
     pub fn weighted_graph(&self) -> Option<&WeightedCsrGraph> {
-        match &self.graph {
-            EvolvingGraph::Unweighted(_) => None,
-            EvolvingGraph::Weighted(g) => Some(g),
-        }
+        self.inner.weighted_graph()
     }
 
     /// Shared handle to the current unweighted graph epoch (`None` when
     /// running weighted). Graph epochs are immutable once published, so the
     /// handle stays valid across later batches.
     pub fn graph_shared(&self) -> Option<Arc<CsrGraph>> {
-        match &self.graph {
-            EvolvingGraph::Unweighted(g) => Some(Arc::clone(g)),
-            EvolvingGraph::Weighted(_) => None,
-        }
+        self.inner.graph_shared()
     }
 
     /// Shared handle to the current weighted graph epoch (`None` when
     /// running unweighted).
     pub fn weighted_graph_shared(&self) -> Option<Arc<WeightedCsrGraph>> {
-        match &self.graph {
-            EvolvingGraph::Unweighted(_) => None,
-            EvolvingGraph::Weighted(g) => Some(Arc::clone(g)),
-        }
+        self.inner.weighted_graph_shared()
     }
 
     /// Number of batches applied since the cold start.
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.inner.epoch()
     }
 
     /// The engine configuration.
     pub fn config(&self) -> &StreamConfig {
-        &self.cfg
+        self.inner.config()
     }
 
-    /// Accumulated index-churn statistics over every applied batch.
+    /// Accumulated index-churn statistics over every applied batch, summed
+    /// across shards.
     pub fn lifetime_stats(&self) -> RefreshStats {
-        self.index.lifetime_stats()
+        self.inner.lifetime_stats()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::StreamError;
     use rwd_core::algo::select_from_index;
     use rwd_core::Strategy;
     use rwd_graph::generators::erdos_renyi_gnp;
@@ -358,6 +309,7 @@ mod tests {
         assert!(report.touched_nodes >= 2);
         assert!(report.refresh.groups_resampled > 0);
         assert!(report.resampled_fraction() > 0.0);
+        assert_eq!(report.shards.len(), 1, "1-shard engine, one report row");
 
         // Cold-start comparison on the evolved graph.
         let g1 = engine.graph().unwrap().clone();
@@ -406,6 +358,7 @@ mod tests {
         assert_eq!(report.refresh.groups_resampled, 0);
         assert_eq!(report.refresh.postings_rewritten(), 0);
         assert_eq!(report.refresh.groups_total, 60 * 6);
+        assert!(report.shards.is_empty(), "no-op batch refreshes no shard");
         assert_eq!(report.maintain.seeds_swapped, 0);
         assert_eq!(report.maintain.rounds_kept, 4);
         assert_eq!(report.maintain.touched_postings, 0);
@@ -473,5 +426,61 @@ mod tests {
         let mut c = cfg(2);
         c.rule = GainRule::Combined { lambda: 2.0 };
         assert!(StreamEngine::new(g, c).is_err());
+    }
+
+    #[test]
+    fn sharded_engine_tracks_the_monolith_bitwise() {
+        let g0 = erdos_renyi_gnp(70, 0.08, 31).unwrap();
+        let mut mono = StreamEngine::new(g0.clone(), cfg(4)).unwrap();
+        let mut sharded = StreamEngine::with_shards(g0.clone(), cfg(4), 3).unwrap();
+        assert_eq!(sharded.shard_count(), 3);
+        assert_eq!(
+            sharded
+                .shard_ranges()
+                .iter()
+                .map(|rg| rg.len())
+                .sum::<usize>(),
+            6
+        );
+        assert_eq!(sharded.seeds(), mono.seeds());
+
+        let mut batch = EdgeBatch::new(1);
+        let (u, v) = (0..70u32)
+            .flat_map(|u| ((u + 1)..70).map(move |v| (u, v)))
+            .find(|&(u, v)| !g0.has_edge(NodeId(u), NodeId(v)))
+            .unwrap();
+        batch.insertions.push((u, v, 1.0));
+        let rm = mono.apply(&batch).unwrap();
+        let rs = sharded.apply(&batch).unwrap();
+        assert_eq!(rs.epoch, rm.epoch);
+        assert_eq!(rs.refresh, rm.refresh, "merged refresh must match");
+        assert_eq!(rs.maintain, rm.maintain);
+        assert_eq!(rs.shards.len(), 3);
+        assert_eq!(sharded.seeds(), mono.seeds());
+        let bits = |t: &[f64]| t.iter().map(|g| g.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(sharded.gain_trace()), bits(mono.gain_trace()));
+
+        // Each shard's post-churn index is the monolith's slice, bitwise.
+        let full = mono.index();
+        for (idx, rg) in sharded.shard_indexes().iter().zip(sharded.shard_ranges()) {
+            let slice = WalkIndex::build_layer_range(mono.graph().unwrap(), 5, rg, 13, 0);
+            assert!(**idx == slice, "shard {rg:?} drifted from the monolith");
+        }
+        assert_eq!(full.n(), 70);
+    }
+
+    #[test]
+    fn shard_count_errors_are_named() {
+        let g = erdos_renyi_gnp(20, 0.2, 1).unwrap();
+        let err = StreamEngine::with_shards(g.clone(), cfg(3), 0).unwrap_err();
+        assert!(matches!(
+            err,
+            StreamError::InvalidShardCount {
+                shards: 0,
+                layers: 6
+            }
+        ));
+        let err = StreamEngine::with_shards(g, cfg(3), 9).unwrap_err();
+        assert!(err.to_string().contains("9 shards"), "{err}");
     }
 }

@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use rwd_graph::weighted::WeightedCsrGraph;
 use rwd_graph::CsrGraph;
-use rwd_walks::{RefreshStats, WalkIndex};
+use rwd_walks::{LayerRange, RefreshStats, WalkIndex};
 
 use crate::batch::{GraphDelta, WeightedGraphDelta};
 
@@ -54,6 +54,44 @@ impl IncrementalIndex {
         IncrementalIndex {
             idx: Arc::new(WalkIndex::build_weighted_with_threads(
                 g, l, r, seed, threads,
+            )),
+            weighted: true,
+            threads,
+            lifetime: RefreshStats::default(),
+        }
+    }
+
+    /// Builds the epoch-0 index for one shard: only the layers in `range`,
+    /// each bitwise identical to the same layer of the full `R`-layer
+    /// monolith (the per-`(seed, node, layer)` RNG streams use absolute
+    /// layer indices). Refreshes replay the same absolute streams, so the
+    /// shard tracks its slice of the monolith across epochs.
+    pub fn build_layer_range(
+        g: &CsrGraph,
+        l: u32,
+        range: LayerRange,
+        seed: u64,
+        threads: usize,
+    ) -> Self {
+        IncrementalIndex {
+            idx: Arc::new(WalkIndex::build_layer_range(g, l, range, seed, threads)),
+            weighted: false,
+            threads,
+            lifetime: RefreshStats::default(),
+        }
+    }
+
+    /// Weighted twin of [`IncrementalIndex::build_layer_range`].
+    pub fn build_weighted_layer_range(
+        g: &WeightedCsrGraph,
+        l: u32,
+        range: LayerRange,
+        seed: u64,
+        threads: usize,
+    ) -> Self {
+        IncrementalIndex {
+            idx: Arc::new(WalkIndex::build_weighted_layer_range(
+                g, l, range, seed, threads,
             )),
             weighted: true,
             threads,

@@ -19,9 +19,16 @@
 //!   each batch by replaying greedy rounds over a
 //!   [`rwd_core::greedy::DeltaGainEngine`], evicting a seed only when its
 //!   round's marginal-gain argmax actually changed,
-//! * [`engine`] — [`StreamEngine`]: ties the three together and reports
-//!   per-batch churn statistics ([`BatchReport`]: groups resampled,
-//!   postings rewritten, seeds swapped).
+//! * [`shard`] — [`ShardEngine`] / [`ShardSet`]: the sharded engine core —
+//!   the `R` walk layers are tiled into contiguous [`rwd_walks::LayerRange`]s,
+//!   each owned by a per-shard engine (graph replica + partial index), and
+//!   a scatter-gather coordinator broadcasts batches to every shard with
+//!   all-or-nothing epoch advancement; results are bit-identical to the
+//!   monolith at any shard count,
+//! * [`engine`] — [`StreamEngine`]: the public facade tying it together
+//!   (the 1-shard special case is the historical monolithic engine) and
+//!   reporting per-batch churn statistics ([`BatchReport`]: groups
+//!   resampled, postings rewritten, seeds swapped, per-shard rows).
 //!
 //! The determinism contract carries over from the static pipeline: the
 //! state after any prefix of batches is a pure function of
@@ -35,11 +42,13 @@ pub mod batch;
 pub mod engine;
 pub mod index;
 pub mod maintain;
+pub mod shard;
 
 pub use batch::{EdgeBatch, GraphDelta, WeightedGraphDelta};
 pub use engine::{BatchReport, StreamConfig, StreamEngine};
 pub use index::IncrementalIndex;
 pub use maintain::{MaintainReport, SeedMaintainer};
+pub use shard::{ShardBatchStats, ShardEngine, ShardSet};
 
 /// Errors produced by the evolving-graph subsystem.
 #[derive(Debug)]
@@ -48,6 +57,14 @@ pub enum StreamError {
     Graph(rwd_graph::GraphError),
     /// The engine configuration is invalid for the given graph.
     InvalidConfig(String),
+    /// The requested shard count cannot tile the walk layers: zero shards,
+    /// or more shards than layers (some shard would own no layers).
+    InvalidShardCount {
+        /// Requested shard count.
+        shards: usize,
+        /// Walk layers available to tile (`R`).
+        layers: usize,
+    },
 }
 
 impl std::fmt::Display for StreamError {
@@ -55,6 +72,11 @@ impl std::fmt::Display for StreamError {
         match self {
             StreamError::Graph(e) => write!(f, "batch rejected: {e}"),
             StreamError::InvalidConfig(msg) => write!(f, "invalid stream config: {msg}"),
+            StreamError::InvalidShardCount { shards, layers } => write!(
+                f,
+                "invalid shard count: {shards} shards over {layers} walk \
+                 layers (need 1 <= shards <= layers)"
+            ),
         }
     }
 }
@@ -63,7 +85,7 @@ impl std::error::Error for StreamError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StreamError::Graph(e) => Some(e),
-            StreamError::InvalidConfig(_) => None,
+            StreamError::InvalidConfig(_) | StreamError::InvalidShardCount { .. } => None,
         }
     }
 }

@@ -84,8 +84,23 @@ impl SeedMaintainer {
     /// # Panics
     /// Panics if `k > idx.n()` (the engine runs out of candidates).
     pub fn maintain(&mut self, idx: &WalkIndex) -> MaintainReport {
+        self.maintain_sharded(&[idx])
+    }
+
+    /// Sharded twin of [`SeedMaintainer::maintain`]: replays the greedy
+    /// rounds over a [`DeltaGainEngine`] that gathers per-layer integer
+    /// contributions from a contiguous tiling of layer-range shards
+    /// (see [`DeltaGainEngine::over_shards`]). Because the engine merges
+    /// staged integer gain deltas in absolute layer order, the replay —
+    /// picks, gain trace, kept prefix — is bit-identical to maintaining
+    /// over the equivalent monolithic index.
+    ///
+    /// # Panics
+    /// Panics if the shards do not tile a contiguous layer range from 0, or
+    /// if `k > n`.
+    pub fn maintain_sharded(&mut self, shards: &[&WalkIndex]) -> MaintainReport {
         let bootstrap = self.seeds.is_empty();
-        let mut engine = DeltaGainEngine::with_threads(idx, self.rule, self.threads);
+        let mut engine = DeltaGainEngine::over_shards(shards, self.rule, self.threads);
         let mut new_seeds = Vec::with_capacity(self.k);
         let mut gain_trace = Vec::with_capacity(self.k);
         let mut rounds_kept = 0usize;
@@ -142,6 +157,27 @@ mod tests {
         assert_eq!(rep.rounds_kept, 0);
         let sum: f64 = sel.gain_trace.iter().sum();
         assert_eq!(rep.objective.to_bits(), sum.to_bits());
+    }
+
+    #[test]
+    fn sharded_maintenance_matches_monolithic() {
+        let g = barabasi_albert(150, 3, 5).unwrap();
+        let full = WalkIndex::build(&g, 4, 8, 21);
+        let mut mono = SeedMaintainer::new(GainRule::HittingTime, 5, 0);
+        let rep_mono = mono.maintain(&full);
+        for shards in [2usize, 3, 8] {
+            let parts: Vec<WalkIndex> = rwd_walks::LayerRange::partition(8, shards)
+                .into_iter()
+                .map(|rg| WalkIndex::build_layer_range(&g, 4, rg, 21, 0))
+                .collect();
+            let refs: Vec<&WalkIndex> = parts.iter().collect();
+            let mut m = SeedMaintainer::new(GainRule::HittingTime, 5, 0);
+            let rep = m.maintain_sharded(&refs);
+            assert_eq!(m.seeds(), mono.seeds(), "{shards} shards");
+            let bits = |t: &[f64]| t.iter().map(|g| g.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(m.gain_trace()), bits(mono.gain_trace()));
+            assert_eq!(rep, rep_mono);
+        }
     }
 
     #[test]

@@ -307,6 +307,88 @@ impl Layer {
     }
 }
 
+/// A contiguous range of walk layers `[start, end)` — the unit of sharding.
+///
+/// The estimators of the paper are sums of independent per-layer integer
+/// contributions divided once by `R` at the end, so an index restricted to
+/// a layer range is a *complete* description of those layers: a shard
+/// owning `[start, end)` builds, refreshes and queries exactly the layers
+/// the monolithic index stores at the same absolute positions, bit for bit
+/// (walk RNG streams are keyed by the **absolute** layer index).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LayerRange {
+    start: usize,
+    end: usize,
+}
+
+impl LayerRange {
+    /// The range `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics when `start >= end` — every range owns at least one layer.
+    pub fn new(start: usize, end: usize) -> LayerRange {
+        assert!(start < end, "layer range [{start}, {end}) is empty");
+        LayerRange { start, end }
+    }
+
+    /// First layer of the range (absolute index).
+    #[inline]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// One past the last layer of the range (absolute index).
+    #[inline]
+    pub fn end(&self) -> usize {
+        self.end
+    }
+
+    /// Number of layers in the range.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Always false — ranges are non-empty by construction.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether the absolute layer index lies in the range.
+    #[inline]
+    pub fn contains(&self, layer: usize) -> bool {
+        self.start <= layer && layer < self.end
+    }
+
+    /// Splits `[0, r)` into `shards` contiguous, balanced ranges: the first
+    /// `r % shards` ranges get one extra layer. The concatenation of the
+    /// returned ranges is exactly `[0, r)` in order — the invariant the
+    /// scatter-gather coordinator merges by.
+    ///
+    /// # Panics
+    /// Panics when `shards == 0` or `shards > r` (a shard must own at least
+    /// one layer); engine layers turn these into named errors first.
+    pub fn partition(r: usize, shards: usize) -> Vec<LayerRange> {
+        assert!(shards > 0, "cannot partition {r} layers into 0 shards");
+        assert!(
+            shards <= r,
+            "cannot partition {r} layers into {shards} shards (empty shard)"
+        );
+        let base = r / shards;
+        let extra = r % shards;
+        let mut out = Vec::with_capacity(shards);
+        let mut start = 0;
+        for s in 0..shards {
+            let len = base + usize::from(s < extra);
+            out.push(LayerRange::new(start, start + len));
+            start += len;
+        }
+        debug_assert_eq!(start, r);
+        out
+    }
+}
+
 /// Per-batch accounting of an incremental [`WalkIndex::refresh`]: how many
 /// `(src, layer)` walk groups were actually re-walked and how many postings
 /// the layer surgery rewrote. The resampled-group count is the
@@ -347,6 +429,12 @@ pub struct WalkIndex {
     l: u32,
     layers: Vec<Layer>,
     seed: u64,
+    /// Absolute index of `layers[0]` in the full `R`-layer index. `0` for a
+    /// monolithic index; a shard built over `LayerRange { start, .. }`
+    /// stores `start`, so every RNG stream and refresh replay uses absolute
+    /// layer indices and the shard's layers stay bitwise identical to the
+    /// monolith's.
+    layer_base: usize,
     /// Per-node inverted-posting count across all layers
     /// (`Σ_i |I[i][v]|`), precomputed at construction — the `S = ∅`
     /// closed-form gain initializers read these instead of re-streaming
@@ -689,12 +777,23 @@ where
 }
 
 /// Runs all `r × n` walks and packs them into per-layer SoA CSR lists.
+/// `layer_base` offsets every walk's RNG-stream layer index, so building
+/// layers `[layer_base, layer_base + r)` of a sharded index reproduces the
+/// monolith's layers at those absolute positions bit for bit.
 ///
 /// Work is split over a 2-D `(layer × node-chunk)` task grid drained from an
 /// atomic queue, so the build saturates the machine even when `r` is below
 /// the core count; each task's output is a pure function of
 /// `(seed, node range, layer)`, so scheduling never affects the result.
-fn build_layers<F>(n: usize, l: u32, r: usize, seed: u64, threads: usize, step: &F) -> Vec<Layer>
+fn build_layers<F>(
+    n: usize,
+    l: u32,
+    r: usize,
+    layer_base: usize,
+    seed: u64,
+    threads: usize,
+    step: &F,
+) -> Vec<Layer>
 where
     F: Fn(NodeId, &mut WalkRng) -> NodeId + Sync,
 {
@@ -711,7 +810,7 @@ where
 
     let mut parts: Vec<Vec<Triple>> = (0..tasks).map(|_| Vec::new()).collect();
     let task_range = |t: usize| {
-        let layer_idx = t / chunks_per_layer;
+        let layer_idx = layer_base + t / chunks_per_layer;
         let lo = ((t % chunks_per_layer) * chunk_nodes).min(n);
         let hi = (lo + chunk_nodes).min(n);
         (layer_idx, lo, hi)
@@ -793,13 +892,21 @@ impl WalkIndex {
     /// the shared work gate, honoring the caller's worker budget
     /// (`0` = all cores). Every public constructor funnels through here,
     /// so the aggregates always agree with the stored postings.
-    fn assemble(n: usize, l: u32, layers: Vec<Layer>, seed: u64, threads: usize) -> WalkIndex {
+    fn assemble(
+        n: usize,
+        l: u32,
+        layers: Vec<Layer>,
+        layer_base: usize,
+        seed: u64,
+        threads: usize,
+    ) -> WalkIndex {
         let (posting_counts, posting_hop_sums) = Self::compute_aggregates(n, &layers, threads);
         WalkIndex {
             n,
             l,
             layers,
             seed,
+            layer_base,
             posting_counts,
             posting_hop_sums,
         }
@@ -882,8 +989,49 @@ impl WalkIndex {
         );
         let n = g.n();
         let step = |u: NodeId, rng: &mut WalkRng| walker::step(g, u, rng);
-        let layers = build_layers(n, l, r, seed, threads, &step);
-        WalkIndex::assemble(n, l, layers, seed, threads)
+        let layers = build_layers(n, l, r, 0, seed, threads, &step);
+        WalkIndex::assemble(n, l, layers, 0, seed, threads)
+    }
+
+    /// Builds only the layers of `range` — the shard-local view of the
+    /// monolithic `WalkIndex::build(g, l, r, seed)` for any `r >= range.end()`.
+    /// Walk RNG streams are keyed by the absolute layer index, so
+    /// `idx.layers == monolith.layers[range.start()..range.end()]` bit for
+    /// bit, and [`WalkIndex::refresh`] on the partial index replays exactly
+    /// the monolith's walks for those layers.
+    pub fn build_layer_range(
+        g: &CsrGraph,
+        l: u32,
+        range: LayerRange,
+        seed: u64,
+        threads: usize,
+    ) -> WalkIndex {
+        assert!(
+            l <= u16::MAX as u32,
+            "walk length {l} exceeds u16 hop range"
+        );
+        let n = g.n();
+        let step = |u: NodeId, rng: &mut WalkRng| walker::step(g, u, rng);
+        let layers = build_layers(n, l, range.len(), range.start(), seed, threads, &step);
+        WalkIndex::assemble(n, l, layers, range.start(), seed, threads)
+    }
+
+    /// Weighted twin of [`WalkIndex::build_layer_range`].
+    pub fn build_weighted_layer_range(
+        g: &rwd_graph::weighted::WeightedCsrGraph,
+        l: u32,
+        range: LayerRange,
+        seed: u64,
+        threads: usize,
+    ) -> WalkIndex {
+        assert!(
+            l <= u16::MAX as u32,
+            "walk length {l} exceeds u16 hop range"
+        );
+        let n = g.n();
+        let step = |u: NodeId, rng: &mut WalkRng| walker::step_weighted(g, u, rng);
+        let layers = build_layers(n, l, range.len(), range.start(), seed, threads, &step);
+        WalkIndex::assemble(n, l, layers, range.start(), seed, threads)
     }
 
     /// Builds the index over a weighted graph: identical structure, walk
@@ -917,8 +1065,8 @@ impl WalkIndex {
         );
         let n = g.n();
         let step = |u: NodeId, rng: &mut WalkRng| walker::step_weighted(g, u, rng);
-        let layers = build_layers(n, l, r, seed, threads, &step);
-        WalkIndex::assemble(n, l, layers, seed, threads)
+        let layers = build_layers(n, l, r, 0, seed, threads, &step);
+        WalkIndex::assemble(n, l, layers, 0, seed, threads)
     }
 
     /// Incrementally maintains the index after edge churn: given the
@@ -1018,7 +1166,7 @@ impl WalkIndex {
         if touched.is_empty() {
             return stats;
         }
-        let (l, seed) = (self.l, self.seed);
+        let (l, seed, layer_base) = (self.l, self.seed, self.layer_base);
 
         // Patches a chunk of layers with one reused scratch; returns the
         // chunk's stats plus its staged aggregate deltas.
@@ -1027,7 +1175,16 @@ impl WalkIndex {
                 let mut ws = PatchScratch::new(n);
                 let mut out = RefreshStats::default();
                 for (off, layer) in layers.iter_mut().enumerate() {
-                    let part = patch_layer(layer, n, l, seed, base + off, touched, step, &mut ws);
+                    let part = patch_layer(
+                        layer,
+                        n,
+                        l,
+                        seed,
+                        layer_base + base + off,
+                        touched,
+                        step,
+                        &mut ws,
+                    );
                     out.groups_resampled += part.groups_resampled;
                     out.postings_removed += part.postings_removed;
                     out.postings_added += part.postings_added;
@@ -1113,7 +1270,7 @@ impl WalkIndex {
                 Layer::from_parts(n, std::slice::from_mut(&mut triples))
             })
             .collect();
-        WalkIndex::assemble(n, l, built, 0, 0)
+        WalkIndex::assemble(n, l, built, 0, 0, 0)
     }
 
     /// Node-universe size.
@@ -1138,6 +1295,24 @@ impl WalkIndex {
     #[inline]
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Absolute index of the first stored layer — `0` for a monolithic
+    /// index, `range.start()` for a shard built by
+    /// [`WalkIndex::build_layer_range`]. Layer arguments to
+    /// [`WalkIndex::postings`] / [`WalkIndex::forward`] stay *local*
+    /// (`0..r()`); only RNG streams and refresh replays use the absolute
+    /// index.
+    #[inline]
+    pub fn layer_base(&self) -> usize {
+        self.layer_base
+    }
+
+    /// The absolute layer range this index stores:
+    /// `[layer_base, layer_base + r)`.
+    #[inline]
+    pub fn layer_range(&self) -> LayerRange {
+        LayerRange::new(self.layer_base, self.layer_base + self.layers.len())
     }
 
     /// The inverted list `I[layer][v]`: all sources whose `layer`-th walk
@@ -1318,16 +1493,28 @@ impl WalkIndex {
     /// each layer assembled in one buffer and written with a single call.
     /// A paper-scale index builds in seconds but is reused across many
     /// `k`/`λ` sweeps — saving it makes experiment suites restartable.
+    ///
+    /// A monolithic index (`layer_base == 0`) writes the unchanged RWDIDX2
+    /// format; a layer-range shard writes RWDIDX3, which extends the header
+    /// with the shard's absolute layer base so a reload refreshes with the
+    /// right RNG streams.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
         use std::io::Write;
         let file = std::fs::File::create(path)?;
         let mut w = std::io::BufWriter::new(file);
-        w.write_all(MAGIC_V2)?;
-        let mut header = Vec::with_capacity(32);
+        let mut header = Vec::with_capacity(48);
+        if self.layer_base == 0 {
+            header.extend_from_slice(MAGIC_V2);
+        } else {
+            header.extend_from_slice(MAGIC_V3);
+        }
         header.extend_from_slice(&(self.n as u64).to_le_bytes());
         header.extend_from_slice(&(self.l as u64).to_le_bytes());
         header.extend_from_slice(&(self.layers.len() as u64).to_le_bytes());
         header.extend_from_slice(&self.seed.to_le_bytes());
+        if self.layer_base != 0 {
+            header.extend_from_slice(&(self.layer_base as u64).to_le_bytes());
+        }
         w.write_all(&header)?;
         let mut buf: Vec<u8> = Vec::new();
         for layer in &self.layers {
@@ -1350,9 +1537,29 @@ impl WalkIndex {
 
     /// Loads an index previously written by [`WalkIndex::save`].
     ///
-    /// Rejects the obsolete `RWDIDX1` (AoS) layout with a dedicated error —
-    /// rebuild and re-save such indexes with this version.
+    /// Accepts the monolithic RWDIDX2 layout and the RWDIDX3 layer-range
+    /// extension; rejects the obsolete `RWDIDX1` (AoS) layout with a
+    /// dedicated error — rebuild and re-save such indexes with this
+    /// version.
     pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<WalkIndex> {
+        Self::load_impl(path.as_ref(), None)
+    }
+
+    /// Loads only the layers of `range` from a **monolithic** (RWDIDX2)
+    /// index file, producing the shard-local partial index
+    /// `build_layer_range` would build: layers outside the range are
+    /// skipped without parsing, and the result's
+    /// [`WalkIndex::layer_base`] is `range.start()`. Rejects files whose
+    /// layer count the range exceeds, and RWDIDX3 shard files (re-scoping a
+    /// shard of a shard would silently mis-key the RNG streams).
+    pub fn load_layer_range(
+        path: impl AsRef<std::path::Path>,
+        range: LayerRange,
+    ) -> std::io::Result<WalkIndex> {
+        Self::load_impl(path.as_ref(), Some(range))
+    }
+
+    fn load_impl(path: &std::path::Path, want: Option<LayerRange>) -> std::io::Result<WalkIndex> {
         use std::io::Read;
         let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
         let file = std::fs::File::open(path)?;
@@ -1370,7 +1577,7 @@ impl WalkIndex {
                  rebuild the index and re-save it in the RWDIDX2 format",
             ));
         }
-        if &magic != MAGIC_V2 {
+        if &magic != MAGIC_V2 && &magic != MAGIC_V3 {
             return Err(bad("not a walk-index file (bad magic)"));
         }
         let mut header = [0u8; 32];
@@ -1380,6 +1587,13 @@ impl WalkIndex {
         let l64 = u64_at(1);
         let layer_count64 = u64_at(2);
         let seed = u64_at(3);
+        let file_base64 = if &magic == MAGIC_V3 {
+            let mut base8 = [0u8; 8];
+            r.read_exact(&mut base8)?;
+            u64::from_le_bytes(base8)
+        } else {
+            0
+        };
         // Cross-field header validation: the three counts constrain each
         // other and the posting encoding, so values no builder can produce
         // are rejected here instead of yielding a nonsense index.
@@ -1402,6 +1616,22 @@ impl WalkIndex {
         if layer_count64 == 0 {
             return Err(bad("corrupt walk-index file (zero walk layers)"));
         }
+        if file_base64.saturating_add(layer_count64) > u32::MAX as u64 {
+            return Err(bad(
+                "corrupt walk-index file (layer base outside the representable range)",
+            ));
+        }
+        if let Some(range) = want {
+            if file_base64 != 0 {
+                return Err(bad(
+                    "load_layer_range requires a monolithic (RWDIDX2) index file, \
+                     not an already-sharded RWDIDX3 one",
+                ));
+            }
+            if range.end() as u64 > layer_count64 {
+                return Err(bad("requested layer range exceeds the file's layer count"));
+            }
+        }
         let l = l64 as u32;
         // A layer block stores (n + 1) 4-byte offsets, so n and layer_count
         // are bounded by the file length.
@@ -1410,15 +1640,20 @@ impl WalkIndex {
         }
         let n = n64 as usize;
         let layer_count = layer_count64 as usize;
-        let mut layers = Vec::with_capacity(layer_count);
+        let mut layers = Vec::with_capacity(want.map_or(layer_count, |rg| rg.len()));
         let mut buf: Vec<u8> = Vec::new();
-        for _ in 0..layer_count {
+        for li in 0..layer_count {
             let mut len8 = [0u8; 8];
             r.read_exact(&mut len8)?;
             let entries64 = u64::from_le_bytes(len8);
             let block64 = ((n64 + 1) * 4).saturating_add(entries64.saturating_mul(6));
             if block64 > file_len {
                 return Err(bad("corrupt walk-index file (layer exceeds file size)"));
+            }
+            if want.is_some_and(|rg| !rg.contains(li)) {
+                // Out-of-range layer: skip its block without parsing.
+                r.seek_relative(block64 as i64)?;
+                continue;
             }
             let entries = entries64 as usize;
             buf.resize(block64 as usize, 0);
@@ -1451,12 +1686,14 @@ impl WalkIndex {
             }
             layers.push(Layer::from_inverted(n, offsets, ids, weights));
         }
-        Ok(WalkIndex::assemble(n, l, layers, seed, 0))
+        let layer_base = want.map_or(file_base64 as usize, |rg| rg.start());
+        Ok(WalkIndex::assemble(n, l, layers, layer_base, seed, 0))
     }
 }
 
 const MAGIC_V1: &[u8; 8] = b"RWDIDX1\0";
 const MAGIC_V2: &[u8; 8] = b"RWDIDX2\0";
+const MAGIC_V3: &[u8; 8] = b"RWDIDX3\0";
 
 #[cfg(test)]
 mod tests {
@@ -1960,6 +2197,147 @@ mod tests {
         let mut idx = WalkIndex::build(&g, 3, 2, 1);
         let bigger = rwd_graph::generators::classic::path(9).unwrap();
         idx.refresh(&bigger, &NodeSet::new(9));
+    }
+
+    #[test]
+    fn layer_range_partition_is_balanced_and_contiguous() {
+        for r in 1..=12usize {
+            for shards in 1..=r {
+                let ranges = LayerRange::partition(r, shards);
+                assert_eq!(ranges.len(), shards);
+                assert_eq!(ranges[0].start(), 0);
+                assert_eq!(ranges.last().unwrap().end(), r);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end(), w[1].start(), "contiguous");
+                    assert!(w[0].len() >= w[1].len(), "extra layers lead");
+                    assert!(w[0].len() - w[1].len() <= 1, "balanced");
+                }
+                for rg in &ranges {
+                    assert!(rg.start() < rg.end());
+                    assert!(rg.contains(rg.start()) && !rg.contains(rg.end()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty shard")]
+    fn layer_range_partition_rejects_more_shards_than_layers() {
+        let _ = LayerRange::partition(3, 4);
+    }
+
+    #[test]
+    fn layer_range_build_is_the_monolith_slice() {
+        // A shard built over [lo, hi) must store exactly the monolith's
+        // layers lo..hi — postings, forward views and aggregates — at any
+        // thread count, and keep that property through a refresh.
+        let g0 = rwd_graph::generators::barabasi_albert(120, 3, 17).unwrap();
+        let (r, l, seed) = (7usize, 5u32, 29u64);
+        let full = WalkIndex::build(&g0, l, r, seed);
+        for shards in [1usize, 2, 3, 7] {
+            for range in LayerRange::partition(r, shards) {
+                for threads in [1usize, 4] {
+                    let part = WalkIndex::build_layer_range(&g0, l, range, seed, threads);
+                    assert_eq!(part.r(), range.len());
+                    assert_eq!(part.layer_base(), range.start());
+                    assert_eq!(part.layer_range(), range);
+                    for local in 0..part.r() {
+                        for v in g0.nodes() {
+                            assert_eq!(
+                                part.postings(local, v),
+                                full.postings(range.start() + local, v)
+                            );
+                            assert_eq!(
+                                part.forward(local, v),
+                                full.forward(range.start() + local, v)
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // Churn: refresh each shard and the monolith; shards must track the
+        // monolith's slices (and a from-scratch shard build) bit for bit.
+        let (g1, touched) = g0.with_edits(&[(0, 119), (5, 60)], &[]).unwrap();
+        let touched = NodeSet::from_nodes(g1.n(), touched);
+        let mut full2 = full.clone();
+        full2.refresh(&g1, &touched);
+        for range in LayerRange::partition(r, 3) {
+            let mut part = WalkIndex::build_layer_range(&g0, l, range, seed, 0);
+            part.refresh(&g1, &touched);
+            let fresh = WalkIndex::build_layer_range(&g1, l, range, seed, 0);
+            assert!(part == fresh, "refreshed shard must equal a rebuild");
+            for local in 0..part.r() {
+                for v in g1.nodes() {
+                    assert_eq!(
+                        part.postings(local, v),
+                        full2.postings(range.start() + local, v)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_layer_range_build_is_the_monolith_slice() {
+        let g = rwd_graph::generators::erdos_renyi_gnp(70, 0.08, 3).unwrap();
+        let w = rwd_graph::weighted::weighted_twin(&g, 11).unwrap();
+        let full = WalkIndex::build_weighted(&w, 4, 6, 19);
+        for range in LayerRange::partition(6, 4) {
+            let part = WalkIndex::build_weighted_layer_range(&w, 4, range, 19, 0);
+            for local in 0..part.r() {
+                for v in g.nodes() {
+                    assert_eq!(
+                        part.postings(local, v),
+                        full.postings(range.start() + local, v)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_save_load_round_trips_via_rwdidx3() {
+        let g = paper_example::figure1();
+        let range = LayerRange::new(2, 5);
+        let part = WalkIndex::build_layer_range(&g, 4, range, 13, 0);
+        let dir = std::env::temp_dir().join("rwd_index_io_shard");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shard.rwdidx");
+        part.save(&path).unwrap();
+        let loaded = WalkIndex::load(&path).unwrap();
+        assert_eq!(loaded.layer_base(), 2);
+        assert_eq!(loaded.layer_range(), range);
+        assert!(loaded == part);
+        // A reloaded shard refreshes with the right absolute RNG streams.
+        let (g1, touched) = g.with_edits(&[(0, 7)], &[]).unwrap();
+        let touched = NodeSet::from_nodes(g1.n(), touched);
+        let mut refreshed = loaded;
+        refreshed.refresh(&g1, &touched);
+        assert!(refreshed == WalkIndex::build_layer_range(&g1, 4, range, 13, 0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_layer_range_scopes_a_monolithic_file() {
+        let g = paper_example::figure1();
+        let full = WalkIndex::build(&g, 4, 6, 13);
+        let dir = std::env::temp_dir().join("rwd_index_io_range");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("full.rwdidx");
+        full.save(&path).unwrap();
+        let range = LayerRange::new(1, 4);
+        let loaded = WalkIndex::load_layer_range(&path, range).unwrap();
+        assert!(loaded == WalkIndex::build_layer_range(&g, 4, range, 13, 0));
+        // Out-of-bounds ranges and shard files are rejected by name.
+        let err = WalkIndex::load_layer_range(&path, LayerRange::new(4, 7)).unwrap_err();
+        assert!(err.to_string().contains("layer count"), "{err}");
+        let shard_path = dir.join("shard.rwdidx");
+        loaded.save(&shard_path).unwrap();
+        let err = WalkIndex::load_layer_range(&shard_path, LayerRange::new(0, 1)).unwrap_err();
+        assert!(err.to_string().contains("monolithic"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

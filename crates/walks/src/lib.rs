@@ -38,6 +38,7 @@ pub mod rng;
 pub mod walker;
 
 pub use estimate::{Estimates, SampleEstimator};
-pub use index::{Posting, PostingsRef, RefreshStats, WalkIndex};
+pub use index::{LayerRange, Posting, PostingsRef, RefreshStats, WalkIndex};
 pub use nodeset::NodeSet;
+pub use point::{top_m_from_counts, PartialContribution};
 pub use rng::WalkRng;

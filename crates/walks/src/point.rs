@@ -26,6 +26,64 @@ use rwd_graph::NodeId;
 use crate::index::WalkIndex;
 use crate::nodeset::NodeSet;
 
+/// The raw integer numerators of one index's point-query answer — what a
+/// shard returns to a scatter-gather coordinator. Per-layer contributions
+/// are small integers, so summing `PartialContribution`s across shards in
+/// any order and dividing the totals once by the *global* `R` reproduces
+/// the monolithic [`WalkIndex::point_hit_time`] /
+/// [`WalkIndex::point_hit_prob`] bit for bit.
+///
+/// Both sums are carried because a layer whose walk first hits the set at
+/// hop `L` and a layer that misses entirely contribute the same `L` to
+/// `hop_sum` — the hit count cannot be recovered from the hop sum.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PartialContribution {
+    /// Layers scanned (the contributing index's `r`).
+    pub layers: usize,
+    /// Σ over layers of the first-visit hop into the set (`L` on a miss;
+    /// `0` per layer when the queried node is itself a member).
+    pub hop_sum: u64,
+    /// Layers whose walk reaches the set (every layer when the queried
+    /// node is a member).
+    pub hits: u64,
+}
+
+impl PartialContribution {
+    /// Accumulates another shard's contribution (integer sums commute, so
+    /// merge order never matters).
+    pub fn merge(&mut self, other: &PartialContribution) {
+        self.layers += other.layers;
+        self.hop_sum += other.hop_sum;
+        self.hits += other.hits;
+    }
+}
+
+/// Selects the `m` nodes with the lowest covered-layer count (ties toward
+/// the smaller id) from a merged per-node count table, attaching each
+/// node's hit probability `count / r`. This is the selection step of
+/// [`WalkIndex::top_m_uncovered`], split out so a scatter-gather
+/// coordinator that summed per-shard [`WalkIndex::covered_layer_counts`]
+/// tables runs the *same* code path as the monolithic query — bit-identical
+/// by construction.
+pub fn top_m_from_counts(counts: &[u32], r: usize, m: usize) -> Vec<(NodeId, f64)> {
+    let mut order: Vec<u32> = (0..counts.len() as u32).collect();
+    let m = m.min(order.len());
+    if m == 0 {
+        return Vec::new();
+    }
+    let key = |v: &u32| (counts[*v as usize], *v);
+    if m < order.len() {
+        order.select_nth_unstable_by_key(m - 1, key);
+        order.truncate(m);
+    }
+    order.sort_unstable_by_key(key);
+    let r = r as f64;
+    order
+        .into_iter()
+        .map(|v| (NodeId(v), counts[v as usize] as f64 / r))
+        .collect()
+}
+
 impl WalkIndex {
     /// Point form of [`WalkIndex::estimate_hit_times`]: the estimated
     /// `L`-truncated hitting time `ĥ^L_{u,S}` of the single node `u` into
@@ -74,6 +132,48 @@ impl WalkIndex {
         hits as f64 / r as f64
     }
 
+    /// This index's integer contribution to the point queries for `u` —
+    /// the shard-side half of a scatter-gather [`WalkIndex::point_hit_time`]
+    /// / [`WalkIndex::point_hit_prob`]: one forward scan per layer yields
+    /// both the first-visit hop (`L` on a miss) and the hit flag. A member
+    /// `u` contributes hop `0` and a hit for every layer, matching the
+    /// monolithic short-circuits after the final division.
+    ///
+    /// # Panics
+    /// Panics if `set` was built over a different node universe.
+    pub fn point_contribution(&self, u: NodeId, set: &NodeSet) -> PartialContribution {
+        self.check_set(set);
+        let r = self.r();
+        if set.contains(u) {
+            return PartialContribution {
+                layers: r,
+                hop_sum: 0,
+                hits: r as u64,
+            };
+        }
+        let mut hop_sum = 0u64;
+        let mut hits = 0u64;
+        for layer in 0..r {
+            let fr = self.forward(layer, u);
+            let mut hop = self.l();
+            let mut hit = false;
+            for (&id, &w) in fr.ids().iter().zip(fr.weights()) {
+                if set.contains(NodeId(id)) {
+                    hop = w as u32;
+                    hit = true;
+                    break;
+                }
+            }
+            hop_sum += hop as u64;
+            hits += hit as u64;
+        }
+        PartialContribution {
+            layers: r,
+            hop_sum,
+            hits,
+        }
+    }
+
     /// First-visit hop of walk `layer` from `u` into `set`, or `L` when the
     /// walk misses. Forward lists are in ascending hop order, so the first
     /// member encountered carries the minimal hop.
@@ -101,7 +201,7 @@ impl WalkIndex {
     /// # Panics
     /// Panics if `set` was built over a different node universe.
     pub fn coverage(&self, set: &NodeSet) -> f64 {
-        let cnt = self.covered_counts(set);
+        let cnt = self.covered_layer_counts(set);
         let total: u64 = cnt.iter().map(|&c| c as u64).sum();
         total as f64 / self.r() as f64
     }
@@ -117,30 +217,23 @@ impl WalkIndex {
     /// # Panics
     /// Panics if `set` was built over a different node universe.
     pub fn top_m_uncovered(&self, m: usize, set: &NodeSet) -> Vec<(NodeId, f64)> {
-        let cnt = self.covered_counts(set);
-        let mut order: Vec<u32> = (0..self.n() as u32).collect();
-        let m = m.min(order.len());
-        if m == 0 {
-            return Vec::new();
-        }
-        let key = |v: &u32| (cnt[*v as usize], *v);
-        if m < order.len() {
-            order.select_nth_unstable_by_key(m - 1, key);
-            order.truncate(m);
-        }
-        order.sort_unstable_by_key(key);
-        let r = self.r() as f64;
-        order
-            .into_iter()
-            .map(|v| (NodeId(v), cnt[v as usize] as f64 / r))
-            .collect()
+        let cnt = self.covered_layer_counts(set);
+        top_m_from_counts(&cnt, self.r(), m)
     }
 
     /// Per-node count of layers whose walk reaches `set` (members count
     /// every layer) — the integer numerator behind
     /// [`WalkIndex::estimate_hit_probs`], produced without a `D`-table
     /// sweep: one stamped pass over the set members' inverted lists.
-    fn covered_counts(&self, set: &NodeSet) -> Vec<u32> {
+    ///
+    /// Public so a scatter-gather coordinator can sum the per-shard tables
+    /// elementwise (each layer's contribution is the same integer the
+    /// monolith counts) and run [`top_m_from_counts`] / the coverage
+    /// division once over the merged totals.
+    ///
+    /// # Panics
+    /// Panics if `set` was built over a different node universe.
+    pub fn covered_layer_counts(&self, set: &NodeSet) -> Vec<u32> {
         self.check_set(set);
         let n = self.n();
         let mut cnt = vec![0u32; n];
@@ -237,6 +330,53 @@ mod tests {
         assert_eq!(idx.point_hit_time(NodeId(0), &empty), 3.0);
         assert_eq!(idx.point_hit_prob(NodeId(0), &empty), 0.0);
         assert_eq!(idx.coverage(&empty), 0.0);
+    }
+
+    #[test]
+    fn sharded_contributions_merge_to_the_monolithic_answers() {
+        use crate::index::LayerRange;
+        let g = paper_example::figure1();
+        let (l, r, seed) = (4u32, 6usize, 11u64);
+        let full = WalkIndex::build(&g, l, r, seed);
+        let set = NodeSet::from_nodes(8, [NodeId(1), NodeId(6)]);
+        for shards in [1usize, 2, 3, 6] {
+            let parts: Vec<WalkIndex> = LayerRange::partition(r, shards)
+                .into_iter()
+                .map(|rg| WalkIndex::build_layer_range(&g, l, rg, seed, 0))
+                .collect();
+            // Point queries: merged integer numerators, one final division.
+            for v in g.nodes() {
+                let mut acc = crate::PartialContribution::default();
+                for p in &parts {
+                    acc.merge(&p.point_contribution(v, &set));
+                }
+                assert_eq!(acc.layers, r);
+                let ht = if set.contains(v) {
+                    0.0
+                } else {
+                    acc.hop_sum as f64 / r as f64
+                };
+                let hp = if set.contains(v) {
+                    1.0
+                } else {
+                    acc.hits as f64 / r as f64
+                };
+                assert_eq!(ht.to_bits(), full.point_hit_time(v, &set).to_bits());
+                assert_eq!(hp.to_bits(), full.point_hit_prob(v, &set).to_bits());
+            }
+            // Set queries: summed per-shard count tables drive the same
+            // selection and coverage the monolith computes.
+            let mut cnt = vec![0u32; 8];
+            for p in &parts {
+                for (a, b) in cnt.iter_mut().zip(p.covered_layer_counts(&set)) {
+                    *a += b;
+                }
+            }
+            let total: u64 = cnt.iter().map(|&c| c as u64).sum();
+            let coverage = total as f64 / r as f64;
+            assert_eq!(coverage.to_bits(), full.coverage(&set).to_bits());
+            assert_eq!(top_m_from_counts(&cnt, r, 5), full.top_m_uncovered(5, &set));
+        }
     }
 
     #[test]
