@@ -22,12 +22,17 @@
 //!   scatter-gather coordinators (results asserted identical to the
 //!   single-shard engine), with per-count batch-apply totals and gathered
 //!   point-query service latency,
+//! * cross-epoch seed repair: the churn trace through a warm engine
+//!   (persistent gain tables patched by each refresh's posting-edit
+//!   script, recorded rounds replayed from their logs) vs one forced cold
+//!   every batch — seeds asserted bit-identical, the warm-vs-cold ratio
+//!   feeding the CI gate,
 //!
-//! and writes the measurements as JSON (default `BENCH_6.json`, the PR-6
+//! and writes the measurements as JSON (default `BENCH_7.json`, the PR-7
 //! snapshot; earlier `BENCH_<n>.json` files stay beside it so the
 //! trajectory is diffable).
 //!
-//! Schema `rwd-perf/5` (extends `rwd-perf/4` with the `shard` block):
+//! Schema `rwd-perf/6` (extends `rwd-perf/5` with the `maintain` block):
 //! every timing records the worker count it actually ran with, and
 //! `available_parallelism` is a top-level field — so a snapshot taken on a
 //! 1-core container is self-describing instead of silently reporting ~1.0
@@ -161,7 +166,7 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 
 fn main() {
     let mut scale = FULL;
-    let mut out_path = String::from("BENCH_6.json");
+    let mut out_path = String::from("BENCH_7.json");
     let mut reps = 3usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -512,6 +517,90 @@ fn main() {
         scale.stream_batches,
     );
 
+    // --- cross-epoch seed repair: warm absorb-and-replay vs forced cold --
+    // A low-churn scale-free trace through two engines that differ only in
+    // the maintainer's crossover: the warm engine persists its gain tables
+    // across epochs (absorbing each refresh's posting-edit script and
+    // replaying still-valid recorded rounds from their logs), the cold
+    // engine rebuilds the gain engine from scratch every batch. Results
+    // are asserted bit-identical — the warm path buys wall time only.
+    //
+    // The trace is deliberately *not* the refresh-stress trace above: warm
+    // repair targets the steady state (a handful of edits per batch, not
+    // one that rewrites a double-digit percentage of this small index),
+    // and it is measured on the paper's hub-dominated topology, where
+    // greedy rounds are expensive to stream (hub posting lists) yet the
+    // argmax prefix is stable under churn — exactly what log replay
+    // converts into O(log) work. A homogeneous graph is the wrong fixture
+    // here for the same reason it is the right one above: its near-tied
+    // gain profile reorders under any churn, forcing genuine (cold)
+    // recomputation that no warm start can — or should — skip.
+    let maintain_edits = (scale.stream_edits / 10).max(2);
+    let maintain_spec = TemporalTraceSpec {
+        model: TraceModel::BarabasiAlbert { mdeg: scale.mdeg },
+        batch_edits: maintain_edits,
+        batches: scale.stream_batches * 2,
+        ..spec
+    };
+    let maintain_trace = temporal_trace(&maintain_spec).expect("valid trace spec");
+    let mg = maintain_trace.base.clone();
+    // k = 10 is the paper's real-data default (ICDE'14 §6). Deep seed
+    // tails on a graph this small are near-tied and genuinely reorder
+    // under churn; the steady-state prefix regime is what this fixture
+    // measures, and the equivalence asserts below hold at any k.
+    let maintain_cfg = StreamConfig { k: 10, ..serve_cfg };
+    // The trace is stateful (each batch's cost depends on the previous
+    // epoch), so best-of-reps wraps the *whole* trace: every rep rebuilds
+    // both engines, replays all batches, and the warm and cold totals each
+    // keep their own best rep — the same noise discipline `time_ms` gives
+    // the stateless sections.
+    let (mut warm_maintain_ms, mut cold_maintain_ms) = (f64::INFINITY, f64::INFINITY);
+    let (mut warm_batches, mut replayed_total, mut absorbed_total) = (0usize, 0usize, 0usize);
+    for _ in 0..reps {
+        let mut warm_eng =
+            StreamEngine::new(mg.clone(), maintain_cfg).expect("valid configuration");
+        let mut cold_eng =
+            StreamEngine::new(mg.clone(), maintain_cfg).expect("valid configuration");
+        cold_eng.set_maintain_crossover(0.0);
+        let (mut warm_ms, mut cold_ms) = (0.0f64, 0.0f64);
+        (warm_batches, replayed_total, absorbed_total) = (0, 0, 0);
+        for batch in &maintain_trace.batches {
+            let rw = warm_eng.apply(batch).expect("trace batches are valid");
+            let rc = cold_eng.apply(batch).expect("trace batches are valid");
+            warm_ms += rw.maintain_ms;
+            cold_ms += rc.maintain_ms;
+            warm_batches += rw.maintain.warm as usize;
+            replayed_total += rw.maintain.replayed_rounds;
+            absorbed_total += rw.maintain.absorbed_postings;
+            assert_eq!(
+                rw.maintain.objective.to_bits(),
+                rc.maintain.objective.to_bits(),
+                "warm maintenance objective drifted from cold"
+            );
+            assert_eq!(
+                rw.maintain.touched_postings, rc.maintain.touched_postings,
+                "warm maintenance touched-posting accounting drifted from cold"
+            );
+        }
+        assert_eq!(
+            warm_eng.seeds(),
+            cold_eng.seeds(),
+            "warm maintenance seeds drifted from cold"
+        );
+        warm_maintain_ms = warm_maintain_ms.min(warm_ms);
+        cold_maintain_ms = cold_maintain_ms.min(cold_ms);
+    }
+    let warm_speedup = cold_maintain_ms / warm_maintain_ms.max(1e-9);
+    record("maintain_cold_total", cold_maintain_ms, layer_threads);
+    record("maintain_warm_total", warm_maintain_ms, layer_threads);
+    eprintln!(
+        "      maintain: {} batches × {maintain_edits} edits; {warm_batches} warm, \
+         {replayed_total} rounds replayed from logs, {absorbed_total} net postings \
+         absorbed; warm {warm_maintain_ms:.3} ms vs cold {cold_maintain_ms:.3} ms \
+         ({warm_speedup:.2}x)",
+        maintain_trace.batches.len(),
+    );
+
     let unix_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
@@ -551,8 +640,8 @@ fn main() {
 
     let json = format!(
         r#"{{
-  "schema": "rwd-perf/5",
-  "pr": 6,
+  "schema": "rwd-perf/6",
+  "pr": 7,
   "unix_secs": {unix_secs},
   "available_parallelism": {cores},
   "scale": "{scale_name}",
@@ -606,6 +695,17 @@ fn main() {
     ],
     "single_shard_point_service_p99_us": {shard_base_p99_s},
     "max_sharded_point_service_p99_us": {shard_worst_p99_s}
+  }},
+  "maintain": {{
+    "trace_batches": {maintain_batches},
+    "edits_per_batch": {maintain_edits},
+    "k": {maintain_k},
+    "warm_batches": {warm_batches},
+    "replayed_rounds_total": {replayed_total},
+    "absorbed_postings_total": {absorbed_total},
+    "cold_maintain_ms_total": {cold_maintain_ms_s},
+    "warm_maintain_ms_total": {warm_maintain_ms_s},
+    "warm_vs_cold": {warm_speedup_s}
   }}
 }}
 "#,
@@ -648,6 +748,11 @@ fn main() {
         shard_rows_s = shard_row_lines.join(",\n"),
         shard_base_p99_s = fmt_ms(shard_base_p99),
         shard_worst_p99_s = fmt_ms(shard_worst_p99),
+        maintain_batches = maintain_trace.batches.len(),
+        maintain_k = maintain_cfg.k,
+        cold_maintain_ms_s = fmt_ms(cold_maintain_ms),
+        warm_maintain_ms_s = fmt_ms(warm_maintain_ms),
+        warm_speedup_s = fmt_ms(warm_speedup),
     );
     std::fs::write(&out_path, json).expect("write perf snapshot");
     eprintln!("perf: wrote {out_path}");

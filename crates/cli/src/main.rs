@@ -460,6 +460,10 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         "swaps",
         "kept",
         "objective",
+        "refresh ms",
+        "maint ms",
+        "warm",
+        "replayed",
     ]);
     // Per-shard refresh breakdown, one row per (epoch, shard); rendered
     // after the churn table when running more than one shard.
@@ -471,8 +475,26 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         "postings",
         "refresh ms",
     ]);
+    // End-of-trace stability accounting (the ROADMAP "answer-stability"
+    // metrics), accumulated from each batch's MaintainReport.
+    let mut kept_hist: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+    let mut total_swapped = 0usize;
+    let mut warm_batches = 0usize;
+    let mut replayed_total = 0usize;
+    let (mut refresh_ms_total, mut maintain_ms_total) = (0.0f64, 0.0f64);
+    let initial_objective = engine.objective();
+    let mut prev_objective = initial_objective;
+    let mut max_step = 0.0f64;
     for batch in &trace.batches {
         let rep = engine.apply(batch).map_err(|e| e.to_string())?;
+        *kept_hist.entry(rep.maintain.rounds_kept).or_insert(0) += 1;
+        total_swapped += rep.maintain.seeds_swapped;
+        warm_batches += rep.maintain.warm as usize;
+        replayed_total += rep.maintain.replayed_rounds;
+        refresh_ms_total += rep.refresh_ms();
+        maintain_ms_total += rep.maintain_ms;
+        max_step = max_step.max((rep.maintain.objective - prev_objective).abs());
+        prev_objective = rep.maintain.objective;
         t.row([
             rep.epoch.to_string(),
             rep.insertions.to_string(),
@@ -484,6 +506,10 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
             rep.maintain.seeds_swapped.to_string(),
             rep.maintain.rounds_kept.to_string(),
             fmt_f(rep.maintain.objective, 2),
+            fmt_f(rep.refresh_ms(), 2),
+            fmt_f(rep.maintain_ms, 2),
+            if rep.maintain.warm { "yes" } else { "cold" }.to_string(),
+            rep.maintain.replayed_rounds.to_string(),
         ]);
         for row in &rep.shards {
             st.row([
@@ -540,6 +566,31 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         } else {
             ""
         },
+    );
+    println!(
+        "# time split: refresh {} ms, maintain {} ms over {} batches ({}/{} warm, {} rounds replayed from logs)",
+        fmt_f(refresh_ms_total, 2),
+        fmt_f(maintain_ms_total, 2),
+        spec.batches,
+        warm_batches,
+        spec.batches,
+        replayed_total,
+    );
+    let hist: Vec<String> = kept_hist
+        .iter()
+        .rev()
+        .map(|(kept, batches)| format!("{kept}:{batches}"))
+        .collect();
+    println!(
+        "# stability: kept-prefix histogram [{}] (kept:batches, k = {}), {} seeds swapped in total, \
+         objective drift {} (bootstrap {} -> final {}, max batch step {})",
+        hist.join(" "),
+        cfg.k,
+        total_swapped,
+        fmt_f(prev_objective - initial_objective, 2),
+        fmt_f(initial_objective, 2),
+        fmt_f(prev_objective, 2),
+        fmt_f(max_step, 2),
     );
     let ids: Vec<String> = engine.seeds().iter().map(|u| u.to_string()).collect();
     println!("# final seeds: {}", ids.join(","));

@@ -20,7 +20,7 @@ pub mod driver;
 
 pub use approx::{GainEngine, GainRule};
 pub use celf::CelfEntry;
-pub use delta::DeltaGainEngine;
+pub use delta::{DeltaGainEngine, EngineCore};
 pub use driver::{greedy, greedy_lazy, greedy_plain, GreedyOutcome};
 
 /// How greedy rounds evaluate marginal gains. Every strategy returns the

@@ -63,8 +63,13 @@ pub struct BatchReport {
     /// Index-maintenance accounting summed across shards (groups
     /// resampled, postings rewritten, over the whole `n · R`-group index).
     pub refresh: RefreshStats,
-    /// Seed-maintenance accounting (swaps, kept prefix, objective).
+    /// Seed-maintenance accounting (swaps, kept prefix, objective, warm
+    /// path).
     pub maintain: MaintainReport,
+    /// Wall time of the seed-maintenance pass — the refresh half of the
+    /// batch is timed per shard in [`BatchReport::shards`]; together the
+    /// two tell where a batch's latency went (0 for no-op batches).
+    pub maintain_ms: f64,
     /// Per-shard breakdown of the refresh, in layer order (one row per
     /// shard; empty for short-circuited no-op batches).
     pub shards: Vec<ShardBatchStats>,
@@ -78,6 +83,18 @@ impl BatchReport {
         } else {
             self.refresh.groups_resampled as f64 / self.refresh.groups_total as f64
         }
+    }
+
+    /// First greedy round this batch invalidated (`None` when the whole
+    /// seed prefix survived) — the maintain-side stability signal.
+    pub fn first_invalid_round(&self) -> Option<usize> {
+        self.maintain.first_invalid_round
+    }
+
+    /// Total refresh wall time summed across shards (each shard row also
+    /// carries its own `refresh_ms`).
+    pub fn refresh_ms(&self) -> f64 {
+        self.shards.iter().map(|s| s.refresh_ms).sum()
     }
 }
 
@@ -154,6 +171,14 @@ impl StreamEngine {
     /// epoch with all churn counters at zero.
     pub fn apply(&mut self, batch: &EdgeBatch) -> Result<BatchReport> {
         self.inner.apply(batch)
+    }
+
+    /// Sets the seed maintainer's warm-start crossover (see
+    /// [`crate::SeedMaintainer::set_crossover`]): `0.0` forces every
+    /// batch's maintenance pass cold, `1.0` warms unconditionally. Results
+    /// never change — warmth only moves wall time.
+    pub fn set_maintain_crossover(&mut self, crossover: f64) {
+        self.inner.set_maintain_crossover(crossover);
     }
 
     /// The maintained seed set in selection order.

@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use rwd_graph::weighted::WeightedCsrGraph;
 use rwd_graph::CsrGraph;
-use rwd_walks::{LayerRange, RefreshStats, WalkIndex};
+use rwd_walks::{LayerRange, PostingDelta, RefreshStats, WalkIndex};
 
 use crate::batch::{GraphDelta, WeightedGraphDelta};
 
@@ -107,32 +107,47 @@ impl IncrementalIndex {
     /// Panics if the index was built over a weighted graph (use
     /// [`IncrementalIndex::apply_weighted`]) or the delta changed `n`.
     pub fn apply(&mut self, delta: &GraphDelta) -> RefreshStats {
+        self.apply_collecting(delta).0
+    }
+
+    /// [`IncrementalIndex::apply`] that additionally returns the refresh's
+    /// posting edit script — the input cross-epoch consumers (persistent
+    /// gain engines) absorb to skip re-deriving from the full index.
+    pub fn apply_collecting(&mut self, delta: &GraphDelta) -> (RefreshStats, PostingDelta) {
         assert!(
             !self.weighted,
             "index was built weighted; apply the weighted delta"
         );
-        let stats = Arc::make_mut(&mut self.idx).refresh_with_threads(
+        let (stats, posting_delta) = Arc::make_mut(&mut self.idx).refresh_collecting(
             &delta.graph,
             &delta.touched,
             self.threads,
         );
         self.lifetime.merge(&stats);
-        stats
+        (stats, posting_delta)
     }
 
     /// Weighted twin of [`IncrementalIndex::apply`].
     pub fn apply_weighted(&mut self, delta: &WeightedGraphDelta) -> RefreshStats {
+        self.apply_weighted_collecting(delta).0
+    }
+
+    /// Weighted twin of [`IncrementalIndex::apply_collecting`].
+    pub fn apply_weighted_collecting(
+        &mut self,
+        delta: &WeightedGraphDelta,
+    ) -> (RefreshStats, PostingDelta) {
         assert!(
             self.weighted,
             "index was built unweighted; apply the unweighted delta"
         );
-        let stats = Arc::make_mut(&mut self.idx).refresh_weighted_with_threads(
+        let (stats, posting_delta) = Arc::make_mut(&mut self.idx).refresh_weighted_collecting(
             &delta.graph,
             &delta.touched,
             self.threads,
         );
         self.lifetime.merge(&stats);
-        stats
+        (stats, posting_delta)
     }
 
     /// The maintained index (always equal to a cold build on the current

@@ -18,7 +18,12 @@
 //! * [`maintain`] — [`SeedMaintainer`]: repairs the current seed set after
 //!   each batch by replaying greedy rounds over a
 //!   [`rwd_core::greedy::DeltaGainEngine`], evicting a seed only when its
-//!   round's marginal-gain argmax actually changed,
+//!   round's marginal-gain argmax actually changed; the engine state
+//!   persists **across epochs** — each refresh's posting edit script
+//!   ([`rwd_walks::PostingDelta`]) is absorbed in `O(touched)` and
+//!   still-valid rounds replay from their recorded logs instead of
+//!   re-streaming the index (bit-identical to a cold replay, with a
+//!   crossover fallback for huge batches),
 //! * [`shard`] — [`ShardEngine`] / [`ShardSet`]: the sharded engine core —
 //!   the `R` walk layers are tiled into contiguous [`rwd_walks::LayerRange`]s,
 //!   each owned by a per-shard engine (graph replica + partial index), and
@@ -48,6 +53,7 @@ pub use batch::{EdgeBatch, GraphDelta, WeightedGraphDelta};
 pub use engine::{BatchReport, StreamConfig, StreamEngine};
 pub use index::IncrementalIndex;
 pub use maintain::{MaintainReport, SeedMaintainer};
+pub use rwd_walks::PostingDelta;
 pub use shard::{ShardBatchStats, ShardEngine, ShardSet};
 
 /// Errors produced by the evolving-graph subsystem.

@@ -1,23 +1,45 @@
 //! Seed-set repair after edge churn.
 
+use std::collections::HashSet;
+
 use rwd_core::greedy::approx::GainRule;
-use rwd_core::greedy::delta::DeltaGainEngine;
+use rwd_core::greedy::delta::{DeltaGainEngine, EngineCore};
 use rwd_graph::NodeId;
-use rwd_walks::WalkIndex;
+use rwd_walks::{PostingDelta, WalkIndex};
+
+/// Warm-start crossover default: absorb-and-replay wins while the batch's
+/// posting edits stay under this fraction of the index; past it the engine
+/// state is mostly invalidated anyway and a cold rebuild streams less.
+const DEFAULT_CROSSOVER: f64 = 0.25;
 
 /// Maintains a size-`k` greedy seed set across index epochs.
 ///
-/// After every batch the maintainer replays the greedy rounds over a fresh
-/// [`DeltaGainEngine`] (closed-form `O(n)` startup, output-sensitive
-/// rounds) and compares each round's argmax to the seed the previous epoch
-/// held at that position: a seed is **kept** while the marginal-gain
-/// ordering still selects it, and **evicted/replaced** exactly when the
-/// ordering changed. The maintained sequence is therefore always *the*
-/// canonical greedy sequence on the current index (ties break to the
-/// smaller id, matching every static solver), so churn robustness comes
-/// for free: the reported [`MaintainReport::seeds_swapped`] measures how
-/// much of the solution a batch actually invalidated — frequently zero,
-/// since most batches never disturb the gain ordering near the top.
+/// After every batch the maintainer replays the greedy rounds over a
+/// [`DeltaGainEngine`] and compares each round's argmax to the seed the
+/// previous epoch held at that position: a seed is **kept** while the
+/// marginal-gain ordering still selects it, and **evicted/replaced**
+/// exactly when the ordering changed. The maintained sequence is therefore
+/// always *the* canonical greedy sequence on the current index (ties break
+/// to the smaller id, matching every static solver), so churn robustness
+/// comes for free: the reported [`MaintainReport::seeds_swapped`] measures
+/// how much of the solution a batch actually invalidated — frequently
+/// zero, since most batches never disturb the gain ordering near the top.
+///
+/// # Warm starts
+///
+/// The maintainer keeps the engine's owned state ([`EngineCore`]) alive
+/// between batches. When the caller supplies the refresh's posting edit
+/// script ([`SeedMaintainer::maintain_warm`] /
+/// [`SeedMaintainer::maintain_sharded_warm`]), the pass resumes the
+/// previous epoch's tables, absorbs the delta in `O(|delta|)`, and
+/// replays each still-valid recorded round from its log without touching
+/// the index — only the suffix from the first invalidated round pays for
+/// cold engine updates. The result (seeds, gain trace, objective, touched
+/// counts) is bit-identical to a cold fresh-engine replay at any shard
+/// and thread count; warmth only changes *when* the answer arrives. A
+/// crossover guard ([`SeedMaintainer::set_crossover`]) falls back to the
+/// cold path when a batch's edit script is so large that absorbing it
+/// would cost more than rebuilding.
 #[derive(Clone, Debug)]
 pub struct SeedMaintainer {
     rule: GainRule,
@@ -25,6 +47,11 @@ pub struct SeedMaintainer {
     threads: usize,
     seeds: Vec<NodeId>,
     gain_trace: Vec<f64>,
+    /// Cached gain-trace sum, so no-op batches echo the objective in O(1).
+    objective: f64,
+    /// The previous pass's engine state, resumable onto the next epoch.
+    core: Option<EngineCore>,
+    crossover: f64,
 }
 
 /// What one maintenance pass changed.
@@ -38,9 +65,22 @@ pub struct MaintainReport {
     /// Estimated objective of the maintained set (sum of the gain trace —
     /// the same `F̂` the static solvers report).
     pub objective: f64,
-    /// Postings streamed by the replay's engine updates (the engine-side
-    /// output-sensitivity measure).
+    /// Postings streamed (or re-accounted by warm replays) across the
+    /// pass's engine rounds (the engine-side output-sensitivity measure).
     pub touched_postings: usize,
+    /// First round whose previous seed was no longer the argmax — `None`
+    /// when the whole prefix survived (`rounds_kept == k`); `Some(0)` on
+    /// the bootstrap pass.
+    pub first_invalid_round: Option<usize>,
+    /// Whether the pass resumed the previous epoch's engine state instead
+    /// of rebuilding from scratch.
+    pub warm: bool,
+    /// Posting edits absorbed from the refresh's edit script (0 on a cold
+    /// pass).
+    pub absorbed_postings: usize,
+    /// Rounds committed by replaying their recorded logs — zero index
+    /// traffic (0 on a cold pass).
+    pub replayed_rounds: usize,
 }
 
 impl SeedMaintainer {
@@ -53,6 +93,9 @@ impl SeedMaintainer {
             threads,
             seeds: Vec::new(),
             gain_trace: Vec::new(),
+            objective: 0.0,
+            core: None,
+            crossover: DEFAULT_CROSSOVER,
         }
     }
 
@@ -68,9 +111,9 @@ impl SeedMaintainer {
 
     /// Estimated objective of the current seed set — the gain-trace sum the
     /// last [`SeedMaintainer::maintain`] pass reported (0 before the first
-    /// pass). Lets no-op batches echo the objective without a replay.
+    /// pass). Cached, so no-op batches echo it without an O(k) re-sum.
     pub fn objective(&self) -> f64 {
-        self.gain_trace.iter().sum()
+        self.objective
     }
 
     /// Cardinality budget `k`.
@@ -78,13 +121,35 @@ impl SeedMaintainer {
         self.k
     }
 
+    /// Sets the warm-start crossover: a batch goes warm only while its
+    /// posting edits stay at or under `crossover × total postings`. `0.0`
+    /// forces every pass cold (the fallback path under test), `1.0` warms
+    /// unconditionally.
+    pub fn set_crossover(&mut self, crossover: f64) {
+        assert!(
+            (0.0..=1.0).contains(&crossover) && crossover.is_finite(),
+            "crossover must lie in [0, 1]"
+        );
+        self.crossover = crossover;
+    }
+
     /// Re-validates the seed set against a (refreshed) index: keeps every
     /// leading seed that is still its round's argmax, replaces the rest.
+    /// Always runs the engine cold — use [`SeedMaintainer::maintain_warm`]
+    /// when the refresh's edit script is available.
     ///
     /// # Panics
     /// Panics if `k > idx.n()` (the engine runs out of candidates).
     pub fn maintain(&mut self, idx: &WalkIndex) -> MaintainReport {
         self.maintain_sharded(&[idx])
+    }
+
+    /// [`SeedMaintainer::maintain`] resuming the previous pass's engine
+    /// state: `delta` must be the edit script of the refresh that took the
+    /// index from that pass's epoch to this one (see
+    /// [`IncrementalIndex::apply_collecting`](crate::IncrementalIndex)).
+    pub fn maintain_warm(&mut self, idx: &WalkIndex, delta: &PostingDelta) -> MaintainReport {
+        self.maintain_sharded_warm(&[idx], std::slice::from_ref(delta))
     }
 
     /// Sharded twin of [`SeedMaintainer::maintain`]: replays the greedy
@@ -99,13 +164,55 @@ impl SeedMaintainer {
     /// Panics if the shards do not tile a contiguous layer range from 0, or
     /// if `k > n`.
     pub fn maintain_sharded(&mut self, shards: &[&WalkIndex]) -> MaintainReport {
+        self.run(shards, None)
+    }
+
+    /// Warm twin of [`SeedMaintainer::maintain_sharded`]: `deltas` holds
+    /// the per-shard edit scripts of the refreshes separating the previous
+    /// pass's epoch from `shards` (any order — delta layers are absolute).
+    /// Falls back to a cold rebuild when no resumable state exists, the
+    /// tiling changed shape, or the edit volume exceeds the crossover.
+    pub fn maintain_sharded_warm(
+        &mut self,
+        shards: &[&WalkIndex],
+        deltas: &[PostingDelta],
+    ) -> MaintainReport {
+        self.run(shards, Some(deltas))
+    }
+
+    /// The single maintenance pass behind every entry point. `deltas:
+    /// None` forces a cold rebuild; `Some` attempts the warm path first.
+    fn run(&mut self, shards: &[&WalkIndex], deltas: Option<&[PostingDelta]>) -> MaintainReport {
         let bootstrap = self.seeds.is_empty();
-        let mut engine = DeltaGainEngine::over_shards(shards, self.rule, self.threads);
+        let edits: usize = deltas
+            .map(|ds| ds.iter().map(|d| d.postings_changed()).sum())
+            .unwrap_or(0);
+        let warm = match (&self.core, deltas) {
+            (Some(core), Some(_)) => {
+                let total: usize = shards.iter().map(|s| s.total_postings()).sum();
+                core.matches(shards) && edits as f64 <= self.crossover * total as f64
+            }
+            _ => false,
+        };
+        let mut absorbed_postings = 0usize;
+        let mut engine = if warm {
+            let core = self.core.take().expect("warm implies a resumable core");
+            let mut engine = DeltaGainEngine::resume(shards, core);
+            absorbed_postings = engine.absorb(deltas.expect("warm implies deltas"));
+            engine
+        } else {
+            self.core = None; // stale state, if any, is now meaningless
+            let mut engine = DeltaGainEngine::over_shards(shards, self.rule, self.threads);
+            engine.enable_round_logging();
+            engine
+        };
+
         let mut new_seeds = Vec::with_capacity(self.k);
         let mut gain_trace = Vec::with_capacity(self.k);
         let mut rounds_kept = 0usize;
         let mut prefix_intact = true;
         let mut touched_postings = 0usize;
+        let mut replayed_rounds = 0usize;
         for round in 0..self.k {
             let (pick, gain) = engine
                 .best_candidate()
@@ -115,24 +222,36 @@ impl SeedMaintainer {
             } else {
                 prefix_intact = false;
             }
-            engine.update(pick);
+            if warm && engine.try_replay_recorded(pick) {
+                replayed_rounds += 1;
+            } else {
+                engine.update(pick);
+            }
             touched_postings += engine.last_update_touched();
             new_seeds.push(pick);
             gain_trace.push(gain);
         }
+        self.core = Some(engine.into_core());
+
         let seeds_swapped = if bootstrap {
             0
         } else {
-            new_seeds.iter().filter(|s| !self.seeds.contains(s)).count()
+            let prev: HashSet<NodeId> = self.seeds.iter().copied().collect();
+            new_seeds.iter().filter(|s| !prev.contains(s)).count()
         };
         let objective = gain_trace.iter().sum();
         self.seeds = new_seeds;
         self.gain_trace = gain_trace;
+        self.objective = objective;
         MaintainReport {
             seeds_swapped,
             rounds_kept,
             objective,
             touched_postings,
+            first_invalid_round: (rounds_kept < self.k).then_some(rounds_kept),
+            warm,
+            absorbed_postings,
+            replayed_rounds,
         }
     }
 }
@@ -140,6 +259,8 @@ impl SeedMaintainer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batch::EdgeBatch;
+    use crate::IncrementalIndex;
     use rwd_core::algo::select_from_index;
     use rwd_core::Strategy;
     use rwd_graph::generators::barabasi_albert;
@@ -155,8 +276,11 @@ mod tests {
         assert_eq!(m.gain_trace(), &sel.gain_trace[..]);
         assert_eq!(rep.seeds_swapped, 0, "bootstrap reports no swaps");
         assert_eq!(rep.rounds_kept, 0);
+        assert_eq!(rep.first_invalid_round, Some(0));
+        assert!(!rep.warm, "bootstrap is necessarily cold");
         let sum: f64 = sel.gain_trace.iter().sum();
         assert_eq!(rep.objective.to_bits(), sum.to_bits());
+        assert_eq!(m.objective().to_bits(), sum.to_bits());
     }
 
     #[test]
@@ -191,5 +315,72 @@ mod tests {
         assert_eq!(m.seeds(), &before[..]);
         assert_eq!(rep.seeds_swapped, 0);
         assert_eq!(rep.rounds_kept, 5, "every round's argmax is unchanged");
+        assert_eq!(rep.first_invalid_round, None);
+    }
+
+    /// One churn batch, maintained warm vs cold: identical seeds, traces,
+    /// objectives and touched counts, and the warm pass replays rounds.
+    #[test]
+    fn warm_pass_is_bitwise_cold_and_replays() {
+        let g0 = barabasi_albert(200, 3, 13).unwrap();
+        let (l, r, seed, k) = (4u32, 6usize, 31u64, 5usize);
+        let mut warm_idx = IncrementalIndex::build(&g0, l, r, seed, 0);
+        let mut warm = SeedMaintainer::new(GainRule::HittingTime, k, 0);
+        // One churned edge still invalidates every walk *visiting* its
+        // endpoints — on this small fixture that is ~28% of all postings,
+        // so widen the crossover to keep the pass warm.
+        warm.set_crossover(0.5);
+        warm.maintain_warm(warm_idx.index(), &PostingDelta::default());
+
+        let mut batch = EdgeBatch::new(1);
+        let nbr = g0.neighbors(NodeId(150))[0].raw();
+        batch.deletions.push((150, nbr));
+        let delta = batch.apply(&g0).unwrap();
+        let (_, edits) = warm_idx.apply_collecting(&delta);
+        assert!(!edits.is_empty());
+
+        let rep = warm.maintain_warm(warm_idx.index(), &edits);
+        assert!(rep.warm, "small batch must take the warm path");
+        assert!(rep.absorbed_postings <= edits.postings_changed());
+        assert!(rep.absorbed_postings > 0, "churn must leave net edits");
+
+        let mut cold = SeedMaintainer::new(GainRule::HittingTime, k, 0);
+        cold.maintain(warm_idx.index());
+        let rep_cold = cold.maintain(warm_idx.index());
+        assert_eq!(warm.seeds(), cold.seeds());
+        let bits = |t: &[f64]| t.iter().map(|g| g.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(warm.gain_trace()), bits(cold.gain_trace()));
+        assert_eq!(warm.objective().to_bits(), cold.objective().to_bits());
+        assert_eq!(rep.touched_postings, rep_cold.touched_postings);
+    }
+
+    #[test]
+    fn zero_crossover_forces_cold() {
+        let g = barabasi_albert(120, 3, 4).unwrap();
+        let idx = WalkIndex::build(&g, 4, 4, 6);
+        let mut m = SeedMaintainer::new(GainRule::Coverage, 4, 0);
+        m.set_crossover(0.0);
+        m.maintain_warm(&idx, &PostingDelta::default());
+        let rep = m.maintain_warm(&idx, &PostingDelta::default());
+        // An empty delta squeaks under any crossover (0 <= 0): still warm.
+        assert!(rep.warm, "empty delta is within a zero crossover");
+        let delta = PostingDelta {
+            layers: vec![rwd_walks::LayerDelta {
+                layer: 0,
+                resampled: vec![0],
+                removed: vec![(1, 0, 1)],
+                added: vec![(1, 0, 1)],
+            }],
+        };
+        // Any non-empty delta now exceeds the zero crossover: cold.
+        let rep = m.maintain_warm(&idx, &delta);
+        assert!(!rep.warm);
+        assert_eq!(rep.replayed_rounds, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "crossover must lie in [0, 1]")]
+    fn crossover_out_of_range_panics() {
+        SeedMaintainer::new(GainRule::Coverage, 3, 0).set_crossover(1.5);
     }
 }

@@ -26,7 +26,7 @@ use std::time::Instant;
 
 use rwd_graph::weighted::WeightedCsrGraph;
 use rwd_graph::{CsrGraph, NodeId};
-use rwd_walks::{LayerRange, RefreshStats, WalkIndex};
+use rwd_walks::{LayerRange, PostingDelta, RefreshStats, WalkIndex};
 
 use crate::batch::{EdgeBatch, GraphDelta, WeightedGraphDelta};
 use crate::engine::{BatchReport, StreamConfig};
@@ -116,24 +116,25 @@ impl ShardEngine {
     }
 
     /// Phase 2: swaps in the staged graph and refreshes the shard's layer
-    /// range. Returns the shard's stats plus the (shard-independent)
-    /// touched-node and edge counts.
-    fn commit(&mut self, staged: StagedDelta) -> (ShardBatchStats, usize, usize) {
+    /// range. Returns the shard's stats, the refresh's posting edit script
+    /// (absolute layers — the warm-start input for seed maintenance), plus
+    /// the (shard-independent) touched-node and edge counts.
+    fn commit(&mut self, staged: StagedDelta) -> (ShardBatchStats, PostingDelta, usize, usize) {
         let start = Instant::now();
-        let (refresh, touched, edges) = match (&mut self.graph, staged) {
+        let (refresh, posting_delta, touched, edges) = match (&mut self.graph, staged) {
             (EvolvingGraph::Unweighted(g), StagedDelta::Unweighted(delta)) => {
-                let stats = self.index.apply(&delta);
+                let (stats, edits) = self.index.apply_collecting(&delta);
                 let touched = delta.touched.len();
                 let edges = delta.graph.m();
                 *g = Arc::new(delta.graph);
-                (stats, touched, edges)
+                (stats, edits, touched, edges)
             }
             (EvolvingGraph::Weighted(g), StagedDelta::Weighted(delta)) => {
-                let stats = self.index.apply_weighted(&delta);
+                let (stats, edits) = self.index.apply_weighted_collecting(&delta);
                 let touched = delta.touched.len();
                 let edges = delta.graph.m();
                 *g = Arc::new(delta.graph);
-                (stats, touched, edges)
+                (stats, edits, touched, edges)
             }
             _ => unreachable!("staged delta kind always matches the shard's graph kind"),
         };
@@ -145,6 +146,7 @@ impl ShardEngine {
                 refresh,
                 refresh_ms,
             },
+            posting_delta,
             touched,
             edges,
         )
@@ -296,7 +298,12 @@ impl ShardSet {
                     rounds_kept: self.maintainer.seeds().len(),
                     objective: self.maintainer.objective(),
                     touched_postings: 0,
+                    first_invalid_round: None,
+                    warm: false,
+                    absorbed_postings: 0,
+                    replayed_rounds: 0,
                 },
+                maintain_ms: 0.0,
                 shards: Vec::new(),
             });
         }
@@ -306,17 +313,23 @@ impl ShardSet {
             .iter()
             .map(|s| s.stage(batch))
             .collect::<Result<_>>()?;
-        // Phase 2 — commit every shard, gathering per-shard stats.
+        // Phase 2 — commit every shard, gathering per-shard stats and the
+        // per-shard posting edit scripts (absolute layers, so the
+        // maintainer consumes them without translation).
         let mut shard_stats = Vec::with_capacity(self.shards.len());
+        let mut edits = Vec::with_capacity(self.shards.len());
         let (mut touched_nodes, mut edges) = (0usize, 0usize);
         for (shard, delta) in self.shards.iter_mut().zip(staged) {
-            let (stats, touched, m) = shard.commit(delta);
+            let (stats, posting_delta, touched, m) = shard.commit(delta);
             shard_stats.push(stats);
+            edits.push(posting_delta);
             (touched_nodes, edges) = (touched, m);
         }
         let refresh = Self::merge_refresh(shard_stats.iter().map(|s| s.refresh));
         let refs: Vec<&WalkIndex> = self.shards.iter().map(|s| s.index.index()).collect();
-        let maintain = self.maintainer.maintain_sharded(&refs);
+        let maintain_start = Instant::now();
+        let maintain = self.maintainer.maintain_sharded_warm(&refs, &edits);
+        let maintain_ms = maintain_start.elapsed().as_secs_f64() * 1e3;
         self.epoch += 1;
         Ok(BatchReport {
             epoch: self.epoch,
@@ -327,6 +340,7 @@ impl ShardSet {
             touched_nodes,
             refresh,
             maintain,
+            maintain_ms,
             shards: shard_stats,
         })
     }
@@ -355,6 +369,14 @@ impl ShardSet {
             EvolvingGraph::Unweighted(g) => g.m(),
             EvolvingGraph::Weighted(g) => g.m(),
         }
+    }
+
+    /// Sets the seed maintainer's warm-start crossover (see
+    /// [`SeedMaintainer::set_crossover`]): `0.0` forces every batch's
+    /// maintenance pass cold, `1.0` warms unconditionally. Results never
+    /// change — warmth only moves wall time.
+    pub fn set_maintain_crossover(&mut self, crossover: f64) {
+        self.maintainer.set_crossover(crossover);
     }
 
     /// The maintained seed set in selection order.

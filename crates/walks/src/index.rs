@@ -34,6 +34,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use rwd_graph::{CsrGraph, NodeId};
 
+use crate::delta::{LayerDelta, PostingDelta};
 use crate::nodeset::NodeSet;
 use crate::parallel::resolve_threads;
 use crate::rng::WalkRng;
@@ -572,6 +573,13 @@ impl PatchScratch {
 /// ascending source; forward rows: ascending hop = walk order), so the
 /// patched layer is bit-identical to the layer a from-scratch build on the
 /// new graph would produce.
+///
+/// When at least one group resampled, the layer's **net** edit script (see
+/// [`LayerDelta`]) is appended to `deltas`: each affected group's old and
+/// new forward rows are merged in hop order and verbatim reproductions
+/// cancel at the source, so the script holds only postings that actually
+/// differ — a resampled walk that never diverges contributes nothing, and
+/// downstream absorption is `O(net)` rather than `O(gross)`.
 #[allow(clippy::too_many_arguments)]
 fn patch_layer<F>(
     layer: &mut Layer,
@@ -582,6 +590,7 @@ fn patch_layer<F>(
     touched: &NodeSet,
     step: &F,
     ws: &mut PatchScratch,
+    deltas: &mut Vec<LayerDelta>,
 ) -> RefreshStats
 where
     F: Fn(NodeId, &mut WalkRng) -> NodeId,
@@ -654,6 +663,54 @@ where
         ws.owner_stamp[owner as usize] = stamp;
         ws.agg_dcount[owner as usize] += 1;
         ws.agg_dhops[owner as usize] += hop as i64;
+    }
+
+    // --- 3b. net edit script: verbatim reproductions cancel here --------
+    // A resampled walk that diverges late (or never) re-emits most of its
+    // old forward row byte for byte; the gain engine only cares about the
+    // difference. Both rows are hop-ascending (walk order), so one ordered
+    // merge per group emits exactly the net edits — downstream absorption
+    // is O(net), and a fully reproduced group contributes nothing at all.
+    let mut removed: Vec<Triple> = Vec::new();
+    let mut added: Vec<Triple> = Vec::new();
+    for (gi, &src) in affected_srcs.iter().enumerate() {
+        let lo = layer.fwd_offsets[src as usize] as usize;
+        let hi = layer.fwd_offsets[src as usize + 1] as usize;
+        let tlo = new_src_bounds[gi] as usize;
+        let thi = new_src_bounds[gi + 1] as usize;
+        let same = hi - lo == thi - tlo
+            && (0..hi - lo).all(|k| {
+                let (owner, _, hop) = new_triples[tlo + k];
+                layer.fwd_ids[lo + k] == owner && layer.fwd_weights[lo + k] == hop
+            });
+        if same {
+            continue;
+        }
+        let (mut k, mut t) = (lo, tlo);
+        while k < hi || t < thi {
+            // Order within a group is strictly ascending hop on both sides.
+            let old_key = (k < hi).then(|| (layer.fwd_weights[k], layer.fwd_ids[k]));
+            let new_key = (t < thi).then(|| (new_triples[t].2, new_triples[t].0));
+            match (old_key, new_key) {
+                (Some(o), Some(w)) if o == w => {
+                    k += 1;
+                    t += 1;
+                }
+                (Some(o), Some(w)) if o < w => {
+                    removed.push((o.1, src, o.0));
+                    k += 1;
+                }
+                (Some(_), Some(_)) | (None, Some(_)) => {
+                    added.push(new_triples[t]);
+                    t += 1;
+                }
+                (Some(o), None) => {
+                    removed.push((o.1, src, o.0));
+                    k += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
     }
 
     // --- 4. inverted columns: row-level rebuild -------------------------
@@ -753,6 +810,12 @@ where
             fwd_weights,
         },
     );
+    deltas.push(LayerDelta {
+        layer: layer_idx,
+        resampled: affected_srcs,
+        removed,
+        added,
+    });
     out
 }
 
@@ -1109,6 +1172,21 @@ impl WalkIndex {
         touched: &NodeSet,
         threads: usize,
     ) -> RefreshStats {
+        self.refresh_collecting(g, touched, threads).0
+    }
+
+    /// [`WalkIndex::refresh_with_threads`] that additionally returns the
+    /// refresh's edit script: per resampled `(src, layer)` group, the
+    /// inverted postings dropped and produced (see [`PostingDelta`]). The
+    /// index mutation is identical to the non-collecting variant; the
+    /// delta is assembled from buffers the layer surgery materializes
+    /// anyway, so collection costs `O(postings rewritten)`.
+    pub fn refresh_collecting(
+        &mut self,
+        g: &CsrGraph,
+        touched: &NodeSet,
+        threads: usize,
+    ) -> (RefreshStats, PostingDelta) {
         assert_eq!(g.n(), self.n, "refresh requires an unchanged node universe");
         let step = |u: NodeId, rng: &mut WalkRng| walker::step(g, u, rng);
         self.refresh_with_step(touched, threads, &step)
@@ -1137,6 +1215,16 @@ impl WalkIndex {
         touched: &NodeSet,
         threads: usize,
     ) -> RefreshStats {
+        self.refresh_weighted_collecting(g, touched, threads).0
+    }
+
+    /// Weighted twin of [`WalkIndex::refresh_collecting`].
+    pub fn refresh_weighted_collecting(
+        &mut self,
+        g: &rwd_graph::weighted::WeightedCsrGraph,
+        touched: &NodeSet,
+        threads: usize,
+    ) -> (RefreshStats, PostingDelta) {
         assert_eq!(g.n(), self.n, "refresh requires an unchanged node universe");
         let step = |u: NodeId, rng: &mut WalkRng| walker::step_weighted(g, u, rng);
         self.refresh_with_step(touched, threads, &step)
@@ -1148,7 +1236,12 @@ impl WalkIndex {
     /// accumulates integer deltas for the per-node aggregates that are
     /// applied after the join. Every operation is integer-exact and
     /// per-layer, so the result is bit-identical at any worker count.
-    fn refresh_with_step<F>(&mut self, touched: &NodeSet, threads: usize, step: &F) -> RefreshStats
+    fn refresh_with_step<F>(
+        &mut self,
+        touched: &NodeSet,
+        threads: usize,
+        step: &F,
+    ) -> (RefreshStats, PostingDelta)
     where
         F: Fn(NodeId, &mut WalkRng) -> NodeId + Sync,
     {
@@ -1164,36 +1257,39 @@ impl WalkIndex {
             ..RefreshStats::default()
         };
         if touched.is_empty() {
-            return stats;
+            return (stats, PostingDelta::default());
         }
         let (l, seed, layer_base) = (self.l, self.seed, self.layer_base);
 
         // Patches a chunk of layers with one reused scratch; returns the
-        // chunk's stats plus its staged aggregate deltas.
-        let patch_chunk =
-            |base: usize, layers: &mut [Layer]| -> (RefreshStats, Vec<i64>, Vec<i64>) {
-                let mut ws = PatchScratch::new(n);
-                let mut out = RefreshStats::default();
-                for (off, layer) in layers.iter_mut().enumerate() {
-                    let part = patch_layer(
-                        layer,
-                        n,
-                        l,
-                        seed,
-                        layer_base + base + off,
-                        touched,
-                        step,
-                        &mut ws,
-                    );
-                    out.groups_resampled += part.groups_resampled;
-                    out.postings_removed += part.postings_removed;
-                    out.postings_added += part.postings_added;
-                }
-                (out, ws.agg_dcount, ws.agg_dhops)
-            };
+        // chunk's stats, its layer edit scripts (ascending layers), and its
+        // staged aggregate deltas.
+        type ChunkOut = (RefreshStats, Vec<LayerDelta>, Vec<i64>, Vec<i64>);
+        let patch_chunk = |base: usize, layers: &mut [Layer]| -> ChunkOut {
+            let mut ws = PatchScratch::new(n);
+            let mut out = RefreshStats::default();
+            let mut deltas = Vec::new();
+            for (off, layer) in layers.iter_mut().enumerate() {
+                let part = patch_layer(
+                    layer,
+                    n,
+                    l,
+                    seed,
+                    layer_base + base + off,
+                    touched,
+                    step,
+                    &mut ws,
+                    &mut deltas,
+                );
+                out.groups_resampled += part.groups_resampled;
+                out.postings_removed += part.postings_removed;
+                out.postings_added += part.postings_added;
+            }
+            (out, deltas, ws.agg_dcount, ws.agg_dhops)
+        };
 
         let workers = resolve_threads(threads).min(r);
-        let mut partials: Vec<(RefreshStats, Vec<i64>, Vec<i64>)> = Vec::with_capacity(workers);
+        let mut partials: Vec<ChunkOut> = Vec::with_capacity(workers);
         if workers == 1 {
             partials.push(patch_chunk(0, &mut self.layers));
         } else {
@@ -1213,10 +1309,15 @@ impl WalkIndex {
                 }
             });
         }
-        for (p, dcount, dhops) in partials {
+        // Chunks are gathered in layer order, so concatenating their edit
+        // scripts keeps the delta ascending by absolute layer — the same
+        // canonical order a single-threaded refresh emits.
+        let mut delta = PostingDelta::default();
+        for (p, deltas, dcount, dhops) in partials {
             stats.groups_resampled += p.groups_resampled;
             stats.postings_removed += p.postings_removed;
             stats.postings_added += p.postings_added;
+            delta.layers.extend(deltas);
             // Integer deltas commute, so application order (and hence the
             // worker layout) cannot change the aggregates.
             for (slot, d) in self.posting_counts.iter_mut().zip(dcount) {
@@ -1226,7 +1327,7 @@ impl WalkIndex {
                 *slot = (*slot as i64 + d) as u64;
             }
         }
-        stats
+        (stats, delta)
     }
 
     /// Builds an index from explicitly supplied walks: `walks[w]` is the

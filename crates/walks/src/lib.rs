@@ -15,6 +15,9 @@
 //!   Hoeffding sample-size bounds of Lemmas 3.3/3.4,
 //! * [`index`] — the paper's Algorithm 3 inverted walk index backing the
 //!   approximate greedy algorithm (Algorithm 6),
+//! * [`delta`] — the compact posting edit script an incremental refresh
+//!   emits (removed/added inverted postings per resampled group), the
+//!   input to cross-epoch warm starts downstream,
 //! * [`point`] — single-node hitting-time / hit-probability / coverage
 //!   queries over the index's forward view, `O(postings)` per query and
 //!   bit-identical to the full-sweep estimators (the serving-path entry
@@ -27,6 +30,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod delta;
 pub mod enumerate;
 pub mod estimate;
 pub mod hitting;
@@ -37,6 +41,7 @@ pub mod point;
 pub mod rng;
 pub mod walker;
 
+pub use delta::{LayerDelta, PostingDelta, PostingEdit};
 pub use estimate::{Estimates, SampleEstimator};
 pub use index::{LayerRange, Posting, PostingsRef, RefreshStats, WalkIndex};
 pub use nodeset::NodeSet;
