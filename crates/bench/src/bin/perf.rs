@@ -27,16 +27,20 @@
 //!   script, recorded rounds replayed from their logs) vs one forced cold
 //!   every batch — seeds asserted bit-identical, the warm-vs-cold ratio
 //!   feeding the CI gate,
+//! * the durability layer: per-batch write-ahead journal overhead (plain
+//!   vs journaled apply of the same trace), one full snapshot write, and
+//!   crash recovery (snapshot + journal-suffix replay) vs a from-scratch
+//!   rebuild — asserted bit-identical, the ratio feeding the CI gate,
 //!
-//! and writes the measurements as JSON (default `BENCH_7.json`, the PR-7
+//! and writes the measurements as JSON (default `BENCH_8.json`, the PR-8
 //! snapshot; earlier `BENCH_<n>.json` files stay beside it so the
 //! trajectory is diffable).
 //!
-//! Schema `rwd-perf/6` (extends `rwd-perf/5` with the `maintain` block):
-//! every timing records the worker count it actually ran with, and
-//! `available_parallelism` is a top-level field — so a snapshot taken on a
-//! 1-core container is self-describing instead of silently reporting ~1.0
-//! speedups.
+//! Schema `rwd-perf/7` (extends `rwd-perf/6` with the `durability`
+//! block): every timing records the worker count it actually ran with,
+//! and `available_parallelism` is a top-level field — so a snapshot taken
+//! on a 1-core container is self-describing instead of silently reporting
+//! ~1.0 speedups.
 //!
 //! Usage: `cargo run --release -p rwd-bench --bin perf -- [--scale small|full]
 //! [--out PATH] [--reps N]`. The small scale exists for CI, where the run
@@ -166,7 +170,7 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 
 fn main() {
     let mut scale = FULL;
-    let mut out_path = String::from("BENCH_7.json");
+    let mut out_path = String::from("BENCH_8.json");
     let mut reps = 3usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -601,6 +605,169 @@ fn main() {
         maintain_trace.batches.len(),
     );
 
+    // --- durability: journal overhead, snapshot write, recovery vs rebuild
+    // Three costs of the durable layer: (a) the per-batch write-ahead
+    // journal tax — the same churn trace through a plain engine vs one
+    // bound to a data dir (fsync'd append before any shard commits);
+    // (b) one full engine snapshot write; (c) crash recovery (latest
+    // snapshot + journal-suffix replay) vs a from-scratch rebuild on the
+    // final graph, asserted bit-identical — the ratio feeds the CI gate.
+    use rwd_stream::{DurabilityConfig, DurableEngine};
+    let durability_root =
+        std::env::temp_dir().join(format!("rwd-perf-durability-{}", std::process::id()));
+    std::fs::remove_dir_all(&durability_root).ok();
+
+    let mut plain_apply_total = f64::INFINITY;
+    for _ in 0..reps {
+        let mut eng = StreamEngine::new(g.clone(), serve_cfg).expect("valid configuration");
+        let t0 = Instant::now();
+        for b in &trace.batches {
+            eng.apply(b).expect("trace batches are valid");
+        }
+        plain_apply_total = plain_apply_total.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let mut journaled_apply_total = f64::INFINITY;
+    let mut wal_engine = None;
+    for rep in 0..reps {
+        let dir = durability_root.join(format!("wal-{rep}"));
+        let eng = StreamEngine::new(g.clone(), serve_cfg).expect("valid configuration");
+        let mut durable = DurableEngine::create(eng, &dir, DurabilityConfig { snapshot_every: 0 })
+            .expect("fresh data dir");
+        let t0 = Instant::now();
+        for b in &trace.batches {
+            durable.apply(b).expect("trace batches are valid");
+        }
+        journaled_apply_total = journaled_apply_total.min(t0.elapsed().as_secs_f64() * 1e3);
+        wal_engine = Some(durable);
+    }
+    let journal_overhead_per_batch =
+        (journaled_apply_total - plain_apply_total) / scale.stream_batches.max(1) as f64;
+    record("stream_apply_plain_total", plain_apply_total, cores);
+    record("stream_apply_journaled_total", journaled_apply_total, cores);
+
+    let mut wal_engine = wal_engine.expect("reps >= 1");
+    let (snapshot_write_ms, snapshot_epoch) =
+        time_ms(reps, || wal_engine.snapshot_now().expect("snapshot writes"));
+    record("snapshot_write", snapshot_write_ms, 1);
+    drop(wal_engine);
+
+    // A crash-shaped data dir, in the regime durability pays off in: a
+    // sparse *weighted* graph at a long walk length. Rebuilding from
+    // scratch re-samples every (src, layer) walk — L cumulative-weight
+    // neighbor draws per walk, most of which revisit already-hit nodes and
+    // add no posting — while recovery deserializes exactly the surviving
+    // postings. The snapshot cadence divides the trace, so the crash lands
+    // on a compaction boundary (empty journal suffix) — the steady state a
+    // cadence-driven deployment crashes in; suffix-replay *exactness* is
+    // the recovery proptests' job, and per-epoch replay cost is the stream
+    // section's `incremental_refresh` line. Both sides run the same
+    // single-thread engine config, so the ratio compares work done, not
+    // scheduler luck (snapshot load honours the engine's thread budget).
+    let durability_spec = TemporalTraceSpec {
+        model: TraceModel::ErdosRenyi { mean_degree: 4.0 },
+        nodes: scale.n,
+        batches: scale.stream_batches,
+        batch_edits: scale.stream_edits,
+        delete_fraction: 0.5,
+        seed: GRAPH_SEED,
+    };
+    let durability_l = 6 * scale.l;
+    let durability_cfg = StreamConfig {
+        l: durability_l,
+        r: scale.r,
+        k: scale.k,
+        seed: WALK_SEED,
+        rule: GainRule::HittingTime,
+        threads: 1,
+    };
+    let durability_trace = temporal_trace(&durability_spec).expect("valid trace spec");
+    let durability_wg =
+        weighted_twin(&durability_trace.base, GRAPH_SEED).expect("valid weighted twin");
+    let recovery_dir = durability_root.join("recover");
+    let crash_cadence = (scale.stream_batches as u64 / 2).max(1);
+    let (live_seeds, live_objective) = {
+        let eng = StreamEngine::new_weighted(durability_wg.clone(), durability_cfg)
+            .expect("valid configuration");
+        let mut durable = DurableEngine::create(
+            eng,
+            &recovery_dir,
+            DurabilityConfig {
+                snapshot_every: crash_cadence,
+            },
+        )
+        .expect("fresh data dir");
+        for b in &durability_trace.batches {
+            durable.apply(b).expect("trace batches are valid");
+        }
+        (
+            durable.engine().seeds().to_vec(),
+            durable.engine().objective().to_bits(),
+        )
+    };
+    let mut recovery_ms = f64::INFINITY;
+    let mut recovered = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let opened =
+            DurableEngine::open(&recovery_dir, DurabilityConfig::default()).expect("recovers");
+        recovery_ms = recovery_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        recovered = Some(opened);
+    }
+    let (recovered, recovery_report) = recovered.expect("reps >= 1");
+    assert!(
+        recovery_report.torn_tail.is_none(),
+        "clean shutdown misread as torn"
+    );
+    let final_graph = recovered
+        .engine()
+        .weighted_graph()
+        .expect("weighted engine")
+        .clone();
+    let mut durability_rebuild_ms = f64::INFINITY;
+    let mut cold = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let eng = StreamEngine::new_weighted(final_graph.clone(), durability_cfg)
+            .expect("valid configuration");
+        durability_rebuild_ms = durability_rebuild_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        cold = Some(eng);
+    }
+    let cold = cold.expect("reps >= 1");
+    assert_eq!(
+        recovered.engine().seeds(),
+        cold.seeds(),
+        "recovered seeds must equal a from-scratch rebuild"
+    );
+    assert_eq!(
+        recovered.engine().objective().to_bits(),
+        cold.objective().to_bits(),
+        "recovered objective must equal a from-scratch rebuild"
+    );
+    assert_eq!(
+        recovered.engine().seeds(),
+        &live_seeds[..],
+        "recovered seeds must equal the live engine's"
+    );
+    assert_eq!(
+        recovered.engine().objective().to_bits(),
+        live_objective,
+        "recovered objective must equal the live engine's"
+    );
+    let recovery_speedup = durability_rebuild_ms / recovery_ms.max(1e-9);
+    record("recovery", recovery_ms, cores);
+    record("recovery_cold_rebuild", durability_rebuild_ms, cores);
+    eprintln!(
+        "      durability: journal overhead {journal_overhead_per_batch:.3} ms/batch \
+         (plain {plain_apply_total:.1} ms vs journaled {journaled_apply_total:.1} ms \
+         over {} batches); snapshot write {snapshot_write_ms:.1} ms at epoch \
+         {snapshot_epoch}; recovery {recovery_ms:.1} ms (snapshot epoch {}, {} \
+         epochs replayed) vs rebuild {durability_rebuild_ms:.1} ms \
+         ({recovery_speedup:.2}x)",
+        scale.stream_batches, recovery_report.snapshot_epoch, recovery_report.epochs_replayed,
+    );
+    drop(recovered);
+    std::fs::remove_dir_all(&durability_root).ok();
+
     let unix_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
@@ -640,8 +807,8 @@ fn main() {
 
     let json = format!(
         r#"{{
-  "schema": "rwd-perf/6",
-  "pr": 7,
+  "schema": "rwd-perf/7",
+  "pr": 8,
   "unix_secs": {unix_secs},
   "available_parallelism": {cores},
   "scale": "{scale_name}",
@@ -706,6 +873,21 @@ fn main() {
     "cold_maintain_ms_total": {cold_maintain_ms_s},
     "warm_maintain_ms_total": {warm_maintain_ms_s},
     "warm_vs_cold": {warm_speedup_s}
+  }},
+  "durability": {{
+    "trace_batches": {stream_batches},
+    "plain_apply_ms_total": {plain_apply_s},
+    "journaled_apply_ms_total": {journaled_apply_s},
+    "journal_overhead_ms_per_batch": {journal_overhead_s},
+    "snapshot_write_ms": {snapshot_write_s},
+    "snapshot_epoch": {snapshot_epoch},
+    "recovery_trace": {{ "model": "erdos_renyi_gnp", "n": {n}, "mean_degree": 4.0,
+                        "weighted": true, "l": {durability_l}, "r": {r}, "threads": 1 }},
+    "recovery_snapshot_epoch": {recovery_snap_epoch},
+    "recovery_epochs_replayed": {recovery_replayed},
+    "recovery_ms": {recovery_ms_s},
+    "rebuild_ms": {durability_rebuild_s},
+    "recovery_vs_rebuild": {recovery_speedup_s}
   }}
 }}
 "#,
@@ -753,6 +935,15 @@ fn main() {
         cold_maintain_ms_s = fmt_ms(cold_maintain_ms),
         warm_maintain_ms_s = fmt_ms(warm_maintain_ms),
         warm_speedup_s = fmt_ms(warm_speedup),
+        plain_apply_s = fmt_ms(plain_apply_total),
+        journaled_apply_s = fmt_ms(journaled_apply_total),
+        journal_overhead_s = fmt_ms(journal_overhead_per_batch),
+        snapshot_write_s = fmt_ms(snapshot_write_ms),
+        recovery_snap_epoch = recovery_report.snapshot_epoch,
+        recovery_replayed = recovery_report.epochs_replayed,
+        recovery_ms_s = fmt_ms(recovery_ms),
+        durability_rebuild_s = fmt_ms(durability_rebuild_ms),
+        recovery_speedup_s = fmt_ms(recovery_speedup),
     );
     std::fs::write(&out_path, json).expect("write perf snapshot");
     eprintln!("perf: wrote {out_path}");

@@ -39,9 +39,11 @@ USAGE:
   rwdom stream --model <ba|er> --nodes <n> [--degree <d>] [--batches <B>]
                [--batch-edits <E>] [--delete-frac <f>] [--k <k>] [--l <L>]
                [--r <R>] [--seed <s>] [--problem <f1|f2>] [--shards <S>]
-               [--weighted] [--verify]
+               [--weighted] [--verify] [--data-dir <dir>] [--snapshot-every <N>]
   rwdom serve  --model <ba|er> --nodes <n> [stream flags] [--workers <W>]
                [--queries-per-batch <Q>] [--script <file>] [--shards <S>]
+               [--data-dir <dir>] [--snapshot-every <N>]
+  rwdom recover <data-dir> [--verify]
   rwdom demo
 
 MODELS (gen):
@@ -66,6 +68,15 @@ STREAM: drives a deterministic temporal edge trace through the evolving
   breakdown in the output; needs 1 <= S <= R). --verify additionally
   rebuilds each shard's layer range from scratch every epoch and asserts
   the maintained index is bit-identical.
+
+DURABILITY: --data-dir attaches a fresh data directory to the evolving
+  engine — every batch is write-ahead journaled (fsync'd before any shard
+  commits) and the whole engine is snapshotted every --snapshot-every
+  non-empty batches (0 = journal only), compacting the journal. `rwdom
+  recover <dir>` reloads the latest snapshot, replays the journal suffix
+  (truncating a torn tail), and prints a recovery report; --verify
+  additionally rebuilds the pipeline from scratch on the recovered graph
+  and asserts the recovered state is bit-identical.
 
 SERVE: starts the online query server over the evolving engine and drives
   a request trace through it, printing one row per request with its epoch
@@ -137,6 +148,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "cover" => cmd_cover(rest),
         "stream" => cmd_stream(rest),
         "serve" => cmd_serve(rest),
+        "recover" => cmd_recover(rest),
         "demo" => cmd_demo(),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -343,6 +355,10 @@ struct StreamSetup {
     problem: String,
     weighted: bool,
     shards: usize,
+    /// `--data-dir`: attach a durability data directory (write-ahead
+    /// journal + snapshots) to the engine.
+    data_dir: Option<String>,
+    dcfg: rwd_stream::DurabilityConfig,
 }
 
 fn parse_stream_setup(
@@ -397,6 +413,11 @@ fn parse_stream_setup(
     // Validated by the engine constructors, which reject 0 and > R with a
     // named `InvalidShardCount` error — never clamped here.
     let shards: usize = get(flags, "shards", Some(1))?;
+    let data_dir = flags.get("data-dir").cloned();
+    let snapshot_every: u64 = get(flags, "snapshot-every", Some(4))?;
+    if data_dir.is_none() && flags.contains_key("snapshot-every") {
+        return Err("--snapshot-every needs --data-dir".into());
+    }
     Ok(StreamSetup {
         model_name,
         spec,
@@ -404,7 +425,33 @@ fn parse_stream_setup(
         problem,
         weighted: flags.contains_key("weighted"),
         shards,
+        data_dir,
+        dcfg: rwd_stream::DurabilityConfig { snapshot_every },
     })
+}
+
+/// The engine a `stream` run drives: bare, or bound to a `--data-dir`
+/// (write-ahead journal + periodic snapshots).
+enum StreamDriver {
+    Plain(Box<rwd_stream::StreamEngine>),
+    Durable(Box<rwd_stream::DurableEngine>),
+}
+
+impl StreamDriver {
+    fn apply(&mut self, batch: &rwd_stream::EdgeBatch) -> Result<rwd_stream::BatchReport, String> {
+        match self {
+            StreamDriver::Plain(e) => e.apply(batch),
+            StreamDriver::Durable(d) => d.apply(batch),
+        }
+        .map_err(|e| e.to_string())
+    }
+
+    fn engine(&self) -> &rwd_stream::StreamEngine {
+        match self {
+            StreamDriver::Plain(e) => e,
+            StreamDriver::Durable(d) => d.engine(),
+        }
+    }
 }
 
 /// Drives a deterministic temporal edge trace through the evolving
@@ -422,6 +469,8 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         problem,
         weighted,
         shards,
+        data_dir,
+        dcfg,
     } = parse_stream_setup("stream", &pos, &flags)?;
     let verify = flags.contains_key("verify");
 
@@ -439,7 +488,7 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         if weighted { " weighted" } else { "" },
     );
 
-    let mut engine = if weighted {
+    let engine = if weighted {
         let wbase = rwd_graph::weighted::weighted_twin(&trace.base, spec.seed)
             .map_err(|e| e.to_string())?;
         StreamEngine::with_shards_weighted(wbase, cfg, shards)
@@ -447,6 +496,12 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         StreamEngine::with_shards(trace.base.clone(), cfg, shards)
     }
     .map_err(|e| e.to_string())?;
+    let mut engine = match &data_dir {
+        Some(dir) => StreamDriver::Durable(Box::new(
+            rwd_stream::DurableEngine::create(engine, dir, dcfg).map_err(|e| e.to_string())?,
+        )),
+        None => StreamDriver::Plain(Box::new(engine)),
+    };
 
     let groups_total = trace.base.n() * cfg.r;
     let mut t = Table::new([
@@ -482,11 +537,11 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     let mut warm_batches = 0usize;
     let mut replayed_total = 0usize;
     let (mut refresh_ms_total, mut maintain_ms_total) = (0.0f64, 0.0f64);
-    let initial_objective = engine.objective();
+    let initial_objective = engine.engine().objective();
     let mut prev_objective = initial_objective;
     let mut max_step = 0.0f64;
     for batch in &trace.batches {
-        let rep = engine.apply(batch).map_err(|e| e.to_string())?;
+        let rep = engine.apply(batch)?;
         *kept_hist.entry(rep.maintain.rounds_kept).or_insert(0) += 1;
         total_swapped += rep.maintain.seeds_swapped;
         warm_batches += rep.maintain.warm as usize;
@@ -525,16 +580,17 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
             // Rebuild each shard's layer range from scratch on the current
             // graph; the maintained partial indexes must match bitwise.
             // (With shards = 1 this is the historical full-index check.)
-            let same = engine
+            let inner = engine.engine();
+            let same = inner
                 .shard_indexes()
                 .iter()
-                .zip(engine.shard_ranges())
+                .zip(inner.shard_ranges())
                 .all(|(idx, rg)| {
                     if weighted {
-                        let g = engine.weighted_graph().expect("weighted engine");
+                        let g = inner.weighted_graph().expect("weighted engine");
                         **idx == WalkIndex::build_weighted_layer_range(g, cfg.l, rg, cfg.seed, 0)
                     } else {
-                        let g = engine.graph().expect("unweighted engine");
+                        let g = inner.graph().expect("unweighted engine");
                         **idx == WalkIndex::build_layer_range(g, cfg.l, rg, cfg.seed, 0)
                     }
                 });
@@ -551,7 +607,15 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         println!("# per-shard refresh breakdown");
         println!("{}", st.render());
     }
-    let life = engine.lifetime_stats();
+    if let StreamDriver::Durable(d) = &engine {
+        println!(
+            "# durability: journaled {} batches to {} (snapshot every {} batches)",
+            spec.batches,
+            d.dir().display(),
+            d.durability_config().snapshot_every,
+        );
+    }
+    let life = engine.engine().lifetime_stats();
     println!(
         "# lifetime: {} of {} group-epochs resampled ({}%), {} postings rewritten{}",
         life.groups_resampled,
@@ -592,8 +656,98 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         fmt_f(prev_objective, 2),
         fmt_f(max_step, 2),
     );
-    let ids: Vec<String> = engine.seeds().iter().map(|u| u.to_string()).collect();
+    let ids: Vec<String> = engine
+        .engine()
+        .seeds()
+        .iter()
+        .map(|u| u.to_string())
+        .collect();
     println!("# final seeds: {}", ids.join(","));
+    Ok(())
+}
+
+/// Recovers an engine from a `--data-dir` and prints the recovery report;
+/// `--verify` additionally rebuilds the whole pipeline from scratch on the
+/// recovered graph and asserts the recovered state is bit-identical.
+fn cmd_recover(args: &[String]) -> Result<(), String> {
+    use rwd_stream::{DurabilityConfig, DurableEngine, StreamEngine};
+
+    let (pos, flags) = parse(args)?;
+    let dir = pos.first().ok_or("recover needs a data-dir path")?;
+    let verify = flags.contains_key("verify");
+
+    let (durable, report) =
+        DurableEngine::open(dir, DurabilityConfig::default()).map_err(|e| e.to_string())?;
+    let engine = durable.engine();
+    let recovery_ms = report.snapshot_load_ms + report.replay_ms;
+
+    let mut t = Table::new(["property", "value"]);
+    t.row(["data dir", dir]);
+    t.row(["snapshot epoch", &report.snapshot_epoch.to_string()]);
+    t.row(["epochs replayed", &report.epochs_replayed.to_string()]);
+    t.row(["recovered epoch", &report.recovered_epoch.to_string()]);
+    t.row([
+        "torn tail",
+        report
+            .torn_tail
+            .as_deref()
+            .unwrap_or("none (clean boundary)"),
+    ]);
+    t.row(["snapshot load ms", &fmt_f(report.snapshot_load_ms, 2)]);
+    t.row(["journal replay ms", &fmt_f(report.replay_ms, 2)]);
+    t.row(["recovery ms", &fmt_f(recovery_ms, 2)]);
+    let n = engine
+        .graph()
+        .map(|g| g.n())
+        .or_else(|| engine.weighted_graph().map(|g| g.n()))
+        .expect("engine holds a graph");
+    t.row(["nodes", &n.to_string()]);
+    t.row(["seeds", &engine.seeds().len().to_string()]);
+    t.row(["objective", &fmt_f(engine.objective(), 4)]);
+    println!("{}", t.render());
+
+    if verify {
+        // From-scratch rebuild on the recovered graph: by the determinism
+        // contract the cold pipeline must land on the recovered state bit
+        // for bit — index columns, seeds, and objective alike.
+        let cfg = *engine.config();
+        let shards = engine.shard_ranges().len();
+        let started = std::time::Instant::now();
+        let cold = if let Some(g) = engine.graph() {
+            StreamEngine::with_shards(g.clone(), cfg, shards)
+        } else {
+            let g = engine.weighted_graph().expect("weighted engine");
+            StreamEngine::with_shards_weighted(g.clone(), cfg, shards)
+        }
+        .map_err(|e| e.to_string())?;
+        let rebuild_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        if engine.seeds() != cold.seeds() {
+            return Err("verify failed: recovered seeds differ from a from-scratch rebuild".into());
+        }
+        if engine.objective().to_bits() != cold.objective().to_bits() {
+            return Err(
+                "verify failed: recovered objective differs from a from-scratch rebuild".into(),
+            );
+        }
+        let same_indexes = engine
+            .shard_indexes()
+            .iter()
+            .zip(cold.shard_indexes())
+            .all(|(a, b)| **a == *b);
+        if !same_indexes {
+            return Err(
+                "verify failed: a recovered shard index differs from a from-scratch rebuild".into(),
+            );
+        }
+        println!(
+            "# verify: recovered state is bit-identical to a from-scratch rebuild \
+             (recovery {} ms vs rebuild {} ms, {}x)",
+            fmt_f(recovery_ms, 2),
+            fmt_f(rebuild_ms, 2),
+            fmt_f(rebuild_ms / recovery_ms.max(1e-9), 1),
+        );
+    }
     Ok(())
 }
 
@@ -714,6 +868,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         problem,
         weighted,
         shards,
+        data_dir,
+        dcfg,
     } = parse_stream_setup("serve", &pos, &flags)?;
     let workers: usize = get(&flags, "workers", Some(2))?;
     let queries_per_batch: usize = get(&flags, "queries-per-batch", Some(6))?;
@@ -736,7 +892,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         StreamEngine::with_shards(trace.base.clone(), cfg, shards)
     }
     .map_err(|e| e.to_string())?;
-    let engine = ServeEngine::from_stream(stream);
+    let engine = match &data_dir {
+        Some(dir) => ServeEngine::create_durable(stream, dir, dcfg).map_err(|e| e.to_string())?,
+        None => ServeEngine::from_stream(stream),
+    };
+    if let Some(dir) = &data_dir {
+        println!(
+            "# durability: journaling batches to {dir} (snapshot every {} batches)",
+            dcfg.snapshot_every,
+        );
+    }
     println!(
         "# serve: model={model_name} n={} m0={} problem={problem} k={} l={} r={} \
          shards={shards} workers={workers}{} — {} requests",
@@ -1221,6 +1386,121 @@ mod tests {
         assert!(run(&with_script(mk("batches.txt", "batch\nbatch\n"))).is_err());
         // Missing script file.
         assert!(run(&with_script(dir.join("nope.txt").to_str().unwrap().into())).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stream_journals_and_recover_verifies() {
+        let dir = std::env::temp_dir().join("rwdom_cli_durable");
+        std::fs::remove_dir_all(&dir).ok();
+        let data = dir.join("data");
+        let data_s = data.to_str().unwrap();
+        run(&argv(&[
+            "stream",
+            "--model",
+            "er",
+            "--nodes",
+            "120",
+            "--degree",
+            "8",
+            "--batches",
+            "5",
+            "--batch-edits",
+            "4",
+            "--k",
+            "3",
+            "--l",
+            "4",
+            "--r",
+            "5",
+            "--data-dir",
+            data_s,
+            "--snapshot-every",
+            "2",
+        ]))
+        .unwrap();
+        // The dir now holds artifacts: a second stream run must refuse it
+        // (recovery is `rwdom recover`'s job, not a silent overwrite).
+        let err = run(&argv(&[
+            "stream",
+            "--model",
+            "er",
+            "--nodes",
+            "120",
+            "--degree",
+            "8",
+            "--batches",
+            "1",
+            "--batch-edits",
+            "4",
+            "--k",
+            "3",
+            "--l",
+            "4",
+            "--r",
+            "5",
+            "--data-dir",
+            data_s,
+        ]))
+        .unwrap_err();
+        assert!(err.contains("already holds durability artifacts"), "{err}");
+        // Recovery replays the journal and the from-scratch rebuild check
+        // passes bit-identically.
+        run(&argv(&["recover", data_s, "--verify"])).unwrap();
+        // Serve writes its batches durably too (fresh dir), weighted.
+        let data2 = dir.join("data2");
+        run(&argv(&[
+            "serve",
+            "--model",
+            "ba",
+            "--nodes",
+            "100",
+            "--degree",
+            "3",
+            "--batches",
+            "2",
+            "--batch-edits",
+            "4",
+            "--k",
+            "3",
+            "--l",
+            "4",
+            "--r",
+            "4",
+            "--queries-per-batch",
+            "2",
+            "--weighted",
+            "--data-dir",
+            data2.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&["recover", data2.to_str().unwrap(), "--verify"])).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_rejects_bad_inputs() {
+        // No data dir at all.
+        assert!(run(&argv(&["recover"])).is_err());
+        // A dir with no snapshot.
+        let dir = std::env::temp_dir().join("rwdom_cli_recover_empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = run(&argv(&["recover", dir.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("no loadable snapshot"), "{err}");
+        // --snapshot-every without --data-dir is rejected up front.
+        let err = run(&argv(&[
+            "stream",
+            "--model",
+            "er",
+            "--nodes",
+            "60",
+            "--batches",
+            "1",
+            "--snapshot-every",
+            "2",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--snapshot-every needs --data-dir"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

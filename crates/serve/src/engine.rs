@@ -1,8 +1,13 @@
 //! The serving writer: applies churn and publishes epoch snapshots.
 
+use std::path::Path;
+
 use rwd_graph::weighted::WeightedCsrGraph;
 use rwd_graph::CsrGraph;
-use rwd_stream::{BatchReport, EdgeBatch, StreamConfig, StreamEngine};
+use rwd_stream::{
+    BatchReport, DurabilityConfig, DurableEngine, EdgeBatch, RecoveryReport, StreamConfig,
+    StreamEngine,
+};
 
 use crate::snapshot::Snapshot;
 use crate::Result;
@@ -30,12 +35,31 @@ use crate::Result;
 ///    copies touched layers — is the noted ROADMAP follow-up.
 #[derive(Debug)]
 pub struct ServeEngine {
-    stream: StreamEngine,
+    backend: Backend,
     /// The published epoch. Re-captured after every effective batch; kept
-    /// outside `stream` so `snapshot()` is an O(1) clone, not a rebuild.
+    /// outside the backend so `snapshot()` is an O(1) clone, not a rebuild.
     /// `None` only transiently inside [`ServeEngine::apply`], where the
     /// engine's own handle must not count as a pin.
     current: Option<Snapshot>,
+}
+
+/// What the writer actually drives: a bare in-memory engine, or one wrapped
+/// in a durability data directory (write-ahead journal + snapshots). The
+/// serving contract is identical either way — a durable batch just fsyncs
+/// its journal record before any shard commits.
+#[derive(Debug)]
+enum Backend {
+    Plain(Box<StreamEngine>),
+    Durable(Box<DurableEngine>),
+}
+
+impl Backend {
+    fn stream(&self) -> &StreamEngine {
+        match self {
+            Backend::Plain(s) => s,
+            Backend::Durable(d) => d.engine(),
+        }
+    }
 }
 
 impl ServeEngine {
@@ -77,7 +101,47 @@ impl ServeEngine {
     /// state as-is).
     pub fn from_stream(stream: StreamEngine) -> Self {
         let current = Some(Snapshot::capture(&stream));
-        ServeEngine { stream, current }
+        ServeEngine {
+            backend: Backend::Plain(Box::new(stream)),
+            current,
+        }
+    }
+
+    /// Wraps a durable engine (publishes its current state as-is). Every
+    /// subsequent [`ServeEngine::apply`] journals the batch — fsync'd —
+    /// before any shard commits, and snapshots at the durable engine's
+    /// configured cadence.
+    pub fn from_durable(durable: DurableEngine) -> Self {
+        let current = Some(Snapshot::capture(durable.engine()));
+        ServeEngine {
+            backend: Backend::Durable(Box::new(durable)),
+            current,
+        }
+    }
+
+    /// Attaches a fresh data directory to `stream` and serves durably from
+    /// it: the engine's current state becomes the base snapshot and a new
+    /// journal opens at its epoch.
+    pub fn create_durable(
+        stream: StreamEngine,
+        dir: impl AsRef<Path>,
+        dcfg: DurabilityConfig,
+    ) -> Result<Self> {
+        Ok(Self::from_durable(DurableEngine::create(
+            stream, dir, dcfg,
+        )?))
+    }
+
+    /// Recovers the engine from a durability data directory (latest valid
+    /// snapshot + journal replay, torn tail truncated) and serves from the
+    /// recovered state — bit-identical to the engine that wrote the
+    /// surviving prefix. Returns the recovery report alongside.
+    pub fn open_durable(
+        dir: impl AsRef<Path>,
+        dcfg: DurabilityConfig,
+    ) -> Result<(Self, RecoveryReport)> {
+        let (durable, report) = DurableEngine::open(dir, dcfg)?;
+        Ok((Self::from_durable(durable), report))
     }
 
     /// The currently published snapshot (O(1) clone; holding it pins the
@@ -100,24 +164,48 @@ impl ServeEngine {
         // snapshot is published afterwards — on error the engine state is
         // unchanged, so republishing it is correct.
         self.current = None;
-        let result = self.stream.apply(batch);
-        self.current = Some(Snapshot::capture(&self.stream));
+        let result = match &mut self.backend {
+            Backend::Plain(s) => s.apply(batch),
+            Backend::Durable(d) => d.apply(batch),
+        };
+        self.current = Some(Snapshot::capture(self.backend.stream()));
         result.map_err(Into::into)
     }
 
     /// The wrapped evolving engine (read access).
     pub fn stream(&self) -> &StreamEngine {
-        &self.stream
+        self.backend.stream()
+    }
+
+    /// The wrapped durable engine, when serving from a data directory.
+    pub fn durable(&self) -> Option<&DurableEngine> {
+        match &self.backend {
+            Backend::Plain(_) => None,
+            Backend::Durable(d) => Some(d),
+        }
+    }
+
+    /// Forces a snapshot + journal compaction now (durable backend only;
+    /// a no-op `Ok(epoch)` otherwise is deliberately *not* offered — the
+    /// caller should know whether it is serving durably).
+    pub fn snapshot_to_disk(&mut self) -> Result<u64> {
+        match &mut self.backend {
+            Backend::Plain(_) => Err(rwd_stream::StreamError::InvalidConfig(
+                "snapshot_to_disk requires a durable backend (no data dir attached)".into(),
+            )
+            .into()),
+            Backend::Durable(d) => d.snapshot_now().map_err(Into::into),
+        }
     }
 
     /// The engine configuration.
     pub fn config(&self) -> &StreamConfig {
-        self.stream.config()
+        self.backend.stream().config()
     }
 
     /// The published epoch number.
     pub fn epoch(&self) -> u64 {
-        self.stream.epoch()
+        self.backend.stream().epoch()
     }
 }
 
@@ -176,6 +264,62 @@ mod tests {
         let report = serve.apply(&EdgeBatch::new(7)).unwrap();
         assert_eq!(report.epoch, 1);
         assert_eq!(serve.snapshot().epoch(), 1);
+    }
+
+    #[test]
+    fn durable_backend_round_trips_through_recovery() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static UNIQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "rwd-serve-durable-{}-{}",
+            std::process::id(),
+            UNIQ.fetch_add(1, Ordering::Relaxed)
+        ));
+
+        let g0 = erdos_renyi_gnp(50, 0.1, 33).unwrap();
+        let stream = rwd_stream::StreamEngine::new(g0.clone(), cfg()).unwrap();
+        let mut durable = ServeEngine::create_durable(
+            stream,
+            &dir,
+            rwd_stream::DurabilityConfig { snapshot_every: 2 },
+        )
+        .unwrap();
+        assert!(durable.durable().is_some());
+        let mut plain = ServeEngine::new(g0, cfg()).unwrap();
+        assert!(plain.durable().is_none());
+        assert!(plain.snapshot_to_disk().is_err());
+
+        // Drive both engines through the same churn; the durable one
+        // additionally journals (and snapshots at cadence 2).
+        for t in 0..3u64 {
+            let (u, v) = absent_edge(durable.stream().graph().unwrap());
+            let mut batch = EdgeBatch::new(t);
+            batch.insertions.push((u, v, 1.0));
+            let a = durable.apply(&batch).unwrap();
+            let b = plain.apply(&batch).unwrap();
+            assert_eq!(a.epoch, b.epoch);
+        }
+
+        // Recover into a fresh serving engine: published snapshot must be
+        // bit-identical to the live one it shadows.
+        let live = durable.snapshot();
+        drop(durable);
+        let (recovered, report) =
+            ServeEngine::open_durable(&dir, rwd_stream::DurabilityConfig { snapshot_every: 2 })
+                .unwrap();
+        assert_eq!(report.recovered_epoch, 3);
+        let snap = recovered.snapshot();
+        assert_eq!(snap.epoch(), live.epoch());
+        assert_eq!(snap.seeds(), live.seeds());
+        assert_eq!(snap.objective().to_bits(), live.objective().to_bits());
+        for v in 0..50u32 {
+            assert_eq!(
+                snap.hit_time(NodeId(v)).to_bits(),
+                live.hit_time(NodeId(v)).to_bits(),
+                "hit_time diverged at node {v}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

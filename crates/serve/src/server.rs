@@ -252,10 +252,28 @@ impl ServerHandle {
     }
 }
 
+/// Test-only writer-fault injector: runs just before each batch is applied
+/// and may panic to simulate an engine crash mid-batch.
+type FaultHook = Box<dyn FnMut(&EdgeBatch) + Send>;
+
 impl Server {
     /// Starts the request loop over `engine` with `query_workers` pool
     /// threads (clamped to ≥ 1) plus one writer thread.
     pub fn start(engine: ServeEngine, query_workers: usize) -> Server {
+        Self::start_inner(engine, query_workers, None)
+    }
+
+    /// Test-only entry point that threads a fault injector into the writer
+    /// loop: `fault` runs just before each batch is applied and may panic,
+    /// simulating an engine panic mid-batch. Exists so the poisoned-writer
+    /// contract (tickets resolve, queries survive, shutdown joins) is
+    /// testable without contriving a genuine engine panic.
+    #[doc(hidden)]
+    pub fn start_with_fault(engine: ServeEngine, query_workers: usize, fault: FaultHook) -> Server {
+        Self::start_inner(engine, query_workers, Some(fault))
+    }
+
+    fn start_inner(engine: ServeEngine, query_workers: usize, fault: Option<FaultHook>) -> Server {
         let shared = Arc::new(Shared {
             current: RwLock::new(engine.snapshot()),
         });
@@ -272,7 +290,7 @@ impl Server {
             .collect();
         let writer = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || write_loop(engine, &shared, &apply_rx))
+            std::thread::spawn(move || write_loop(engine, &shared, &apply_rx, fault))
         };
 
         Server {
@@ -303,11 +321,15 @@ impl Server {
         // handles only hold the revocation slot, never a sender, so this
         // is the last reference to both senders.
         *handle.subs.write().expect("submitter lock poisoned") = None;
+        // Joins swallow a panicked thread instead of re-panicking: shutdown
+        // must complete (and drop the remaining threads' channels) even if
+        // a worker or the writer died — the failure already surfaced to
+        // clients through their resolved tickets.
         for w in workers {
-            w.join().expect("query worker panicked");
+            let _ = w.join();
         }
         if let Some(w) = writer {
-            w.join().expect("writer thread panicked");
+            let _ = w.join();
         }
     }
 }
@@ -331,14 +353,64 @@ fn query_worker(shared: &Shared, rx: &Mutex<Receiver<QueryJob>>) {
     }
 }
 
-fn write_loop(mut engine: ServeEngine, shared: &Shared, rx: &Receiver<ApplyJob>) {
+fn write_loop(
+    mut engine: ServeEngine,
+    shared: &Shared,
+    rx: &Receiver<ApplyJob>,
+    mut fault: Option<FaultHook>,
+) {
     while let Ok(job) = rx.recv() {
-        let report = engine.apply(&job.batch).map_err(|e| e.to_string());
-        shared.publish(engine.snapshot());
-        job.ticket.fulfill(ApplyOutcome {
-            report,
-            latency: job.submitted.elapsed(),
-        });
+        // The engine is not unwind-safe in the type-system sense (interior
+        // &mut), but a panic poisons the loop permanently below — the
+        // possibly-inconsistent engine is never applied to or published
+        // again, so catching the unwind cannot leak broken state.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(f) = fault.as_mut() {
+                f(&job.batch);
+            }
+            engine.apply(&job.batch).map_err(|e| e.to_string())
+        }));
+        match caught {
+            Ok(report) => {
+                shared.publish(engine.snapshot());
+                job.ticket.fulfill(ApplyOutcome {
+                    report,
+                    latency: job.submitted.elapsed(),
+                });
+            }
+            Err(panic) => {
+                let msg = panic_message(panic.as_ref());
+                job.ticket.fulfill(ApplyOutcome {
+                    report: Err(format!("writer poisoned: engine panicked mid-batch: {msg}")),
+                    latency: job.submitted.elapsed(),
+                });
+                // Poisoned: the engine may be mid-mutation, so it must never
+                // apply or publish again. Queries keep answering from the
+                // last snapshot published *before* the panic; every apply
+                // ticket already queued or submitted later resolves with
+                // the closed error instead of hanging its `wait`.
+                let closed = ServeError::Closed.to_string();
+                while let Ok(job) = rx.recv() {
+                    job.ticket.fulfill(ApplyOutcome {
+                        report: Err(closed.clone()),
+                        latency: job.submitted.elapsed(),
+                    });
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (the common `&str`
+/// and `String` payloads; anything else gets a placeholder).
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
     }
 }
 
@@ -456,6 +528,73 @@ mod tests {
         assert_eq!(a.epoch, b.epoch);
         assert_eq!(a.value, b.value);
         server.shutdown();
+    }
+
+    #[test]
+    fn writer_panic_resolves_all_tickets_and_keeps_queries_alive() {
+        // Regression: a panic inside `engine.apply` used to kill the writer
+        // thread outright — every pending `wait()` hung forever and
+        // `shutdown()` itself panicked on the join. The contract now: the
+        // poisoning batch's ticket resolves with the panic message, every
+        // queued and later apply ticket resolves with Closed, queries keep
+        // serving the last published snapshot, and shutdown joins cleanly.
+        let serve = engine(40, 13);
+        let g = serve.stream().graph().unwrap().clone();
+        let server = Server::start_with_fault(
+            serve,
+            2,
+            Box::new(|batch: &EdgeBatch| {
+                if batch.timestamp == 666 {
+                    panic!("injected engine fault at t={}", batch.timestamp);
+                }
+            }),
+        );
+        let handle = server.handle();
+
+        // One good batch lands first, so the published snapshot is epoch 1.
+        let (u, v) = (0..40u32)
+            .flat_map(|u| ((u + 1)..40).map(move |v| (u, v)))
+            .find(|&(u, v)| !g.has_edge(NodeId(u), NodeId(v)))
+            .unwrap();
+        let mut good = EdgeBatch::new(1);
+        good.insertions.push((u, v, 1.0));
+        let outcome = handle.apply(good).unwrap().wait();
+        assert_eq!(outcome.report.expect("valid batch").epoch, 1);
+
+        // Poison the writer, with more applies already queued behind the
+        // poisoning batch from several client threads.
+        let poison_ticket = handle.apply(EdgeBatch::new(666)).unwrap();
+        let waiters: Vec<_> = (0..3)
+            .map(|i| {
+                let h = handle.clone();
+                std::thread::spawn(move || h.apply(EdgeBatch::new(1000 + i)).unwrap().wait())
+            })
+            .collect();
+
+        let poisoned = poison_ticket.wait();
+        let msg = poisoned.report.expect_err("poisoning batch must fail");
+        assert!(msg.contains("writer poisoned"), "{msg}");
+        assert!(msg.contains("injected engine fault"), "{msg}");
+        for w in waiters {
+            let outcome = w.join().expect("client thread resolved");
+            let msg = outcome.report.expect_err("queued apply must fail");
+            assert!(msg.contains("shut down"), "{msg}");
+        }
+        // A fresh apply after the poisoning also resolves (no hang).
+        let late = handle.apply(EdgeBatch::new(2000)).unwrap().wait();
+        assert!(late.report.is_err());
+
+        // Queries still answer, from the last snapshot published before
+        // the panic.
+        let ans = handle.query(Query::Coverage).unwrap().wait();
+        assert_eq!(ans.epoch, 1);
+        assert!(matches!(ans.value, QueryValue::Scalar(_)));
+
+        server.shutdown();
+        assert!(matches!(
+            handle.apply(EdgeBatch::new(3000)),
+            Err(ServeError::Closed)
+        ));
     }
 
     #[test]

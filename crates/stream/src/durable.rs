@@ -1,0 +1,943 @@
+//! Durable engine: write-ahead journal + periodic snapshots + crash-exact
+//! recovery.
+//!
+//! A [`DurableEngine`] owns a data directory with two kinds of artifact:
+//!
+//! * `journal-<E>.wal` — the write-ahead batch journal based at snapshot
+//!   epoch `E` (see [`crate::journal`] for the record format and the
+//!   torn-tail rule). Every batch is appended and fsync'd **after** phase-1
+//!   validation and **before** any shard commits, so the journal is always
+//!   a durable prefix of the engine's committed history — a crash loses a
+//!   batch entirely or not at all, never half of one.
+//! * `snap-<E>/` — a full engine snapshot at epoch `E`: `graph.bin` (the
+//!   canonical edge list, whose from-scratch rebuild is proven bitwise
+//!   identical to the live CSR by the graph crate's own tests), one
+//!   RWDIDX2/3 file per shard (reusing [`WalkIndex::save`], CRC-trailed),
+//!   and `manifest.bin` written **last** — a snapshot without a valid
+//!   manifest never existed. After a snapshot the journal rotates to the
+//!   new base and older artifacts are compacted away.
+//!
+//! [`DurableEngine::open`] recovers: newest loadable snapshot + journal
+//! suffix replayed through the normal apply path (incremental refresh and
+//! warm seed maintenance included). Because every transformation in the
+//! pipeline is bit-deterministic, the recovered engine is **bitwise
+//! identical** to the live engine that wrote the surviving prefix — the
+//! property `tests/recovery_equivalence.rs` fault-injects at every record
+//! boundary, mid-record truncation, and bit-flip. Seed-maintainer state is
+//! deliberately *not* serialized: a cold bootstrap over the loaded tiling
+//! is bitwise equal to the warm state (the maintainer's own proptested
+//! invariant), which keeps the snapshot format small and honest.
+
+use std::fs::File;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use rwd_core::greedy::approx::GainRule;
+use rwd_graph::weighted::WeightedCsrGraph;
+use rwd_graph::{GraphBuilder, GraphKind, NodeId};
+use rwd_walks::crc::crc32;
+use rwd_walks::{LayerRange, WalkIndex};
+
+use crate::batch::EdgeBatch;
+use crate::engine::{BatchReport, StreamConfig, StreamEngine};
+use crate::index::IncrementalIndex;
+use crate::journal::{self, BatchJournal};
+use crate::shard::{EvolvingGraph, ShardEngine, ShardSet};
+use crate::{Result, StreamError};
+
+const MANIFEST_MAGIC: &[u8; 8] = b"RWDSNP1\0";
+const GRAPH_MAGIC: &[u8; 8] = b"RWDGRF1\0";
+
+/// Durability policy for a [`DurableEngine`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Take a snapshot (and compact the journal) every this many applied
+    /// non-empty batches; `0` disables periodic snapshots (journal-only —
+    /// recovery then replays from the creation-time snapshot).
+    pub snapshot_every: u64,
+}
+
+/// What [`DurableEngine::open`] did to get back to the live state.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// Epoch of the snapshot recovery started from.
+    pub snapshot_epoch: u64,
+    /// Journal records replayed on top of the snapshot.
+    pub epochs_replayed: u64,
+    /// The epoch the recovered engine resumed at.
+    pub recovered_epoch: u64,
+    /// Why the journal tail was truncated, when it was (`None` = the
+    /// journal ended cleanly on a record boundary).
+    pub torn_tail: Option<String>,
+    /// Wall time of the snapshot load (graph + shard indexes + bootstrap
+    /// seed maintenance).
+    pub snapshot_load_ms: f64,
+    /// Wall time of the journal suffix replay.
+    pub replay_ms: f64,
+}
+
+/// A [`StreamEngine`] bound to a data directory: every applied batch is
+/// write-ahead journaled, snapshots land at a configurable cadence, and
+/// [`DurableEngine::open`] reconstructs the exact live state after a crash.
+#[derive(Debug)]
+pub struct DurableEngine {
+    engine: StreamEngine,
+    dir: PathBuf,
+    journal: BatchJournal,
+    dcfg: DurabilityConfig,
+    since_snapshot: u64,
+    undirected: bool,
+}
+
+impl DurableEngine {
+    /// Binds a freshly built engine to `dir`: writes the base snapshot at
+    /// the engine's current epoch and opens the journal. Rejects a
+    /// directory that already holds durability artifacts — recover those
+    /// with [`DurableEngine::open`] instead of overwriting history.
+    pub fn create(
+        engine: StreamEngine,
+        dir: impl AsRef<Path>,
+        dcfg: DurabilityConfig,
+    ) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        dio("data dir create", std::fs::create_dir_all(&dir))?;
+        if !find_numbered(&dir, "snap-")?.is_empty() || !find_numbered(&dir, "journal-")?.is_empty()
+        {
+            return Err(StreamError::InvalidConfig(format!(
+                "data dir {} already holds durability artifacts; open() recovers them",
+                dir.display()
+            )));
+        }
+        let epoch = engine.epoch();
+        save_snapshot(&engine, &dir.join(format!("snap-{epoch}")))?;
+        let journal = dio(
+            "journal create",
+            BatchJournal::create(dir.join(format!("journal-{epoch}.wal")), epoch),
+        )?;
+        let undirected = is_undirected(&engine);
+        Ok(DurableEngine {
+            engine,
+            dir,
+            journal,
+            dcfg,
+            since_snapshot: 0,
+            undirected,
+        })
+    }
+
+    /// Recovers the engine from `dir`: loads the newest loadable snapshot,
+    /// replays the journal suffix through the normal apply path, truncates
+    /// a torn tail (reported, never fatal), and resumes journaling where
+    /// the surviving history ends. Mid-journal corruption and unloadable
+    /// snapshots fail with named errors instead of serving drifted state.
+    pub fn open(dir: impl AsRef<Path>, dcfg: DurabilityConfig) -> Result<(Self, RecoveryReport)> {
+        let dir = dir.as_ref().to_path_buf();
+        let snaps = find_numbered(&dir, "snap-")?;
+        if snaps.is_empty() {
+            return Err(StreamError::NoSnapshot(dir));
+        }
+        // Newest loadable snapshot wins; a torn or rotted one falls back
+        // to its predecessor (compaction keeps at most a crash-window's
+        // worth of extras around).
+        let load_start = Instant::now();
+        let mut last_err = None;
+        let mut loaded = None;
+        for (epoch, path) in snaps.iter().rev() {
+            match load_snapshot(path) {
+                Ok(engine) => {
+                    loaded = Some((*epoch, engine));
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let (snapshot_epoch, mut engine) = match loaded {
+            Some(ok) => ok,
+            None => return Err(last_err.expect("at least one snapshot was tried")),
+        };
+        let snapshot_load_ms = load_start.elapsed().as_secs_f64() * 1e3;
+
+        let journals = find_numbered(&dir, "journal-")?;
+        let replay_start = Instant::now();
+        let (journal, epochs_replayed, torn_tail) = match journals.last() {
+            None => {
+                // Crash between base-snapshot write and journal creation:
+                // the snapshot alone is the whole history.
+                let j = dio(
+                    "journal create",
+                    BatchJournal::create(
+                        dir.join(format!("journal-{snapshot_epoch}.wal")),
+                        snapshot_epoch,
+                    ),
+                )?;
+                (j, 0u64, None)
+            }
+            Some((base, path)) => {
+                if *base > snapshot_epoch {
+                    return Err(StreamError::CorruptJournal(format!(
+                        "journal base epoch {base} is newer than the newest loadable \
+                         snapshot (epoch {snapshot_epoch}); the intervening history is gone"
+                    )));
+                }
+                let scan = journal::scan(path)?;
+                let mut replayed = 0u64;
+                for rec in &scan.records {
+                    if rec.epoch <= snapshot_epoch {
+                        continue;
+                    }
+                    let report = engine.apply(&rec.batch).map_err(|e| {
+                        StreamError::CorruptJournal(format!(
+                            "journaled batch for epoch {} failed to re-apply: {e}",
+                            rec.epoch
+                        ))
+                    })?;
+                    if report.epoch != rec.epoch {
+                        return Err(StreamError::CorruptJournal(format!(
+                            "replaying the record for epoch {} advanced the engine to \
+                             epoch {} instead",
+                            rec.epoch, report.epoch
+                        )));
+                    }
+                    replayed += 1;
+                }
+                let j = dio(
+                    "journal reopen",
+                    BatchJournal::open_append(path, scan.valid_len),
+                )?;
+                (j, replayed, scan.torn_tail)
+            }
+        };
+        let replay_ms = replay_start.elapsed().as_secs_f64() * 1e3;
+
+        let report = RecoveryReport {
+            snapshot_epoch,
+            epochs_replayed,
+            recovered_epoch: engine.epoch(),
+            torn_tail,
+            snapshot_load_ms,
+            replay_ms,
+        };
+        let undirected = is_undirected(&engine);
+        Ok((
+            DurableEngine {
+                engine,
+                dir,
+                journal,
+                dcfg,
+                since_snapshot: epochs_replayed,
+                undirected,
+            },
+            report,
+        ))
+    }
+
+    /// Applies one batch with the write-ahead contract: the canonicalized
+    /// batch is journaled and fsync'd after validation passes and before
+    /// any shard commits. Empty batches short-circuit without touching the
+    /// journal (they don't advance the epoch). At the configured cadence a
+    /// snapshot lands after the apply and the journal compacts.
+    pub fn apply(&mut self, batch: &EdgeBatch) -> Result<BatchReport> {
+        let undirected = self.undirected;
+        let journal = &mut self.journal;
+        let mut hook = |b: &EdgeBatch, epoch: u64| -> std::io::Result<()> {
+            // Validation already passed on every shard, so canonicalization
+            // cannot fail; the journaled record holds the canonical edits
+            // (dedup is idempotent — replay stages the identical delta).
+            let (ins, del) = b.dedup_edits(undirected).map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string())
+            })?;
+            journal.append(epoch, b.timestamp, &ins, &del)
+        };
+        let report = self.engine.apply_hooked(batch, Some(&mut hook))?;
+        if !report.shards.is_empty() {
+            self.since_snapshot += 1;
+            if self.dcfg.snapshot_every > 0 && self.since_snapshot >= self.dcfg.snapshot_every {
+                self.snapshot_now()?;
+            }
+        }
+        Ok(report)
+    }
+
+    /// Takes a snapshot at the current epoch, rotates the journal to the
+    /// new base, and compacts: older snapshots and journal files are
+    /// deleted once the new manifest is durable. Returns the snapshot
+    /// epoch.
+    pub fn snapshot_now(&mut self) -> Result<u64> {
+        let epoch = self.engine.epoch();
+        save_snapshot(&self.engine, &self.dir.join(format!("snap-{epoch}")))?;
+        self.journal = dio(
+            "journal rotate",
+            BatchJournal::create(self.dir.join(format!("journal-{epoch}.wal")), epoch),
+        )?;
+        // Compaction. Best-effort: leftovers are harmless (recovery picks
+        // the newest loadable snapshot and the newest journal base).
+        for (e, p) in find_numbered(&self.dir, "snap-")? {
+            if e < epoch {
+                std::fs::remove_dir_all(&p).ok();
+            }
+        }
+        for (e, p) in find_numbered(&self.dir, "journal-")? {
+            if e < epoch {
+                std::fs::remove_file(&p).ok();
+            }
+        }
+        self.since_snapshot = 0;
+        Ok(epoch)
+    }
+
+    /// The wrapped engine (read-only — mutation goes through
+    /// [`DurableEngine::apply`] so the journal never lags the state).
+    pub fn engine(&self) -> &StreamEngine {
+        &self.engine
+    }
+
+    /// The data directory this engine persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The durability policy.
+    pub fn durability_config(&self) -> DurabilityConfig {
+        self.dcfg
+    }
+
+    /// Passthrough of [`StreamEngine::set_maintain_crossover`] (a pure
+    /// wall-time knob — never journaled because it never changes results).
+    pub fn set_maintain_crossover(&mut self, crossover: f64) {
+        self.engine.set_maintain_crossover(crossover);
+    }
+}
+
+fn is_undirected(engine: &StreamEngine) -> bool {
+    engine
+        .graph()
+        .map(|g| g.kind() == GraphKind::Undirected)
+        .unwrap_or(true)
+}
+
+/// Maps an I/O failure into the named durability error.
+fn dio<T>(context: &str, r: std::io::Result<T>) -> Result<T> {
+    r.map_err(|source| StreamError::Durability {
+        context: context.into(),
+        source,
+    })
+}
+
+/// Lists `<prefix><number>` entries of `dir` (an optional `.wal` suffix is
+/// stripped), sorted ascending by number.
+fn find_numbered(dir: &Path, prefix: &str) -> Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(ref e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return dio("data dir list", Err(e)),
+    };
+    for entry in entries {
+        let entry = dio("data dir list", entry)?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(rest) = name.strip_prefix(prefix) else {
+            continue;
+        };
+        let rest = rest.strip_suffix(".wal").unwrap_or(rest);
+        if let Ok(number) = rest.parse::<u64>() {
+            out.push((number, entry.path()));
+        }
+    }
+    out.sort_unstable_by_key(|(n, _)| *n);
+    Ok(out)
+}
+
+/// Serializes the full engine state into `snap_dir`: `graph.bin`, one
+/// walk-index file per shard, then `manifest.bin` last (commit point).
+/// Every file ends in a CRC-32 trailer and is fsync'd before the manifest
+/// lands.
+pub(crate) fn save_snapshot(engine: &StreamEngine, snap_dir: &Path) -> Result<()> {
+    dio("snapshot dir create", std::fs::create_dir_all(snap_dir))?;
+    let weighted = engine.weighted_graph().is_some();
+
+    // Graph: the canonical edge list. Rebuilding a CSR from it is bitwise
+    // identical to the live graph (the graph crate's with_edits tests pin
+    // exactly this equality for both the unweighted and weighted layouts).
+    let mut graph_bytes = Vec::new();
+    graph_bytes.extend_from_slice(GRAPH_MAGIC);
+    if let Some(g) = engine.graph() {
+        graph_bytes.push(0u8);
+        graph_bytes.push(match g.kind() {
+            GraphKind::Undirected => 0u8,
+            GraphKind::Directed => 1u8,
+        });
+        graph_bytes.extend_from_slice(&(g.n() as u64).to_le_bytes());
+        graph_bytes.extend_from_slice(&(g.m() as u64).to_le_bytes());
+        for (u, v) in g.edges() {
+            graph_bytes.extend_from_slice(&u.raw().to_le_bytes());
+            graph_bytes.extend_from_slice(&v.raw().to_le_bytes());
+        }
+    } else {
+        let g = engine.weighted_graph().expect("engine has a graph");
+        graph_bytes.push(1u8);
+        graph_bytes.push(0u8); // weighted graphs are always undirected
+        graph_bytes.extend_from_slice(&(g.n() as u64).to_le_bytes());
+        graph_bytes.extend_from_slice(&(g.m() as u64).to_le_bytes());
+        for u in 0..g.n() as u32 {
+            for (v, w) in g.neighbors(NodeId(u)) {
+                if v.raw() >= u {
+                    graph_bytes.extend_from_slice(&u.to_le_bytes());
+                    graph_bytes.extend_from_slice(&v.raw().to_le_bytes());
+                    graph_bytes.extend_from_slice(&w.to_bits().to_le_bytes());
+                }
+            }
+        }
+    }
+    write_with_crc(&snap_dir.join("graph.bin"), graph_bytes)?;
+
+    // Per-shard walk indexes, via the checksummed RWDIDX2/3 writer.
+    for (i, idx) in engine.shard_indexes().iter().enumerate() {
+        let path = snap_dir.join(format!("shard-{i}.rwdidx"));
+        dio("shard index save", idx.save(&path))?;
+        dio(
+            "shard index sync",
+            File::open(&path).and_then(|f| f.sync_all()),
+        )?;
+    }
+
+    // Manifest last: a snapshot is valid iff its manifest parses, so a
+    // crash mid-snapshot leaves an ignorable directory, never a lie.
+    let cfg = engine.config();
+    let mut m = Vec::new();
+    m.extend_from_slice(MANIFEST_MAGIC);
+    m.extend_from_slice(&engine.epoch().to_le_bytes());
+    m.extend_from_slice(&(cfg.l as u64).to_le_bytes());
+    m.extend_from_slice(&(cfg.r as u64).to_le_bytes());
+    m.extend_from_slice(&(cfg.k as u64).to_le_bytes());
+    m.extend_from_slice(&cfg.seed.to_le_bytes());
+    m.extend_from_slice(&(cfg.threads as u64).to_le_bytes());
+    let (rule_tag, lambda) = match cfg.rule {
+        GainRule::HittingTime => (0u8, 0f64),
+        GainRule::Coverage => (1u8, 0f64),
+        GainRule::Combined { lambda } => (2u8, lambda),
+    };
+    m.push(rule_tag);
+    m.extend_from_slice(&lambda.to_bits().to_le_bytes());
+    m.push(u8::from(weighted));
+    m.extend_from_slice(
+        &(engine.shard_indexes().first().map_or(0, |i| i.n()) as u64).to_le_bytes(),
+    );
+    let ranges = engine.shard_ranges();
+    m.extend_from_slice(&(ranges.len() as u64).to_le_bytes());
+    for rg in &ranges {
+        m.extend_from_slice(&(rg.start() as u64).to_le_bytes());
+        m.extend_from_slice(&(rg.end() as u64).to_le_bytes());
+    }
+    write_with_crc(&snap_dir.join("manifest.bin"), m)?;
+    // Make the directory entries themselves durable (best-effort — not
+    // every filesystem lets you fsync a directory handle).
+    if let Ok(d) = File::open(snap_dir) {
+        d.sync_all().ok();
+    }
+    Ok(())
+}
+
+fn write_with_crc(path: &Path, mut bytes: Vec<u8>) -> Result<()> {
+    let sum = crc32(&bytes);
+    bytes.extend_from_slice(&sum.to_le_bytes());
+    dio("snapshot file write", std::fs::write(path, &bytes))?;
+    dio(
+        "snapshot file sync",
+        File::open(path).and_then(|f| f.sync_all()),
+    )
+}
+
+/// Reads a CRC-trailed snapshot file, verifying magic and checksum.
+fn read_with_crc(path: &Path, magic: &[u8; 8], what: &str) -> Result<Vec<u8>> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            return Err(StreamError::CorruptSnapshot(format!(
+                "{what} {} unreadable: {e}",
+                path.display()
+            )))
+        }
+    };
+    if bytes.len() < 12 || &bytes[..8] != magic {
+        return Err(StreamError::CorruptSnapshot(format!(
+            "{what} {} has a bad or truncated header",
+            path.display()
+        )));
+    }
+    let (content, trailer) = bytes.split_at(bytes.len() - 4);
+    if crc32(content) != u32::from_le_bytes(trailer.try_into().unwrap()) {
+        return Err(StreamError::CorruptSnapshot(format!(
+            "{what} {} fails its content checksum",
+            path.display()
+        )));
+    }
+    Ok(content[8..].to_vec())
+}
+
+/// Loads one snapshot directory back into a [`StreamEngine`] at the
+/// snapshot's epoch. Every cross-field inconsistency is a named
+/// [`StreamError::CorruptSnapshot`].
+pub(crate) fn load_snapshot(snap_dir: &Path) -> Result<StreamEngine> {
+    let corrupt = |msg: String| StreamError::CorruptSnapshot(msg);
+    let m = read_with_crc(&snap_dir.join("manifest.bin"), MANIFEST_MAGIC, "manifest")?;
+    let fixed = 8 * 6 + 1 + 8 + 1 + 8 + 8;
+    if m.len() < fixed {
+        return Err(corrupt(format!(
+            "manifest in {} is too short ({} bytes)",
+            snap_dir.display(),
+            m.len()
+        )));
+    }
+    let u64_at = |at: usize| u64::from_le_bytes(m[at..at + 8].try_into().unwrap());
+    let epoch = u64_at(0);
+    let cfg = StreamConfig {
+        l: u64_at(8) as u32,
+        r: u64_at(16) as usize,
+        k: u64_at(24) as usize,
+        seed: u64_at(32),
+        threads: u64_at(40) as usize,
+        rule: match m[48] {
+            0 => GainRule::HittingTime,
+            1 => GainRule::Coverage,
+            2 => GainRule::Combined {
+                lambda: f64::from_bits(u64_at(49)),
+            },
+            tag => {
+                return Err(corrupt(format!(
+                    "manifest in {} names unknown gain rule tag {tag}",
+                    snap_dir.display()
+                )))
+            }
+        },
+    };
+    let weighted = m[57] != 0;
+    let n = u64_at(58) as usize;
+    let shard_count = u64_at(66) as usize;
+    if m.len() != fixed + shard_count * 16 {
+        return Err(corrupt(format!(
+            "manifest in {} sizes {} bytes but its {shard_count} shard ranges need {}",
+            snap_dir.display(),
+            m.len(),
+            fixed + shard_count * 16
+        )));
+    }
+    let mut ranges = Vec::with_capacity(shard_count);
+    for i in 0..shard_count {
+        let start = u64_at(fixed + i * 16) as usize;
+        let end = u64_at(fixed + i * 16 + 8) as usize;
+        if start >= end || end > cfg.r {
+            return Err(corrupt(format!(
+                "manifest in {} holds shard range [{start}, {end}) outside the {}-layer \
+                 tiling",
+                snap_dir.display(),
+                cfg.r
+            )));
+        }
+        ranges.push(LayerRange::new(start, end));
+    }
+
+    // Graph rebuild from the canonical edge list.
+    let g = read_with_crc(&snap_dir.join("graph.bin"), GRAPH_MAGIC, "graph")?;
+    if g.len() < 18 {
+        return Err(corrupt(format!(
+            "graph file in {} is too short",
+            snap_dir.display()
+        )));
+    }
+    let g_weighted = g[0] != 0;
+    let g_kind = g[1];
+    let g_n = u64::from_le_bytes(g[2..10].try_into().unwrap()) as usize;
+    let g_m = u64::from_le_bytes(g[10..18].try_into().unwrap()) as usize;
+    if g_weighted != weighted || g_n != n {
+        return Err(corrupt(format!(
+            "graph file in {} disagrees with the manifest (weighted {g_weighted} vs \
+             {weighted}, n {g_n} vs {n})",
+            snap_dir.display()
+        )));
+    }
+    let body = &g[18..];
+    let graph: EvolvingGraph = if weighted {
+        if body.len() != g_m * 16 {
+            return Err(corrupt(format!(
+                "graph file in {} holds {} edge bytes where {g_m} weighted edges need {}",
+                snap_dir.display(),
+                body.len(),
+                g_m * 16
+            )));
+        }
+        let edges: Vec<(u32, u32, f64)> = body
+            .chunks_exact(16)
+            .map(|c| {
+                (
+                    u32::from_le_bytes(c[0..4].try_into().unwrap()),
+                    u32::from_le_bytes(c[4..8].try_into().unwrap()),
+                    f64::from_bits(u64::from_le_bytes(c[8..16].try_into().unwrap())),
+                )
+            })
+            .collect();
+        let wg = WeightedCsrGraph::from_weighted_edges(n, &edges).map_err(|e| {
+            corrupt(format!(
+                "graph file in {} fails to rebuild: {e}",
+                snap_dir.display()
+            ))
+        })?;
+        EvolvingGraph::Weighted(Arc::new(wg))
+    } else {
+        if body.len() != g_m * 8 {
+            return Err(corrupt(format!(
+                "graph file in {} holds {} edge bytes where {g_m} edges need {}",
+                snap_dir.display(),
+                body.len(),
+                g_m * 8
+            )));
+        }
+        let mut b = match g_kind {
+            0 => GraphBuilder::undirected(),
+            1 => GraphBuilder::directed(),
+            k => {
+                return Err(corrupt(format!(
+                    "graph file in {} names unknown graph kind {k}",
+                    snap_dir.display()
+                )))
+            }
+        }
+        .with_nodes(n)
+        .with_edge_capacity(g_m);
+        for c in body.chunks_exact(8) {
+            b.add_edge(
+                u32::from_le_bytes(c[0..4].try_into().unwrap()),
+                u32::from_le_bytes(c[4..8].try_into().unwrap()),
+            );
+        }
+        let cg = b.build().map_err(|e| {
+            corrupt(format!(
+                "graph file in {} fails to rebuild: {e}",
+                snap_dir.display()
+            ))
+        })?;
+        if cg.m() != g_m {
+            return Err(corrupt(format!(
+                "graph file in {} rebuilt to {} edges, not the recorded {g_m} (the edge \
+                 list was not canonical)",
+                snap_dir.display(),
+                cg.m()
+            )));
+        }
+        EvolvingGraph::Unweighted(Arc::new(cg))
+    };
+
+    // Per-shard indexes via the checksummed RWDIDX2/3 loader, cross-checked
+    // against the manifest's tiling.
+    let mut shards = Vec::with_capacity(shard_count);
+    for (i, &rg) in ranges.iter().enumerate() {
+        let path = snap_dir.join(format!("shard-{i}.rwdidx"));
+        let idx = WalkIndex::load_with_threads(&path, cfg.threads).map_err(|e| {
+            corrupt(format!(
+                "shard index {} failed to load: {e}",
+                path.display()
+            ))
+        })?;
+        if idx.n() != n
+            || idx.l() != cfg.l
+            || idx.seed() != cfg.seed
+            || idx.layer_base() != rg.start()
+            || idx.r() != rg.len()
+        {
+            return Err(corrupt(format!(
+                "shard index {} disagrees with the manifest (n {} vs {n}, l {} vs {}, \
+                 seed {} vs {}, layers [{}, {}) vs [{}, {}))",
+                path.display(),
+                idx.n(),
+                idx.l(),
+                cfg.l,
+                idx.seed(),
+                cfg.seed,
+                idx.layer_base(),
+                idx.layer_base() + idx.r(),
+                rg.start(),
+                rg.end()
+            )));
+        }
+        shards.push(ShardEngine::from_parts(
+            i,
+            rg,
+            graph.clone(),
+            IncrementalIndex::from_loaded(idx, weighted, cfg.threads),
+        ));
+    }
+    if shards.is_empty() {
+        return Err(corrupt(format!(
+            "manifest in {} names zero shards",
+            snap_dir.display()
+        )));
+    }
+    Ok(StreamEngine::from_shard_set(ShardSet::from_recovered(
+        cfg, shards, epoch,
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rwd_graph::generators::erdos_renyi_gnp;
+
+    fn cfg() -> StreamConfig {
+        StreamConfig {
+            l: 4,
+            r: 5,
+            k: 3,
+            seed: 17,
+            rule: GainRule::HittingTime,
+            threads: 1,
+        }
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("rwd_durable_tests").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    /// Every bitwise-comparable surface of an engine.
+    fn fingerprint(e: &StreamEngine) -> (u64, Vec<u32>, Vec<u64>, u64, bool) {
+        (
+            e.epoch(),
+            e.seeds().iter().map(|s| s.raw()).collect(),
+            e.gain_trace().iter().map(|g| g.to_bits()).collect(),
+            e.objective().to_bits(),
+            true,
+        )
+    }
+
+    fn assert_engines_equal(a: &StreamEngine, b: &StreamEngine) {
+        assert_eq!(fingerprint(a), fingerprint(b));
+        assert_eq!(a.shard_count(), b.shard_count());
+        for (ia, ib) in a.shard_indexes().iter().zip(b.shard_indexes()) {
+            assert!(**ia == *ib, "a shard index drifted");
+        }
+        match (a.graph(), b.graph()) {
+            (Some(ga), Some(gb)) => {
+                assert_eq!(ga.offsets(), gb.offsets());
+                assert_eq!(ga.targets(), gb.targets());
+            }
+            (None, None) => {
+                let (ga, gb) = (a.weighted_graph().unwrap(), b.weighted_graph().unwrap());
+                assert_eq!(ga.n(), gb.n());
+                assert_eq!(ga.m(), gb.m());
+            }
+            _ => panic!("weighted-ness diverged"),
+        }
+    }
+
+    fn churn_batches(g0: &rwd_graph::CsrGraph, count: usize) -> Vec<EdgeBatch> {
+        // Alternate inserting absent edges and deleting ones we inserted.
+        let n = g0.n() as u32;
+        let mut live: Vec<(u32, u32)> = Vec::new();
+        let mut batches = Vec::new();
+        let mut cand = (0..n).flat_map(move |u| ((u + 1)..n).map(move |v| (u, v)));
+        for t in 0..count {
+            let mut b = EdgeBatch::new(100 + t as u64);
+            if t % 3 == 2 {
+                if let Some(e) = live.pop() {
+                    b.deletions.push(e);
+                }
+            }
+            for _ in 0..2 {
+                if let Some((u, v)) = cand
+                    .find(|&(u, v)| !g0.has_edge(NodeId(u), NodeId(v)) && !live.contains(&(u, v)))
+                {
+                    b.insertions.push((u, v, 1.0));
+                    live.push((u, v));
+                }
+            }
+            batches.push(b);
+        }
+        batches
+    }
+
+    #[test]
+    fn create_apply_reopen_is_bit_identical() {
+        let dir = tmp_dir("roundtrip");
+        let g0 = erdos_renyi_gnp(50, 0.08, 3).unwrap();
+        let engine = StreamEngine::with_shards(g0.clone(), cfg(), 2).unwrap();
+        let mut durable = DurableEngine::create(engine, &dir, DurabilityConfig::default()).unwrap();
+        for b in churn_batches(&g0, 5) {
+            durable.apply(&b).unwrap();
+        }
+        assert_eq!(durable.engine().epoch(), 5);
+        let live = durable.engine().clone();
+        drop(durable);
+
+        let (recovered, report) = DurableEngine::open(&dir, DurabilityConfig::default()).unwrap();
+        assert_eq!(report.snapshot_epoch, 0);
+        assert_eq!(report.epochs_replayed, 5);
+        assert_eq!(report.recovered_epoch, 5);
+        assert!(report.torn_tail.is_none());
+        assert_engines_equal(recovered.engine(), &live);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_cadence_compacts_and_recovery_still_matches() {
+        let dir = tmp_dir("cadence");
+        let g0 = erdos_renyi_gnp(50, 0.08, 7).unwrap();
+        let engine = StreamEngine::new(g0.clone(), cfg()).unwrap();
+        let dcfg = DurabilityConfig { snapshot_every: 2 };
+        let mut durable = DurableEngine::create(engine, &dir, dcfg).unwrap();
+        for b in churn_batches(&g0, 5) {
+            durable.apply(&b).unwrap();
+        }
+        // Snapshots landed after batches 2 and 4; compaction keeps only the
+        // newest snapshot and journal.
+        let snaps = find_numbered(&dir, "snap-").unwrap();
+        let journals = find_numbered(&dir, "journal-").unwrap();
+        assert_eq!(snaps.iter().map(|(e, _)| *e).collect::<Vec<_>>(), vec![4]);
+        assert_eq!(
+            journals.iter().map(|(e, _)| *e).collect::<Vec<_>>(),
+            vec![4]
+        );
+        let live = durable.engine().clone();
+        drop(durable);
+
+        let (recovered, report) = DurableEngine::open(&dir, dcfg).unwrap();
+        assert_eq!(report.snapshot_epoch, 4);
+        assert_eq!(report.epochs_replayed, 1, "only the suffix replays");
+        assert_engines_equal(recovered.engine(), &live);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_recovers_the_surviving_prefix_and_resumes() {
+        let dir = tmp_dir("torn");
+        let g0 = erdos_renyi_gnp(40, 0.1, 11).unwrap();
+        let mut prefix_engine = StreamEngine::new(g0.clone(), cfg()).unwrap();
+        let engine = StreamEngine::new(g0.clone(), cfg()).unwrap();
+        let mut durable = DurableEngine::create(engine, &dir, DurabilityConfig::default()).unwrap();
+        let batches = churn_batches(&g0, 3);
+        for b in &batches {
+            durable.apply(b).unwrap();
+        }
+        drop(durable);
+        // The reference engine applies only the surviving prefix (2 of 3).
+        for b in &batches[..2] {
+            prefix_engine.apply(b).unwrap();
+        }
+        // Tear the journal mid-way through the final record.
+        let jpath = dir.join("journal-0.wal");
+        let bytes = std::fs::read(&jpath).unwrap();
+        std::fs::write(&jpath, &bytes[..bytes.len() - 7]).unwrap();
+
+        let (mut recovered, report) =
+            DurableEngine::open(&dir, DurabilityConfig::default()).unwrap();
+        assert_eq!(report.recovered_epoch, 2);
+        assert!(report.torn_tail.is_some());
+        assert_engines_equal(recovered.engine(), &prefix_engine);
+
+        // The journal resumes cleanly: re-apply the lost batch and a fresh
+        // reopen still agrees with the straight-line engine.
+        recovered.apply(&batches[2]).unwrap();
+        prefix_engine.apply(&batches[2]).unwrap();
+        let live = recovered.engine().clone();
+        drop(recovered);
+        let (again, report) = DurableEngine::open(&dir, DurabilityConfig::default()).unwrap();
+        assert!(report.torn_tail.is_none());
+        assert_engines_equal(again.engine(), &live);
+        assert_engines_equal(again.engine(), &prefix_engine);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn weighted_engine_round_trips_durably() {
+        let dir = tmp_dir("weighted");
+        let g0 = erdos_renyi_gnp(40, 0.1, 5).unwrap();
+        let w0 = rwd_graph::weighted::weighted_twin(&g0, 9).unwrap();
+        let engine = StreamEngine::with_shards_weighted(w0, cfg(), 2).unwrap();
+        let mut durable = DurableEngine::create(engine, &dir, DurabilityConfig::default()).unwrap();
+        let mut b = EdgeBatch::new(1);
+        let (u, v) = (0..40u32)
+            .flat_map(|u| ((u + 1)..40).map(move |v| (u, v)))
+            .find(|&(u, v)| !g0.has_edge(NodeId(u), NodeId(v)))
+            .unwrap();
+        b.insertions.push((u, v, 2.25));
+        durable.apply(&b).unwrap();
+        durable.snapshot_now().unwrap();
+        let live = durable.engine().clone();
+        drop(durable);
+        let (recovered, report) = DurableEngine::open(&dir, DurabilityConfig::default()).unwrap();
+        assert_eq!(report.snapshot_epoch, 1);
+        assert_eq!(report.epochs_replayed, 0);
+        assert_engines_equal(recovered.engine(), &live);
+        // Weighted columns are bitwise equal, not just structurally.
+        let (ga, gb) = (
+            recovered.engine().weighted_graph().unwrap(),
+            live.weighted_graph().unwrap(),
+        );
+        for u in ga.nodes() {
+            let a: Vec<(u32, u64)> = ga
+                .neighbors(u)
+                .map(|(v, w)| (v.raw(), w.to_bits()))
+                .collect();
+            let b: Vec<(u32, u64)> = gb
+                .neighbors(u)
+                .map(|(v, w)| (v.raw(), w.to_bits()))
+                .collect();
+            assert_eq!(a, b);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_names_missing_and_corrupt_state() {
+        let dir = tmp_dir("errors");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(
+            DurableEngine::open(&dir, DurabilityConfig::default()).unwrap_err(),
+            StreamError::NoSnapshot(_)
+        ));
+
+        // A snapshot whose shard file is bit-rotted is rejected by name.
+        let g0 = erdos_renyi_gnp(30, 0.12, 2).unwrap();
+        let engine = StreamEngine::new(g0, cfg()).unwrap();
+        let durable = DurableEngine::create(engine, &dir, DurabilityConfig::default()).unwrap();
+        drop(durable);
+        let shard = dir.join("snap-0").join("shard-0.rwdidx");
+        let mut bytes = std::fs::read(&shard).unwrap();
+        bytes[35] ^= 0x08; // RNG seed byte: only the CRC trailer can notice
+        std::fs::write(&shard, &bytes).unwrap();
+        let err = DurableEngine::open(&dir, DurabilityConfig::default()).unwrap_err();
+        assert!(
+            matches!(&err, StreamError::CorruptSnapshot(m) if m.contains("checksum")),
+            "{err}"
+        );
+
+        // create() refuses to clobber an existing data dir.
+        let g0 = erdos_renyi_gnp(30, 0.12, 2).unwrap();
+        let engine = StreamEngine::new(g0, cfg()).unwrap();
+        assert!(matches!(
+            DurableEngine::create(engine, &dir, DurabilityConfig::default()).unwrap_err(),
+            StreamError::InvalidConfig(_)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mid_journal_corruption_is_fatal_by_name() {
+        let dir = tmp_dir("midcorrupt");
+        let g0 = erdos_renyi_gnp(40, 0.1, 13).unwrap();
+        let engine = StreamEngine::new(g0.clone(), cfg()).unwrap();
+        let mut durable = DurableEngine::create(engine, &dir, DurabilityConfig::default()).unwrap();
+        for b in churn_batches(&g0, 3) {
+            durable.apply(&b).unwrap();
+        }
+        drop(durable);
+        let jpath = dir.join("journal-0.wal");
+        let mut bytes = std::fs::read(&jpath).unwrap();
+        bytes[30] ^= 0x01; // record 0 payload: not the final record
+        std::fs::write(&jpath, &bytes).unwrap();
+        let err = DurableEngine::open(&dir, DurabilityConfig::default()).unwrap_err();
+        assert!(matches!(err, StreamError::CorruptJournal(_)), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

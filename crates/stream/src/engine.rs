@@ -173,6 +173,23 @@ impl StreamEngine {
         self.inner.apply(batch)
     }
 
+    /// Wraps a recovered [`ShardSet`] (the durable layer's snapshot-load
+    /// path) in the public facade.
+    pub(crate) fn from_shard_set(inner: ShardSet) -> Self {
+        StreamEngine { inner }
+    }
+
+    /// [`StreamEngine::apply`] with the durability hook threaded through
+    /// (see [`ShardSet::apply_hooked`]): the hook runs after validation
+    /// and before any state changes — the write-ahead point.
+    pub(crate) fn apply_hooked(
+        &mut self,
+        batch: &EdgeBatch,
+        hook: Option<crate::shard::ApplyHook<'_>>,
+    ) -> Result<BatchReport> {
+        self.inner.apply_hooked(batch, hook)
+    }
+
     /// Sets the seed maintainer's warm-start crossover (see
     /// [`crate::SeedMaintainer::set_crossover`]): `0.0` forces every
     /// batch's maintenance pass cold, `1.0` warms unconditionally. Results

@@ -99,6 +99,19 @@ impl IncrementalIndex {
         }
     }
 
+    /// Wraps an index loaded from a snapshot file (the durable layer's
+    /// recovery path). The lifetime churn counters restart at zero — they
+    /// describe this process's work, not the index's history — so they are
+    /// excluded from recovery-equality checks.
+    pub(crate) fn from_loaded(idx: WalkIndex, weighted: bool, threads: usize) -> Self {
+        IncrementalIndex {
+            idx: Arc::new(idx),
+            weighted,
+            threads,
+            lifetime: RefreshStats::default(),
+        }
+    }
+
     /// Advances the index to the next epoch: resamples exactly the walk
     /// groups the delta's touched set can have changed. Snapshots pinned
     /// via [`IncrementalIndex::share`] keep observing the previous epoch.

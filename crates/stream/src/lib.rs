@@ -33,7 +33,16 @@
 //! * [`engine`] — [`StreamEngine`]: the public facade tying it together
 //!   (the 1-shard special case is the historical monolithic engine) and
 //!   reporting per-batch churn statistics ([`BatchReport`]: groups
-//!   resampled, postings rewritten, seeds swapped, per-shard rows).
+//!   resampled, postings rewritten, seeds swapped, per-shard rows),
+//! * [`journal`] — [`BatchJournal`]: the epoch-stamped write-ahead batch
+//!   log (length-prefixed, CRC-checksummed records, fsync'd before any
+//!   shard commits) plus the scan that classifies a torn tail (truncate
+//!   and continue) versus mid-journal corruption (named error),
+//! * [`durable`] — [`DurableEngine`]: a [`StreamEngine`] wrapped in a data
+//!   directory — journal every batch ahead of its commit, snapshot the
+//!   whole engine at a configurable cadence (compacting the journal), and
+//!   recover after a crash to a state **bit-identical** to the live engine
+//!   that wrote the surviving prefix.
 //!
 //! The determinism contract carries over from the static pipeline: the
 //! state after any prefix of batches is a pure function of
@@ -44,14 +53,18 @@
 #![warn(rust_2018_idioms)]
 
 pub mod batch;
+pub mod durable;
 pub mod engine;
 pub mod index;
+pub mod journal;
 pub mod maintain;
 pub mod shard;
 
 pub use batch::{EdgeBatch, GraphDelta, WeightedGraphDelta};
+pub use durable::{DurabilityConfig, DurableEngine, RecoveryReport};
 pub use engine::{BatchReport, StreamConfig, StreamEngine};
 pub use index::IncrementalIndex;
+pub use journal::BatchJournal;
 pub use maintain::{MaintainReport, SeedMaintainer};
 pub use rwd_walks::PostingDelta;
 pub use shard::{ShardBatchStats, ShardEngine, ShardSet};
@@ -71,6 +84,24 @@ pub enum StreamError {
         /// Walk layers available to tile (`R`).
         layers: usize,
     },
+    /// A durable-storage operation (journal append, snapshot write,
+    /// recovery load) failed at the I/O layer.
+    Durability {
+        /// What the engine was doing when the I/O failed.
+        context: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A journal record before the tail failed its CRC or structural
+    /// checks — unlike a torn tail (which recovery truncates and survives),
+    /// mid-journal corruption means committed history is unreadable and is
+    /// rejected by name.
+    CorruptJournal(String),
+    /// A snapshot in the data directory failed validation (bad magic,
+    /// checksum mismatch, missing shard file, manifest inconsistency).
+    CorruptSnapshot(String),
+    /// The data directory holds no loadable snapshot to recover from.
+    NoSnapshot(std::path::PathBuf),
 }
 
 impl std::fmt::Display for StreamError {
@@ -83,6 +114,14 @@ impl std::fmt::Display for StreamError {
                 "invalid shard count: {shards} shards over {layers} walk \
                  layers (need 1 <= shards <= layers)"
             ),
+            StreamError::Durability { context, source } => {
+                write!(f, "durability I/O failure during {context}: {source}")
+            }
+            StreamError::CorruptJournal(msg) => write!(f, "corrupt journal: {msg}"),
+            StreamError::CorruptSnapshot(msg) => write!(f, "corrupt snapshot: {msg}"),
+            StreamError::NoSnapshot(dir) => {
+                write!(f, "no loadable snapshot in data dir {}", dir.display())
+            }
         }
     }
 }
@@ -91,7 +130,12 @@ impl std::error::Error for StreamError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StreamError::Graph(e) => Some(e),
-            StreamError::InvalidConfig(_) | StreamError::InvalidShardCount { .. } => None,
+            StreamError::Durability { source, .. } => Some(source),
+            StreamError::InvalidConfig(_)
+            | StreamError::InvalidShardCount { .. }
+            | StreamError::CorruptJournal(_)
+            | StreamError::CorruptSnapshot(_)
+            | StreamError::NoSnapshot(_) => None,
         }
     }
 }

@@ -151,7 +151,32 @@ impl ShardEngine {
             edges,
         )
     }
+
+    /// Reassembles a shard from recovered parts (snapshot load path). The
+    /// caller is responsible for `index` actually covering `range` of the
+    /// monolithic index over `graph` — the recovery proptests hold the
+    /// result to bitwise equality with a live engine.
+    pub(crate) fn from_parts(
+        shard: usize,
+        range: LayerRange,
+        graph: EvolvingGraph,
+        index: IncrementalIndex,
+    ) -> Self {
+        ShardEngine {
+            shard,
+            range,
+            graph,
+            index,
+        }
+    }
 }
+
+/// A durability hook [`ShardSet::apply_hooked`] invokes after phase 1 has
+/// staged a batch on every shard (so validation has passed and the commit
+/// is certain to succeed) and before phase 2 commits anything: arguments
+/// are the batch and the epoch the commit will publish. An `Err` aborts
+/// the apply with no shard changed — the write-ahead contract.
+pub(crate) type ApplyHook<'a> = &'a mut dyn FnMut(&EdgeBatch, u64) -> std::io::Result<()>;
 
 /// Validates the engine configuration against the graph size. Shared by
 /// every constructor path.
@@ -270,6 +295,16 @@ impl ShardSet {
         }
     }
 
+    /// Reassembles a coordinator from recovered shards at `epoch`. Seed
+    /// maintenance bootstraps cold over the loaded tiling — bit-identical
+    /// to the warm state the live engine carried, because warm ≡ cold is
+    /// the maintainer's proptested invariant.
+    pub(crate) fn from_recovered(cfg: StreamConfig, shards: Vec<ShardEngine>, epoch: u64) -> Self {
+        let mut set = Self::bootstrap(cfg, shards);
+        set.epoch = epoch;
+        set
+    }
+
     /// Applies one churn batch across every shard, all-or-nothing: phase 1
     /// stages the batch functionally on every shard (any rejection returns
     /// an error with no shard changed and the epoch not advanced); phase 2
@@ -281,6 +316,19 @@ impl ShardSet {
     /// No-op batches short-circuit exactly like the single-process engine:
     /// no refresh, no replay, no epoch bump, per-shard rows empty.
     pub fn apply(&mut self, batch: &EdgeBatch) -> Result<BatchReport> {
+        self.apply_hooked(batch, None)
+    }
+
+    /// [`ShardSet::apply`] with an optional durability hook threaded
+    /// between phase 1 (stage) and phase 2 (commit) — the write-ahead
+    /// point: validation has passed, nothing has changed yet, and the
+    /// commit that follows is infallible. No-op batches never reach the
+    /// hook (they don't advance the epoch, so there is nothing to log).
+    pub(crate) fn apply_hooked(
+        &mut self,
+        batch: &EdgeBatch,
+        hook: Option<ApplyHook<'_>>,
+    ) -> Result<BatchReport> {
         if batch.is_empty() {
             return Ok(BatchReport {
                 epoch: self.epoch,
@@ -313,6 +361,15 @@ impl ShardSet {
             .iter()
             .map(|s| s.stage(batch))
             .collect::<Result<_>>()?;
+        // Write-ahead point: the batch is valid on every shard and the
+        // epoch it will publish is known; journal it before any state
+        // changes so a crash either loses the whole batch or none of it.
+        if let Some(hook) = hook {
+            hook(batch, self.epoch + 1).map_err(|e| StreamError::Durability {
+                context: "write-ahead journal append".into(),
+                source: e,
+            })?;
+        }
         // Phase 2 — commit every shard, gathering per-shard stats and the
         // per-shard posting edit scripts (absolute layers, so the
         // maintainer consumes them without translation).

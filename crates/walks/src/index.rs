@@ -1598,11 +1598,14 @@ impl WalkIndex {
     /// A monolithic index (`layer_base == 0`) writes the unchanged RWDIDX2
     /// format; a layer-range shard writes RWDIDX3, which extends the header
     /// with the shard's absolute layer base so a reload refreshes with the
-    /// right RNG streams.
+    /// right RNG streams. Both layouts end in a 4-byte little-endian CRC-32
+    /// trailer over every preceding byte (magic and header included), so
+    /// bit rot anywhere in the file is detected at load.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
         use std::io::Write;
         let file = std::fs::File::create(path)?;
         let mut w = std::io::BufWriter::new(file);
+        let mut crc = crate::crc::Crc32::new();
         let mut header = Vec::with_capacity(48);
         if self.layer_base == 0 {
             header.extend_from_slice(MAGIC_V2);
@@ -1616,6 +1619,7 @@ impl WalkIndex {
         if self.layer_base != 0 {
             header.extend_from_slice(&(self.layer_base as u64).to_le_bytes());
         }
+        crc.update(&header);
         w.write_all(&header)?;
         let mut buf: Vec<u8> = Vec::new();
         for layer in &self.layers {
@@ -1631,8 +1635,10 @@ impl WalkIndex {
             for &hw in &layer.weights {
                 buf.extend_from_slice(&hw.to_le_bytes());
             }
+            crc.update(&buf);
             w.write_all(&buf)?;
         }
+        w.write_all(&crc.finish().to_le_bytes())?;
         w.flush()
     }
 
@@ -1643,7 +1649,19 @@ impl WalkIndex {
     /// dedicated error — rebuild and re-save such indexes with this
     /// version.
     pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<WalkIndex> {
-        Self::load_impl(path.as_ref(), None)
+        Self::load_impl(path.as_ref(), None, 0)
+    }
+
+    /// [`WalkIndex::load`] with an explicit worker budget for the parallel
+    /// layer parse and aggregate sweep: `0` means "all cores", anything
+    /// else is taken literally. The loaded index is bit-identical either
+    /// way — callers that pin an engine to a thread budget (benchmarks,
+    /// per-engine quotas) use this so recovery honours the same budget.
+    pub fn load_with_threads(
+        path: impl AsRef<std::path::Path>,
+        threads: usize,
+    ) -> std::io::Result<WalkIndex> {
+        Self::load_impl(path.as_ref(), None, threads)
     }
 
     /// Loads only the layers of `range` from a **monolithic** (RWDIDX2)
@@ -1657,41 +1675,64 @@ impl WalkIndex {
         path: impl AsRef<std::path::Path>,
         range: LayerRange,
     ) -> std::io::Result<WalkIndex> {
-        Self::load_impl(path.as_ref(), Some(range))
+        Self::load_impl(path.as_ref(), Some(range), 0)
     }
 
-    fn load_impl(path: &std::path::Path, want: Option<LayerRange>) -> std::io::Result<WalkIndex> {
-        use std::io::Read;
+    fn load_impl(
+        path: &std::path::Path,
+        want: Option<LayerRange>,
+        threads: usize,
+    ) -> std::io::Result<WalkIndex> {
         let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
-        let file = std::fs::File::open(path)?;
-        // Every count in the file is untrusted: header/block sizes are
-        // checked against the actual file length *before* any allocation,
-        // so a corrupt or crafted file yields InvalidData, never a panic or
-        // an absurd allocation.
-        let file_len = file.metadata()?.len();
-        let mut r = std::io::BufReader::new(file);
-        let mut magic = [0u8; 8];
-        r.read_exact(&mut magic)?;
-        if &magic == MAGIC_V1 {
+        let eof = || {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "walk-index file is truncated",
+            )
+        };
+        // The whole file is pulled into memory up front: the layer blocks
+        // can then be checksummed in one slicing-by-8 sweep and parsed in
+        // parallel, which is what keeps recovery-from-snapshot cheaper than
+        // a from-scratch rebuild. Every count in the file is still
+        // untrusted: header/block sizes are checked against the actual file
+        // length *before* any parse, so a corrupt or crafted file yields
+        // InvalidData, never a panic or an absurd allocation.
+        let bytes = std::fs::read(path)?;
+        let file_len = bytes.len() as u64;
+        // The last 4 bytes are the CRC-32 trailer; everything before it is
+        // checksummed content (skipped layers included).
+        let content_len = file_len.saturating_sub(4);
+        if bytes.len() < 8 {
+            return Err(bad("not a walk-index file (bad magic)"));
+        }
+        let magic: &[u8; 8] = bytes[..8].try_into().unwrap();
+        if magic == MAGIC_V1 {
             return Err(bad(
                 "walk-index file uses the obsolete RWDIDX1 (AoS) layout; \
                  rebuild the index and re-save it in the RWDIDX2 format",
             ));
         }
-        if &magic != MAGIC_V2 && &magic != MAGIC_V3 {
+        if magic != MAGIC_V2 && magic != MAGIC_V3 {
             return Err(bad("not a walk-index file (bad magic)"));
         }
-        let mut header = [0u8; 32];
-        r.read_exact(&mut header)?;
+        let mut consumed: usize = 8;
+        if bytes.len() < consumed + 32 {
+            return Err(eof());
+        }
+        let header: &[u8; 32] = bytes[consumed..consumed + 32].try_into().unwrap();
+        consumed += 32;
         let u64_at = |i: usize| u64::from_le_bytes(header[i * 8..(i + 1) * 8].try_into().unwrap());
         let n64 = u64_at(0);
         let l64 = u64_at(1);
         let layer_count64 = u64_at(2);
         let seed = u64_at(3);
-        let file_base64 = if &magic == MAGIC_V3 {
-            let mut base8 = [0u8; 8];
-            r.read_exact(&mut base8)?;
-            u64::from_le_bytes(base8)
+        let file_base64 = if magic == MAGIC_V3 {
+            if bytes.len() < consumed + 8 {
+                return Err(eof());
+            }
+            let base = u64::from_le_bytes(bytes[consumed..consumed + 8].try_into().unwrap());
+            consumed += 8;
+            base
         } else {
             0
         };
@@ -1735,60 +1776,126 @@ impl WalkIndex {
         }
         let l = l64 as u32;
         // A layer block stores (n + 1) 4-byte offsets, so n and layer_count
-        // are bounded by the file length.
-        if n64.saturating_mul(4) > file_len || layer_count64.saturating_mul(8) > file_len {
+        // are bounded by the checksummed content length.
+        if n64.saturating_mul(4) > content_len || layer_count64.saturating_mul(8) > content_len {
             return Err(bad("corrupt walk-index file (header exceeds file size)"));
         }
         let n = n64 as usize;
         let layer_count = layer_count64 as usize;
-        let mut layers = Vec::with_capacity(want.map_or(layer_count, |rg| rg.len()));
-        let mut buf: Vec<u8> = Vec::new();
+        // Pass 1 — boundary walk: the length prefixes tile the content
+        // region into layer blocks, so every block size is validated (and
+        // the tiling shown to account for every content byte) before any
+        // payload is parsed.
+        let mut blocks: Vec<(usize, &[u8])> =
+            Vec::with_capacity(want.map_or(layer_count, |rg| rg.len()));
         for li in 0..layer_count {
-            let mut len8 = [0u8; 8];
-            r.read_exact(&mut len8)?;
-            let entries64 = u64::from_le_bytes(len8);
+            if bytes.len() < consumed + 8 {
+                return Err(eof());
+            }
+            let entries64 = u64::from_le_bytes(bytes[consumed..consumed + 8].try_into().unwrap());
+            consumed += 8;
             let block64 = ((n64 + 1) * 4).saturating_add(entries64.saturating_mul(6));
-            if block64 > file_len {
+            if block64 > content_len {
                 return Err(bad("corrupt walk-index file (layer exceeds file size)"));
             }
-            if want.is_some_and(|rg| !rg.contains(li)) {
-                // Out-of-range layer: skip its block without parsing.
-                r.seek_relative(block64 as i64)?;
-                continue;
+            let block = block64 as usize;
+            if bytes.len() < consumed + block {
+                return Err(eof());
             }
-            let entries = entries64 as usize;
-            buf.resize(block64 as usize, 0);
-            r.read_exact(&mut buf)?;
-            let (off_bytes, rest) = buf.split_at((n + 1) * 4);
+            if want.is_none_or(|rg| rg.contains(li)) {
+                blocks.push((entries64 as usize, &bytes[consumed..consumed + block]));
+            }
+            consumed += block;
+        }
+        // Whole-file integrity: the layer tiling must account for every
+        // content byte, and the CRC-32 trailer must match it (skipped
+        // layers included). Bit rot anywhere — even in fields no
+        // structural check constrains, like the RNG seed — surfaces here
+        // instead of being served.
+        if consumed as u64 != content_len {
+            return Err(bad(
+                "corrupt walk-index file (size mismatch before checksum trailer)",
+            ));
+        }
+        let trailer = u32::from_le_bytes(bytes[consumed..consumed + 4].try_into().unwrap());
+        if trailer != crate::crc::crc32(&bytes[..consumed]) {
+            return Err(bad("corrupt walk-index file (content checksum mismatch)"));
+        }
+        // Pass 2 — parse. Blocks are independent, so they are decoded (and
+        // their forward views transposed) in parallel when the posting
+        // volume warrants the threads; results land in per-layer slots, so
+        // layer order and first-failing-layer error are scheduling-free.
+        let parse = |entries: usize, block: &[u8]| -> std::io::Result<Layer> {
+            let (off_bytes, rest) = block.split_at((n + 1) * 4);
             let (id_bytes, weight_bytes) = rest.split_at(entries * 4);
-            let offsets: Vec<u32> = off_bytes
-                .chunks_exact(4)
-                .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-                .collect();
-            if offsets.windows(2).any(|w| w[0] > w[1])
+            let mut offsets: Vec<u32> = Vec::with_capacity(n + 1);
+            let mut monotone = true;
+            let mut prev = 0u32;
+            for c in off_bytes.chunks_exact(4) {
+                let v = u32::from_le_bytes(c.try_into().unwrap());
+                monotone &= v >= prev;
+                prev = v;
+                offsets.push(v);
+            }
+            if !monotone
                 || offsets.first() != Some(&0)
                 || *offsets.last().unwrap_or(&0) as usize != entries
             {
                 return Err(bad("corrupt walk-index file (offset/posting mismatch)"));
             }
-            let ids: Vec<u32> = id_bytes
-                .chunks_exact(4)
-                .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-                .collect();
-            if ids.iter().any(|&id| id as usize >= n) {
+            let mut ids: Vec<u32> = Vec::with_capacity(entries);
+            let mut in_range = true;
+            for c in id_bytes.chunks_exact(4) {
+                let id = u32::from_le_bytes(c.try_into().unwrap());
+                in_range &= (id as usize) < n;
+                ids.push(id);
+            }
+            if !in_range {
                 return Err(bad("corrupt walk-index file (posting id out of range)"));
             }
-            let weights: Vec<u16> = weight_bytes
-                .chunks_exact(2)
-                .map(|c| u16::from_le_bytes(c.try_into().unwrap()))
-                .collect();
-            if weights.iter().any(|&hw| hw == 0 || hw as u32 > l) {
+            let mut weights: Vec<u16> = Vec::with_capacity(entries);
+            let mut hops_ok = true;
+            for c in weight_bytes.chunks_exact(2) {
+                let w = u16::from_le_bytes(c.try_into().unwrap());
+                hops_ok &= (w as u32).wrapping_sub(1) < l;
+                weights.push(w);
+            }
+            if !hops_ok {
                 return Err(bad("corrupt walk-index file (hop weight outside 1..=L)"));
             }
-            layers.push(Layer::from_inverted(n, offsets, ids, weights));
+            Ok(Layer::from_inverted(n, offsets, ids, weights))
+        };
+        let total_postings: usize = blocks.iter().map(|&(e, _)| e).sum();
+        let workers = if n + total_postings < crate::parallel::MIN_PARALLEL_SWEEP_WORK {
+            1
+        } else {
+            resolve_threads(threads).min(blocks.len().max(1))
+        };
+        let mut layers = Vec::with_capacity(blocks.len());
+        if workers <= 1 {
+            for &(entries, block) in &blocks {
+                layers.push(parse(entries, block)?);
+            }
+        } else {
+            let mut slots: Vec<Option<std::io::Result<Layer>>> = Vec::new();
+            slots.resize_with(blocks.len(), || None);
+            let chunk = blocks.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (b_chunk, s_chunk) in blocks.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                    let parse = &parse;
+                    scope.spawn(move || {
+                        for (slot, &(entries, block)) in s_chunk.iter_mut().zip(b_chunk) {
+                            *slot = Some(parse(entries, block));
+                        }
+                    });
+                }
+            });
+            for slot in slots {
+                layers.push(slot.expect("every layer block has a parse slot")?);
+            }
         }
         let layer_base = want.map_or(file_base64 as usize, |rg| rg.start());
-        Ok(WalkIndex::assemble(n, l, layers, layer_base, seed, 0))
+        Ok(WalkIndex::assemble(n, l, layers, layer_base, seed, threads))
     }
 }
 
@@ -2205,6 +2312,79 @@ mod tests {
             err.to_string().contains("RWDIDX1"),
             "error should name the old format: {err}"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_bit_rot_via_content_checksum() {
+        // Corpus of single-damage variants of a valid file. The seed field
+        // and posting payload bytes pass every structural check, so only
+        // the CRC-32 trailer can catch them — the distinct "content
+        // checksum mismatch" message proves the trailer (not a structural
+        // check) fired. Truncation and trailing garbage are also detected.
+        let dir = std::env::temp_dir().join("rwd_index_io_bitrot");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = paper_example::figure1();
+        let idx = WalkIndex::build(&g, 4, 6, 13);
+        let path = dir.join("good.rwdidx");
+        idx.save(&path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        assert!(WalkIndex::load(&path).is_ok());
+
+        let expect_crc_mismatch = |bytes: &[u8], what: &str| {
+            let p = dir.join("damaged.rwdidx");
+            std::fs::write(&p, bytes).unwrap();
+            let err = WalkIndex::load(&p).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{what}");
+            assert!(
+                err.to_string().contains("content checksum mismatch"),
+                "{what}: {err}"
+            );
+        };
+
+        // Flip one bit in the RNG seed (header bytes 32..40): structurally
+        // unconstrained, so before the trailer this loaded "successfully"
+        // as an index whose refreshes would silently diverge.
+        let mut rot = good.clone();
+        rot[33] ^= 0x10;
+        expect_crc_mismatch(&rot, "seed bit flip");
+
+        // Flip one bit in a posting id byte deep in the payload (still a
+        // valid node id, so the structural checks pass).
+        let mut rot = good.clone();
+        let mid = good.len() / 2;
+        rot[mid] ^= 0x01;
+        let p = dir.join("mid_flip.rwdidx");
+        std::fs::write(&p, &rot).unwrap();
+        // Depending on which field the bit lands in, a structural check may
+        // fire first — either way the load must fail with InvalidData.
+        let err = WalkIndex::load(&p).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+        // Flip a bit in the trailer itself.
+        let mut rot = good.clone();
+        let last = rot.len() - 1;
+        rot[last] ^= 0x80;
+        expect_crc_mismatch(&rot, "trailer bit flip");
+
+        // Trailing garbage after the trailer: the size accounting rejects
+        // it before the checksum comparison.
+        let mut fat = good.clone();
+        fat.extend_from_slice(&[0u8; 16]);
+        let p = dir.join("fat.rwdidx");
+        std::fs::write(&p, &fat).unwrap();
+        let err = WalkIndex::load(&p).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("size mismatch"), "{err}");
+
+        // A shard (RWDIDX3) file gets the same protection.
+        let part = WalkIndex::build_layer_range(&g, 4, LayerRange::new(2, 5), 13, 0);
+        let spath = dir.join("shard.rwdidx");
+        part.save(&spath).unwrap();
+        let mut rot = std::fs::read(&spath).unwrap();
+        rot[41] ^= 0x04; // inside the layer_base extension / payload
+        expect_crc_mismatch(&rot, "shard bit flip");
+
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -22,7 +22,9 @@
 //!   queries over the index's forward view, `O(postings)` per query and
 //!   bit-identical to the full-sweep estimators (the serving-path entry
 //!   points),
-//! * [`parallel`] — the shared worker-count policy every fan-out uses.
+//! * [`parallel`] — the shared worker-count policy every fan-out uses,
+//! * [`crc`] — streaming CRC-32 backing the content checksums every
+//!   durable artifact (index files, snapshots, journal records) carries.
 //!
 //! Degree-0 convention: a walk at an isolated node stays put (self-loop
 //! semantics) in both the DP and the sampler, so the two always agree.
@@ -30,6 +32,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod crc;
 pub mod delta;
 pub mod enumerate;
 pub mod estimate;
