@@ -40,6 +40,7 @@ USAGE:
                [--batch-edits <E>] [--delete-frac <f>] [--k <k>] [--l <L>]
                [--r <R>] [--seed <s>] [--problem <f1|f2>] [--shards <S>]
                [--weighted] [--verify] [--data-dir <dir>] [--snapshot-every <N>]
+               [--metrics-every <N>]
   rwdom serve  --model <ba|er> --nodes <n> [stream flags] [--workers <W>]
                [--queries-per-batch <Q>] [--script <file>] [--shards <S>]
                [--data-dir <dir>] [--snapshot-every <N>]
@@ -80,11 +81,19 @@ DURABILITY: --data-dir attaches a fresh data directory to the evolving
 
 SERVE: starts the online query server over the evolving engine and drives
   a request trace through it, printing one row per request with its epoch
-  provenance and latency. The trace comes from --script (lines: `batch`,
-  `hit_time <v>`, `hit_prob <v>`, `coverage`, `top <m>`, `seeds`; `#`
-  comments) or is generated: each churn batch followed by
-  --queries-per-batch point queries. Queries are answered from pinned
-  snapshots in O(postings), never a full sweep.
+  provenance, queue wait, and service time. The trace comes from --script
+  (lines: `batch`, `hit_time <v>`, `hit_prob <v>`, `coverage`, `top <m>`,
+  `seeds`, `metrics`; `#` comments) or is generated: each churn batch
+  followed by --queries-per-batch point queries. Queries are answered from
+  pinned snapshots in O(postings), never a full sweep. `metrics` returns a
+  point-in-time Prometheus-text snapshot of the server's per-endpoint
+  histograms plus the process-wide engine metrics (printed after the
+  request table).
+
+OBSERVABILITY: rwdom stream --metrics-every <N> prints the process-wide
+  metrics registry (per-phase batch timings, churn counters, durability
+  I/O) as a table every N batches, plus an end-of-trace seed-stability
+  report (per-epoch Jaccard overlap, seeds swapped, objective drift).
 ";
 
 fn main() -> ExitCode {
@@ -430,6 +439,63 @@ fn parse_stream_setup(
     })
 }
 
+/// Renders the process-wide metrics registry as a table: one row per
+/// counter/gauge sample with its value, one row per histogram series with
+/// count and log-bucket percentiles. Built by parsing the registry's own
+/// Prometheus exposition — the table shows exactly what a scraper sees.
+fn metrics_table() -> String {
+    use rwd_obs::text;
+    let rendered = rwd_obs::global().render();
+    let samples = match text::parse(&rendered) {
+        Ok(s) => s,
+        Err(e) => return format!("# unparseable metrics exposition: {e}"),
+    };
+    let mut t = Table::new(["metric", "count", "p50", "p99", "value/sum"]);
+    let series = |s: &text::Sample| -> String {
+        let labels: Vec<String> = s
+            .labels
+            .iter()
+            .filter(|(k, _)| k != "le")
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        if labels.is_empty() {
+            s.name.clone()
+        } else {
+            format!("{}{{{}}}", s.name, labels.join(","))
+        }
+    };
+    for s in &samples {
+        if s.name.ends_with("_bucket") || s.name.ends_with("_sum") {
+            continue;
+        }
+        if let Some(hist) = s.name.strip_suffix("_count") {
+            let labels: Vec<(&str, &str)> = s
+                .labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            let snap = text::histogram_snapshot(&samples, hist, &labels)
+                .expect("count row implies a decodable histogram");
+            t.row([
+                series(s).replacen("_count", "", 1),
+                snap.count().to_string(),
+                fmt_f(snap.quantile(0.50), 0),
+                fmt_f(snap.quantile(0.99), 0),
+                snap.sum.to_string(),
+            ]);
+        } else {
+            t.row([
+                series(s),
+                String::new(),
+                String::new(),
+                String::new(),
+                fmt_f(s.value, 0),
+            ]);
+        }
+    }
+    t.render()
+}
+
 /// The engine a `stream` run drives: bare, or bound to a `--data-dir`
 /// (write-ahead journal + periodic snapshots).
 enum StreamDriver {
@@ -473,6 +539,7 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         dcfg,
     } = parse_stream_setup("stream", &pos, &flags)?;
     let verify = flags.contains_key("verify");
+    let metrics_every: u64 = get(&flags, "metrics-every", Some(0))?;
 
     let trace = temporal_trace(&spec).map_err(|e| e.to_string())?;
     println!(
@@ -540,8 +607,22 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     let initial_objective = engine.engine().objective();
     let mut prev_objective = initial_objective;
     let mut max_step = 0.0f64;
-    for batch in &trace.batches {
+    let mut tracker = (metrics_every > 0).then(|| {
+        let mut tr = rwd_obs::EpochStabilityTracker::new();
+        let seeds: Vec<u32> = engine.engine().seeds().iter().map(|s| s.raw()).collect();
+        tr.observe(0, &seeds, initial_objective, None);
+        tr
+    });
+    for (bi, batch) in trace.batches.iter().enumerate() {
         let rep = engine.apply(batch)?;
+        if let Some(tr) = &mut tracker {
+            let seeds: Vec<u32> = engine.engine().seeds().iter().map(|s| s.raw()).collect();
+            tr.observe(rep.epoch, &seeds, rep.maintain.objective, None);
+        }
+        if metrics_every > 0 && (bi as u64 + 1).is_multiple_of(metrics_every) {
+            println!("# metrics after batch {}", bi + 1);
+            println!("{}", metrics_table());
+        }
         *kept_hist.entry(rep.maintain.rounds_kept).or_insert(0) += 1;
         total_swapped += rep.maintain.seeds_swapped;
         warm_batches += rep.maintain.warm as usize;
@@ -656,6 +737,31 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         fmt_f(prev_objective, 2),
         fmt_f(max_step, 2),
     );
+    if let Some(tr) = &tracker {
+        let mut st = Table::new(["epoch", "jaccard", "swapped", "objective", "drift"]);
+        for rec in tr.history().iter().skip(1) {
+            st.row([
+                rec.epoch.to_string(),
+                fmt_f(rec.jaccard, 3),
+                rec.seeds_swapped.to_string(),
+                fmt_f(rec.objective, 2),
+                fmt_f(rec.objective_drift, 3),
+            ]);
+        }
+        println!("# per-epoch answer stability (seed-set Jaccard vs previous epoch)");
+        println!("{}", st.render());
+        let sum = tr.summary();
+        println!(
+            "# stability summary: {} epochs, Jaccard mean {} min {}, {} seeds swapped, \
+             |objective drift| mean {} max {}",
+            sum.epochs,
+            fmt_f(sum.mean_jaccard, 3),
+            fmt_f(sum.min_jaccard, 3),
+            sum.total_swapped,
+            fmt_f(sum.mean_abs_objective_drift, 3),
+            fmt_f(sum.max_abs_objective_drift, 3),
+        );
+    }
     let ids: Vec<String> = engine
         .engine()
         .seeds()
@@ -791,6 +897,7 @@ fn parse_serve_script(text: &str, n: usize) -> Result<Vec<ServeRequest>, String>
                 ServeRequest::Query(rwd_serve::Query::TopUncovered(m))
             }
             "seeds" => ServeRequest::Query(rwd_serve::Query::Seeds),
+            "metrics" => ServeRequest::Query(rwd_serve::Query::Metrics),
             other => return Err(format!("unknown serve request `{other}` in `{line}`")),
         };
         out.push(req);
@@ -828,6 +935,7 @@ fn fmt_query(q: &rwd_serve::Query) -> String {
         Query::Coverage => "coverage".into(),
         Query::TopUncovered(m) => format!("top {m}"),
         Query::Seeds => "seeds".into(),
+        Query::Metrics => "metrics".into(),
     }
 }
 
@@ -848,8 +956,17 @@ fn fmt_answer(value: &rwd_serve::QueryValue) -> String {
             let ids: Vec<String> = seeds.iter().map(|u| u.to_string()).collect();
             format!("{{{}}} F̂={}", ids.join(","), fmt_f(*objective, 2))
         }
+        QueryValue::Metrics(text) => format!("snapshot ({} samples)", count_samples(text)),
         QueryValue::Invalid(msg) => format!("invalid: {msg}"),
     }
+}
+
+/// Sample lines in a Prometheus exposition (non-comment, non-blank).
+fn count_samples(text: &str) -> usize {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .count()
 }
 
 /// Starts the online query server over the evolving engine and replays a
@@ -917,8 +1034,22 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let server = Server::start(engine, workers);
     let handle = server.handle();
     let mut batches = trace.batches.iter();
-    let mut t = Table::new(["#", "request", "epoch", "latency µs", "answer"]);
-    let mut query_latencies_us: Vec<f64> = Vec::new();
+    let mut t = Table::new([
+        "#",
+        "request",
+        "epoch",
+        "queue µs",
+        "service µs",
+        "latency µs",
+        "answer",
+    ]);
+    // Summary percentiles come from the same log-bucketed histogram the
+    // server itself exposes (not an ad-hoc sort), recorded in nanoseconds.
+    let query_service_ns = rwd_obs::Histogram::new();
+    let mut max_service_us = 0.0f64;
+    let mut queries = 0usize;
+    let mut last_metrics: Option<String> = None;
+    let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
     for (i, req) in requests.iter().enumerate() {
         match req {
             ServeRequest::Batch => {
@@ -933,14 +1064,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     .apply(batch.clone())
                     .map_err(|e| e.to_string())?
                     .wait();
-                let us = outcome.latency.as_secs_f64() * 1e6;
                 match outcome.report {
                     Ok(rep) => {
                         t.row([
                             (i + 1).to_string(),
                             format!("batch +{} -{}", rep.insertions, rep.deletions),
                             rep.epoch.to_string(),
-                            fmt_f(us, 0),
+                            fmt_f(us(outcome.queue), 0),
+                            fmt_f(us(outcome.service), 0),
+                            fmt_f(us(outcome.latency), 0),
                             format!(
                                 "touched {} groups {} swaps {}",
                                 rep.touched_nodes,
@@ -954,13 +1086,19 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             }
             ServeRequest::Query(q) => {
                 let answer = handle.query(q.clone()).map_err(|e| e.to_string())?.wait();
-                let us = answer.latency.as_secs_f64() * 1e6;
-                query_latencies_us.push(us);
+                query_service_ns.record_duration(answer.service);
+                max_service_us = max_service_us.max(us(answer.service));
+                queries += 1;
+                if let rwd_serve::QueryValue::Metrics(ref text) = answer.value {
+                    last_metrics = Some(text.clone());
+                }
                 t.row([
                     (i + 1).to_string(),
                     fmt_query(q),
                     answer.epoch.to_string(),
-                    fmt_f(us, 0),
+                    fmt_f(us(answer.queue), 0),
+                    fmt_f(us(answer.service), 0),
+                    fmt_f(us(answer.latency), 0),
                     fmt_answer(&answer.value),
                 ]);
             }
@@ -969,20 +1107,18 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     println!("{}", t.render());
     server.shutdown();
 
-    if !query_latencies_us.is_empty() {
-        query_latencies_us.sort_by(f64::total_cmp);
-        let pct = |p: f64| -> f64 {
-            let idx = ((query_latencies_us.len() as f64 * p).ceil() as usize)
-                .clamp(1, query_latencies_us.len());
-            query_latencies_us[idx - 1]
-        };
+    if queries > 0 {
         println!(
-            "# {} point queries: p50 = {} µs, p99 = {} µs, max = {} µs",
-            query_latencies_us.len(),
-            fmt_f(pct(0.50), 0),
-            fmt_f(pct(0.99), 0),
-            fmt_f(*query_latencies_us.last().expect("non-empty"), 0),
+            "# {} point queries: service p50 = {} µs, p99 = {} µs, max = {} µs",
+            queries,
+            fmt_f(query_service_ns.quantile(0.50) / 1e3, 0),
+            fmt_f(query_service_ns.quantile(0.99) / 1e3, 0),
+            fmt_f(max_service_us, 0),
         );
+    }
+    if let Some(text) = last_metrics {
+        println!("# metrics snapshot (last `metrics` request)");
+        print!("{text}");
     }
     Ok(())
 }
@@ -1176,6 +1312,8 @@ mod tests {
             "--r",
             "6",
             "--verify",
+            "--metrics-every",
+            "2",
         ]))
         .unwrap();
         // Weighted path, coverage objective.
@@ -1319,7 +1457,7 @@ mod tests {
         let script = dir.join("requests.txt");
         std::fs::write(
             &script,
-            "# warm-up queries on epoch 0\nseeds\nhit_time 3\nbatch\ncoverage\ntop 4\nhit_prob 7\n",
+            "# warm-up queries on epoch 0\nseeds\nhit_time 3\nbatch\ncoverage\ntop 4\nhit_prob 7\nmetrics\n",
         )
         .unwrap();
         run(&argv(&[

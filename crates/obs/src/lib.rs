@@ -1,0 +1,38 @@
+//! # rwd-obs — metrics & stability telemetry
+//!
+//! Std-only observability primitives for the rwd engine stack:
+//!
+//! * [`Counter`] / [`Gauge`] — lock-free atomic scalars,
+//! * [`Histogram`] — log-linear-bucketed latency histogram with exact
+//!   integer counts, lossless [`Histogram::merge_from`], and deterministic
+//!   [`HistogramSnapshot::quantile`] estimation (the one shared percentile
+//!   implementation for the whole workspace),
+//! * [`ScopedTimer`] — RAII timer recording elapsed nanoseconds on drop,
+//! * [`Registry`] — typed get-or-create metric registry rendering the
+//!   Prometheus text exposition format, with cheap pre-registered handles
+//!   for hot paths and a process-wide instance behind [`global`],
+//! * [`text`] — a parser for the exposition format, so tests (and the
+//!   acceptance gate) can hold rendered snapshots to exact bucket counts,
+//! * [`EpochStabilityTracker`] — per-epoch answer-stability telemetry
+//!   (seed-set Jaccard, seeds swapped, objective drift, coverage churn),
+//!   turning the domination-number concentration predictions from the
+//!   random-graph literature into a measured signal.
+//!
+//! Everything here is `std`-only and lock-free on the record path: writers
+//! touch only `AtomicU64`/`AtomicI64` with relaxed ordering, and a metrics
+//! snapshot is a point-in-time read of those atomics — no coordination with
+//! writers, no stop-the-world.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod metrics;
+mod registry;
+mod stability;
+pub mod text;
+
+pub use metrics::{
+    bucket_bounds, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, ScopedTimer, BUCKETS,
+};
+pub use registry::{global, Registry};
+pub use stability::{EpochRecord, EpochStabilityTracker, StabilitySummary};

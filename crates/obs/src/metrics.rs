@@ -1,0 +1,397 @@
+//! Lock-free metric primitives: counters, gauges, and the log-linear
+//! histogram that backs every latency measurement in the workspace.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Sub-buckets per power-of-two octave. 32 sub-buckets bound the relative
+/// quantization error of any recorded value by 1/32 ≈ 3.1%, which keeps
+/// histogram-derived p99 ratios honest for the CI gates.
+const SUBS: u64 = 32;
+
+/// Total bucket count: 64 exact unit buckets for values `< 64`, then 32
+/// sub-buckets for each of the 58 remaining octaves up to `u64::MAX`.
+pub const BUCKETS: usize = (2 * SUBS + 58 * SUBS) as usize;
+
+/// Maps a recorded value to its bucket index. Values below 64 get exact
+/// width-1 buckets; above, each power-of-two octave `[2^m, 2^{m+1})` splits
+/// into 32 equal sub-buckets.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < 2 * SUBS {
+        v as usize
+    } else {
+        let msb = 63 - u64::from(v.leading_zeros());
+        let shift = msb - 5;
+        ((shift + 1) * SUBS + (v >> shift) - SUBS) as usize
+    }
+}
+
+/// Inverse of [`bucket_index`]: the inclusive `[lower, upper]` value range
+/// of bucket `index`. Boundaries are monotone in `index` and tile `u64`
+/// exactly — properties the obs test suite holds by enumeration.
+#[inline]
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    let i = index as u64;
+    if i < 2 * SUBS {
+        (i, i)
+    } else {
+        let octave = i / SUBS - 1;
+        let lower = (SUBS + i % SUBS) << octave;
+        let width = 1u64 << octave;
+        (lower, lower + (width - 1))
+    }
+}
+
+/// A monotone event counter. Cloning shares the underlying atomic, so a
+/// handle registered once can be copied onto hot paths for free.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh, unregistered counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Point-in-time value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed level (queue depth, pinned snapshots, published
+/// epoch). Cloning shares the underlying atomic.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A fresh, unregistered gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Adds `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Point-in-time value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+}
+
+/// A lock-free log-linear histogram with exact integer counts.
+///
+/// Values (by convention: nanoseconds) land in one of [`BUCKETS`] buckets —
+/// exact below 64, then 32 sub-buckets per power-of-two octave, bounding
+/// relative quantization error by ~3.1% across the full `u64` range. Both
+/// the bucket counts and the running sum are plain relaxed atomics, so
+/// recording is wait-free and a [`HistogramSnapshot`] is a point-in-time
+/// read with no writer coordination. Merging histograms adds bucket counts
+/// — lossless by construction, and quantiles are a pure function of the
+/// bucket counts, so `merge(a, b)` answers exactly what a histogram fed
+/// both sample streams would.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, unregistered, empty histogram.
+    pub fn new() -> Self {
+        Histogram(Arc::new(HistogramCore {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Starts an RAII timer that records the elapsed nanoseconds into this
+    /// histogram when dropped.
+    pub fn time(&self) -> ScopedTimer {
+        ScopedTimer {
+            hist: self.clone(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Adds every bucket count (and the sum) of `other` into `self`.
+    /// Lossless: the result is bucket-for-bucket identical to a histogram
+    /// that recorded both sample streams.
+    pub fn merge_from(&self, other: &Histogram) {
+        self.merge_snapshot(&other.snapshot());
+    }
+
+    /// [`Histogram::merge_from`] for an already-taken snapshot.
+    pub fn merge_snapshot(&self, snap: &HistogramSnapshot) {
+        for (dst, &src) in self.0.buckets.iter().zip(&snap.buckets) {
+            if src > 0 {
+                dst.fetch_add(src, Ordering::Relaxed);
+            }
+        }
+        self.0.sum.fetch_add(snap.sum, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of all bucket counts and the sum.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .0
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.0.sum.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Convenience: `self.snapshot().quantile(q)`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.snapshot().quantile(q)
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]'s bucket counts and value sum.
+/// The immutable form histograms take for quantile math, merging across
+/// shards, and round-tripping through the text exposition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts, dense, indexed by [`bucket_index`].
+    pub buckets: Vec<u64>,
+    /// Sum of all recorded values.
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// An all-zero snapshot.
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; BUCKETS],
+            sum: 0,
+        }
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Adds every bucket count and the sum of `other` into `self`.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (dst, &src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst += src;
+        }
+        self.sum += other.sum;
+    }
+
+    /// The ceil-rank `q`-quantile (`q` clamped to `[0, 1]`): the bucket
+    /// holding sample number `⌈q · count⌉` of the sorted stream, with
+    /// linear interpolation inside multi-value buckets. Exact for values
+    /// below 64 (unit buckets); within ~3.1% above. Deterministic — a pure
+    /// function of the bucket counts — and returns `0.0` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                if hi == lo {
+                    return lo as f64;
+                }
+                let within = (rank - seen) as f64 / c as f64;
+                return lo as f64 + within * (hi - lo) as f64;
+            }
+            seen += c;
+        }
+        unreachable!("rank {rank} beyond total count {count}")
+    }
+}
+
+/// RAII timer from [`Histogram::time`]: records the elapsed nanoseconds
+/// into its histogram when dropped, so a scope is instrumented by holding
+/// one binding.
+#[derive(Debug)]
+pub struct ScopedTimer {
+    hist: Histogram,
+    start: Instant,
+}
+
+impl ScopedTimer {
+    /// Stops the timer now, recording the elapsed time (instead of at the
+    /// end of the scope).
+    pub fn stop(self) {}
+
+    /// Elapsed time so far without stopping.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        self.hist.record_duration(self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_bounds_agree_everywhere() {
+        // Every bucket's bounds map back to its own index, boundaries are
+        // monotone, and consecutive buckets tile u64 with no gap.
+        let mut prev_upper: Option<u64> = None;
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= hi, "bucket {i} inverted: [{lo}, {hi}]");
+            assert_eq!(bucket_index(lo), i, "lower bound of {i}");
+            assert_eq!(bucket_index(hi), i, "upper bound of {i}");
+            if let Some(p) = prev_upper {
+                assert_eq!(lo, p + 1, "gap before bucket {i}");
+            }
+            prev_upper = Some(hi);
+        }
+        assert_eq!(prev_upper, Some(u64::MAX));
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        for v in 0..64usize {
+            assert_eq!(snap.buckets[v], 1);
+        }
+        assert_eq!(snap.sum, (0..64).sum::<u64>());
+        // Unit buckets ⇒ quantiles of small values are exact.
+        assert_eq!(snap.quantile(0.5), 31.0);
+        assert_eq!(snap.quantile(1.0), 63.0);
+        assert_eq!(snap.quantile(0.0), 0.0);
+    }
+
+    #[test]
+    fn quantile_relative_error_is_bounded() {
+        let h = Histogram::new();
+        for v in [1_000u64, 25_000, 310_000, 4_900_000, 77_000_000] {
+            h.record(v);
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v && v <= hi);
+            // Octave sub-bucketing bounds the width by lower/32.
+            assert!((hi - lo) as f64 <= lo as f64 / 32.0 + 1.0);
+        }
+        assert_eq!(h.count(), 5);
+        let p100 = h.quantile(1.0);
+        assert!((p100 - 77_000_000.0).abs() / 77_000_000.0 <= 1.0 / 32.0);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_addition() {
+        let (a, b, both) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for v in [3u64, 700, 700, 123_456] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [9u64, 700, 88_000_000_000] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.snapshot(), both.snapshot());
+    }
+
+    #[test]
+    fn timer_records_once_on_drop() {
+        let h = Histogram::new();
+        {
+            let _t = h.time();
+        }
+        h.time().stop();
+        assert_eq!(h.count(), 2);
+    }
+}

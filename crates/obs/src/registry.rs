@@ -1,0 +1,299 @@
+//! The typed metric registry and its Prometheus text renderer.
+
+use std::sync::Mutex;
+
+use crate::metrics::{bucket_bounds, Counter, Gauge, Histogram};
+
+#[derive(Clone, Debug)]
+enum Handle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Handle {
+    fn kind(&self) -> &'static str {
+        match self {
+            Handle::Counter(_) => "counter",
+            Handle::Gauge(_) => "gauge",
+            Handle::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Metric {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    handle: Handle,
+}
+
+/// A typed, get-or-create metric registry.
+///
+/// Registration takes a lock; the returned [`Counter`] / [`Gauge`] /
+/// [`Histogram`] handles share their atomics with the registry, so hot
+/// paths pre-register once and record lock-free thereafter. Registering
+/// the same `(name, labels)` pair again returns the existing handle —
+/// under a different metric kind it panics, naming the collision.
+///
+/// [`Registry::render`] produces the Prometheus text exposition format
+/// from a point-in-time read of every atomic: histograms emit cumulative
+/// `_bucket{le="…"}` rows for non-empty buckets only (plus `+Inf`, `_sum`,
+/// `_count`), which [`crate::text`] can parse back to exact bucket counts.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<Vec<Metric>>,
+}
+
+/// The process-wide registry: engine-internal instrumentation (walk
+/// refresh, batch phases, durability) registers here, and servers append
+/// its rendering to their own.
+pub fn global() -> &'static Registry {
+    static GLOBAL: Registry = Registry {
+        metrics: Mutex::new(Vec::new()),
+    };
+    &GLOBAL
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Handle,
+    ) -> Handle {
+        let mut metrics = self.metrics.lock().expect("obs registry poisoned");
+        if let Some(m) = metrics.iter().find(|m| {
+            m.name == name && m.labels.len() == labels.len() && {
+                m.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|((k, v), (lk, lv))| k == lk && v == lv)
+            }
+        }) {
+            return m.handle.clone();
+        }
+        let handle = make();
+        if let Some(clash) = metrics
+            .iter()
+            .find(|m| m.name == name && m.handle.kind() != handle.kind())
+        {
+            panic!(
+                "metric {name:?} registered as {} and {}",
+                clash.handle.kind(),
+                handle.kind()
+            );
+        }
+        metrics.push(Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: labels
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            handle: handle.clone(),
+        });
+        handle
+    }
+
+    /// Gets or creates an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Gets or creates a counter carrying constant labels.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.get_or_insert(name, help, labels, || Handle::Counter(Counter::new())) {
+            Handle::Counter(c) => c,
+            other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Gets or creates an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Gets or creates a gauge carrying constant labels.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.get_or_insert(name, help, labels, || Handle::Gauge(Gauge::new())) {
+            Handle::Gauge(g) => g,
+            other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Gets or creates an unlabelled histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Gets or creates a histogram carrying constant labels.
+    pub fn histogram_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.get_or_insert(name, help, labels, || Handle::Histogram(Histogram::new())) {
+            Handle::Histogram(h) => h,
+            other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Renders every registered metric in the Prometheus text exposition
+    /// format, reading each atomic exactly once. Families are ordered by
+    /// name (stable within a name: registration order), so the output is
+    /// deterministic for a fixed set of values.
+    pub fn render(&self) -> String {
+        let metrics = self.metrics.lock().expect("obs registry poisoned");
+        let mut order: Vec<&Metric> = metrics.iter().collect();
+        order.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut out = String::new();
+        let mut last_name = "";
+        for m in order {
+            if m.name != last_name {
+                out.push_str(&format!("# HELP {} {}\n", m.name, m.help));
+                out.push_str(&format!("# TYPE {} {}\n", m.name, m.handle.kind()));
+                last_name = &m.name;
+            }
+            match &m.handle {
+                Handle::Counter(c) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        m.name,
+                        label_block(&m.labels, None),
+                        c.get()
+                    ));
+                }
+                Handle::Gauge(g) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        m.name,
+                        label_block(&m.labels, None),
+                        g.get()
+                    ));
+                }
+                Handle::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let mut cumulative = 0u64;
+                    for (i, &c) in snap.buckets.iter().enumerate() {
+                        if c == 0 {
+                            continue;
+                        }
+                        cumulative += c;
+                        let (_, upper) = bucket_bounds(i);
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            m.name,
+                            label_block(&m.labels, Some(&upper.to_string())),
+                            cumulative
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        m.name,
+                        label_block(&m.labels, Some("+Inf")),
+                        cumulative
+                    ));
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        m.name,
+                        label_block(&m.labels, None),
+                        snap.sum
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        m.name,
+                        label_block(&m.labels, None),
+                        cumulative
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Formats `{k="v",…,le="…"}`, escaping label values; empty string when
+/// there are no labels at all.
+fn label_block(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if let Some(le) = le {
+        if !labels.is_empty() {
+            out.push(',');
+        }
+        out.push_str(&format!("le=\"{le}\""));
+    }
+    out.push('}');
+    out
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_shares_the_atomic() {
+        let reg = Registry::new();
+        let a = reg.counter("rwd_test_total", "test");
+        let b = reg.counter("rwd_test_total", "test");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+    }
+
+    #[test]
+    fn labels_distinguish_series() {
+        let reg = Registry::new();
+        let a = reg.counter_with("rwd_req_total", "reqs", &[("endpoint", "hit_time")]);
+        let b = reg.counter_with("rwd_req_total", "reqs", &[("endpoint", "coverage")]);
+        a.add(3);
+        b.add(5);
+        let text = reg.render();
+        assert!(text.contains("rwd_req_total{endpoint=\"hit_time\"} 3"));
+        assert!(text.contains("rwd_req_total{endpoint=\"coverage\"} 5"));
+        // One HELP/TYPE header per family, not per series.
+        assert_eq!(text.matches("# TYPE rwd_req_total counter").count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as")]
+    fn kind_collision_panics() {
+        let reg = Registry::new();
+        let _ = reg.counter("rwd_thing", "x");
+        let _ = reg.gauge_with("rwd_thing", "x", &[("a", "b")]);
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("rwd_lat_ns", "latency");
+        h.record(5);
+        h.record(5);
+        h.record(40);
+        let text = reg.render();
+        assert!(text.contains("# TYPE rwd_lat_ns histogram"));
+        assert!(text.contains("rwd_lat_ns_bucket{le=\"5\"} 2"));
+        assert!(text.contains("rwd_lat_ns_bucket{le=\"40\"} 3"));
+        assert!(text.contains("rwd_lat_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("rwd_lat_ns_sum 50"));
+        assert!(text.contains("rwd_lat_ns_count 3"));
+    }
+}

@@ -1,0 +1,219 @@
+//! Answer-stability telemetry across published epochs.
+//!
+//! The concentration results for random-graph domination (Glebov–Liebenau–
+//! Szabó; Ganesan — see PAPERS.md) predict that the dominating set of an
+//! evolving graph barely moves per churn batch: the domination number is
+//! concentrated on two consecutive values, and near-optimal seed sets stay
+//! near-optimal under bounded perturbation. [`EpochStabilityTracker`] turns
+//! that prediction into a measured per-epoch signal — seed-set Jaccard
+//! similarity, seeds swapped, objective drift, coverage churn — which can
+//! later justify serving slightly-stale cached answers under load.
+
+use std::collections::HashSet;
+
+/// Stability measurements for one published epoch, relative to the
+/// previously observed epoch. The first observation has no predecessor:
+/// its Jaccard is `1.0` and every drift is zero.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EpochRecord {
+    /// The epoch these measurements describe.
+    pub epoch: u64,
+    /// Seed-set size at this epoch.
+    pub seeds: usize,
+    /// Jaccard similarity `|prev ∩ cur| / |prev ∪ cur|` of the seed sets.
+    pub jaccard: f64,
+    /// Seeds present previously but gone now (`|prev \ cur|`).
+    pub seeds_swapped: usize,
+    /// Objective value at this epoch.
+    pub objective: f64,
+    /// Signed objective change vs the previous epoch.
+    pub objective_drift: f64,
+    /// Coverage fraction at this epoch, when the caller supplied one.
+    pub coverage: Option<f64>,
+    /// Signed coverage change vs the previous epoch, when both sides
+    /// supplied coverage.
+    pub coverage_delta: Option<f64>,
+}
+
+/// End-of-trace aggregate over every transition a tracker observed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StabilitySummary {
+    /// Observed epochs (including the baseline first one).
+    pub epochs: usize,
+    /// Mean seed-set Jaccard over transitions (1.0 when < 2 epochs).
+    pub mean_jaccard: f64,
+    /// Worst (smallest) transition Jaccard (1.0 when < 2 epochs).
+    pub min_jaccard: f64,
+    /// Total seeds swapped out across all transitions.
+    pub total_swapped: usize,
+    /// Mean `|objective_drift|` over transitions.
+    pub mean_abs_objective_drift: f64,
+    /// Largest `|objective_drift|` over any transition.
+    pub max_abs_objective_drift: f64,
+    /// Largest `|coverage_delta|` over any transition, when measured.
+    pub max_abs_coverage_delta: Option<f64>,
+}
+
+/// Records per-epoch answer-stability metrics: feed it the published seed
+/// set (as raw node ids), objective, and optionally a coverage fraction
+/// after every committed batch; it returns the transition measurements and
+/// keeps the full history for an end-of-trace [`StabilitySummary`].
+#[derive(Clone, Debug, Default)]
+pub struct EpochStabilityTracker {
+    prev: Option<Prev>,
+    history: Vec<EpochRecord>,
+}
+
+#[derive(Clone, Debug)]
+struct Prev {
+    seeds: HashSet<u32>,
+    objective: f64,
+    coverage: Option<f64>,
+}
+
+impl EpochStabilityTracker {
+    /// A tracker with no history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes one published epoch and returns its stability record
+    /// (also appended to [`EpochStabilityTracker::history`]).
+    pub fn observe(
+        &mut self,
+        epoch: u64,
+        seeds: &[u32],
+        objective: f64,
+        coverage: Option<f64>,
+    ) -> EpochRecord {
+        let cur: HashSet<u32> = seeds.iter().copied().collect();
+        let record = match &self.prev {
+            None => EpochRecord {
+                epoch,
+                seeds: cur.len(),
+                jaccard: 1.0,
+                seeds_swapped: 0,
+                objective,
+                objective_drift: 0.0,
+                coverage,
+                coverage_delta: None,
+            },
+            Some(prev) => {
+                let inter = prev.seeds.intersection(&cur).count();
+                let union = prev.seeds.len() + cur.len() - inter;
+                EpochRecord {
+                    epoch,
+                    seeds: cur.len(),
+                    jaccard: if union == 0 {
+                        1.0
+                    } else {
+                        inter as f64 / union as f64
+                    },
+                    seeds_swapped: prev.seeds.len() - inter,
+                    objective,
+                    objective_drift: objective - prev.objective,
+                    coverage,
+                    coverage_delta: match (prev.coverage, coverage) {
+                        (Some(p), Some(c)) => Some(c - p),
+                        _ => None,
+                    },
+                }
+            }
+        };
+        self.prev = Some(Prev {
+            seeds: cur,
+            objective,
+            coverage,
+        });
+        self.history.push(record);
+        record
+    }
+
+    /// Every observation so far, in order.
+    pub fn history(&self) -> &[EpochRecord] {
+        &self.history
+    }
+
+    /// Aggregates over all transitions (observations after the first).
+    pub fn summary(&self) -> StabilitySummary {
+        let transitions = &self.history[self.history.len().min(1)..];
+        let n = transitions.len();
+        let mut s = StabilitySummary {
+            epochs: self.history.len(),
+            mean_jaccard: 1.0,
+            min_jaccard: 1.0,
+            total_swapped: 0,
+            mean_abs_objective_drift: 0.0,
+            max_abs_objective_drift: 0.0,
+            max_abs_coverage_delta: None,
+        };
+        if n == 0 {
+            return s;
+        }
+        s.mean_jaccard = transitions.iter().map(|r| r.jaccard).sum::<f64>() / n as f64;
+        s.min_jaccard = transitions.iter().map(|r| r.jaccard).fold(1.0, f64::min);
+        s.total_swapped = transitions.iter().map(|r| r.seeds_swapped).sum();
+        s.mean_abs_objective_drift = transitions
+            .iter()
+            .map(|r| r.objective_drift.abs())
+            .sum::<f64>()
+            / n as f64;
+        s.max_abs_objective_drift = transitions
+            .iter()
+            .map(|r| r.objective_drift.abs())
+            .fold(0.0, f64::max);
+        s.max_abs_coverage_delta = transitions
+            .iter()
+            .filter_map(|r| r.coverage_delta)
+            .map(f64::abs)
+            .fold(None, |acc, d| Some(acc.map_or(d, |a: f64| a.max(d))));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_epoch_is_the_baseline() {
+        let mut t = EpochStabilityTracker::new();
+        let r = t.observe(1, &[1, 2, 3], 10.0, Some(0.9));
+        assert_eq!(r.jaccard, 1.0);
+        assert_eq!(r.seeds_swapped, 0);
+        assert_eq!(r.objective_drift, 0.0);
+        assert_eq!(r.coverage_delta, None);
+    }
+
+    #[test]
+    fn transitions_measure_swap_and_drift() {
+        let mut t = EpochStabilityTracker::new();
+        t.observe(1, &[1, 2, 3, 4], 10.0, Some(0.90));
+        let r = t.observe(2, &[1, 2, 3, 9], 9.5, Some(0.92));
+        // |∩| = 3, |∪| = 5.
+        assert!((r.jaccard - 0.6).abs() < 1e-12);
+        assert_eq!(r.seeds_swapped, 1);
+        assert!((r.objective_drift + 0.5).abs() < 1e-12);
+        assert!((r.coverage_delta.unwrap() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_aggregates_transitions_only() {
+        let mut t = EpochStabilityTracker::new();
+        assert_eq!(t.summary().epochs, 0);
+        t.observe(1, &[1, 2], 5.0, None);
+        let s = t.summary();
+        assert_eq!((s.epochs, s.total_swapped), (1, 0));
+        assert_eq!(s.mean_jaccard, 1.0);
+        t.observe(2, &[2, 3], 6.0, None);
+        t.observe(3, &[2, 3], 6.0, None);
+        let s = t.summary();
+        assert_eq!(s.epochs, 3);
+        assert_eq!(s.total_swapped, 1);
+        // Transitions: jaccard 1/3 then 1.
+        assert!((s.mean_jaccard - (1.0 / 3.0 + 1.0) / 2.0).abs() < 1e-12);
+        assert!((s.min_jaccard - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.max_abs_objective_drift - 1.0).abs() < 1e-12);
+        assert_eq!(s.max_abs_coverage_delta, None);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests for the histogram semantics the whole workspace leans
+//! on: lossless merge, exposition round-trip, and lock-free recording.
+
+use proptest::prelude::*;
+use rwd_obs::{bucket_bounds, bucket_index, text, Histogram, Registry, BUCKETS};
+
+/// Arbitrary latency-like values spanning every octave, generated from a
+/// (mantissa, shift) pair so large magnitudes are as likely as small ones.
+fn value_strategy() -> impl Strategy<Value = u64> {
+    (0u64..1024, 0u32..63).prop_map(|(m, s)| m.wrapping_shl(s))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// merge(a, b) answers every quantile exactly as a histogram that
+    /// recorded the concatenation of both sample streams — quantiles are a
+    /// pure function of bucket counts, and merge adds them losslessly.
+    #[test]
+    fn merge_quantiles_equal_concatenation(
+        xs in collection::vec(value_strategy(), 1..200),
+        ys in collection::vec(value_strategy(), 1..200),
+    ) {
+        let (a, b, both) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for &v in &xs {
+            a.record(v);
+            both.record(v);
+        }
+        for &v in &ys {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge_from(&b);
+        prop_assert_eq!(a.snapshot(), both.snapshot());
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let (merged, concat) = (a.quantile(q), both.quantile(q));
+            prop_assert!(
+                merged == concat,
+                "q={} diverged: merged {} vs concatenated {}",
+                q, merged, concat
+            );
+        }
+    }
+
+    /// Every recorded value lands in a bucket whose bounds contain it, and
+    /// the rendered text exposition decodes back to identical bucket
+    /// counts and sum (lossless round-trip).
+    #[test]
+    fn exposition_round_trip_is_lossless(
+        vs in collection::vec(value_strategy(), 1..300),
+    ) {
+        let reg = Registry::new();
+        let h = reg.histogram_with("rwd_prop_ns", "prop", &[("endpoint", "prop")]);
+        for &v in &vs {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            prop_assert!(lo <= v && v <= hi, "value {} outside [{}, {}]", v, lo, hi);
+            h.record(v);
+        }
+        let samples = match text::parse(&reg.render()) {
+            Ok(s) => s,
+            Err(e) => return Err(TestCaseError::fail(e)),
+        };
+        let decoded = text::histogram_snapshot(&samples, "rwd_prop_ns", &[("endpoint", "prop")]);
+        prop_assert_eq!(decoded, Some(h.snapshot()));
+    }
+}
+
+/// Bucket boundaries are monotone and tile the whole `u64` domain with no
+/// gaps or overlaps — checked by full enumeration, not sampling.
+#[test]
+fn bucket_boundaries_monotone_and_exhaustive() {
+    let mut next_expected = 0u64;
+    for i in 0..BUCKETS {
+        let (lo, hi) = bucket_bounds(i);
+        assert_eq!(
+            lo,
+            next_expected,
+            "bucket {i} does not start where {} ended",
+            i.max(1) - 1
+        );
+        assert!(hi >= lo);
+        assert_eq!(bucket_index(lo), i);
+        assert_eq!(bucket_index(hi), i);
+        if hi == u64::MAX {
+            assert_eq!(i, BUCKETS - 1);
+            return;
+        }
+        next_expected = hi + 1;
+    }
+    panic!("buckets never reached u64::MAX");
+}
+
+/// Eight threads hammering one histogram (and its clones) lose no counts:
+/// the final count, sum, and per-bucket totals equal the arithmetic truth.
+#[test]
+fn concurrent_recording_loses_nothing() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 20_000;
+    let h = Histogram::new();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let h = h.clone();
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Deterministic spread across octaves per thread.
+                    h.record((i % 97) << (t % 11));
+                }
+            });
+        }
+    });
+    let snap = h.snapshot();
+    assert_eq!(snap.count(), THREADS * PER_THREAD);
+    let mut expected_sum = 0u64;
+    let mut expected_buckets = vec![0u64; BUCKETS];
+    for t in 0..THREADS {
+        for i in 0..PER_THREAD {
+            let v = (i % 97) << (t % 11);
+            expected_sum = expected_sum.wrapping_add(v);
+            expected_buckets[bucket_index(v)] += 1;
+        }
+    }
+    assert_eq!(snap.sum, expected_sum);
+    assert_eq!(snap.buckets, expected_buckets);
+}

@@ -31,6 +31,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod engine;
+pub(crate) mod metrics;
 pub mod server;
 pub mod snapshot;
 

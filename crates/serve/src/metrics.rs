@@ -1,0 +1,121 @@
+//! Per-server request metrics: endpoint-labelled service/queue histograms
+//! and the scheduling gauges, all on a registry owned by the [`Server`]
+//! (so one server's totals are exactly its own request counts), rendered
+//! together with the process-wide engine registry for the `metrics`
+//! endpoint.
+//!
+//! [`Server`]: crate::Server
+
+use std::time::Duration;
+
+use rwd_obs::{Counter, Gauge, Histogram, Registry};
+
+use crate::server::Query;
+
+/// Endpoint labels, indexed by [`ServerMetrics::endpoint`] (and
+/// [`BATCH_ENDPOINT`] for the writer path).
+pub(crate) const ENDPOINTS: [&str; 7] = [
+    "hit_time", "hit_prob", "coverage", "top", "seeds", "metrics", "batch",
+];
+
+/// The write path's slot in [`ENDPOINTS`].
+pub(crate) const BATCH_ENDPOINT: usize = 6;
+
+/// Handles pre-registered at server start; the request hot path only does
+/// relaxed atomic updates through them.
+pub(crate) struct ServerMetrics {
+    registry: Registry,
+    service_ns: Vec<Histogram>,
+    queue_ns: Vec<Histogram>,
+    /// Jobs submitted but not yet dequeued, per queue.
+    pub query_depth: Gauge,
+    /// Batches submitted but not yet picked up by the writer.
+    pub apply_depth: Gauge,
+    /// Snapshots currently pinned by pool workers.
+    pub pinned_snapshots: Gauge,
+    /// Epoch of the most recently published snapshot.
+    pub published_epoch: Gauge,
+    /// Cumulative epochs answered snapshots lagged the published epoch.
+    pub epoch_lag: Counter,
+}
+
+impl ServerMetrics {
+    pub(crate) fn new() -> Self {
+        let registry = Registry::new();
+        let service_ns = ENDPOINTS
+            .iter()
+            .map(|&e| {
+                registry.histogram_with(
+                    "rwd_serve_service_ns",
+                    "Service time per request, dequeue to answer (nanoseconds)",
+                    &[("endpoint", e)],
+                )
+            })
+            .collect();
+        let queue_ns = ENDPOINTS
+            .iter()
+            .map(|&e| {
+                registry.histogram_with(
+                    "rwd_serve_queue_ns",
+                    "Queue wait per request, submission to dequeue (nanoseconds)",
+                    &[("endpoint", e)],
+                )
+            })
+            .collect();
+        let depth_help = "Requests submitted but not yet dequeued";
+        ServerMetrics {
+            query_depth: registry.gauge_with(
+                "rwd_serve_queue_depth",
+                depth_help,
+                &[("queue", "query")],
+            ),
+            apply_depth: registry.gauge_with(
+                "rwd_serve_queue_depth",
+                depth_help,
+                &[("queue", "apply")],
+            ),
+            pinned_snapshots: registry.gauge(
+                "rwd_serve_pinned_snapshots",
+                "Snapshots currently pinned by pool workers",
+            ),
+            published_epoch: registry.gauge(
+                "rwd_serve_published_epoch",
+                "Epoch of the most recently published snapshot",
+            ),
+            epoch_lag: registry.counter(
+                "rwd_serve_epoch_lag_total",
+                "Cumulative epochs answered snapshots lagged the published epoch",
+            ),
+            registry,
+            service_ns,
+            queue_ns,
+        }
+    }
+
+    /// The [`ENDPOINTS`] slot a query records under.
+    pub(crate) fn endpoint(query: &Query) -> usize {
+        match query {
+            Query::HitTime(_) => 0,
+            Query::HitProb(_) => 1,
+            Query::Coverage => 2,
+            Query::TopUncovered(_) => 3,
+            Query::Seeds => 4,
+            Query::Metrics => 5,
+        }
+    }
+
+    /// Records one served request's queue wait and service time.
+    pub(crate) fn record(&self, endpoint: usize, queue: Duration, service: Duration) {
+        self.queue_ns[endpoint].record_duration(queue);
+        self.service_ns[endpoint].record_duration(service);
+    }
+
+    /// A point-in-time Prometheus-text snapshot: this server's registry
+    /// followed by the process-wide engine registry. Pure atomic reads —
+    /// no writer involvement.
+    pub(crate) fn render(&self) -> String {
+        let mut out = self.registry.render();
+        out.push_str(&rwd_obs::global().render());
+        out
+    }
+}

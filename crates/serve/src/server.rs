@@ -21,6 +21,7 @@ use rwd_graph::NodeId;
 use rwd_stream::{BatchReport, EdgeBatch};
 
 use crate::engine::ServeEngine;
+use crate::metrics::{ServerMetrics, BATCH_ENDPOINT};
 use crate::snapshot::Snapshot;
 use crate::{Result, ServeError};
 
@@ -37,6 +38,11 @@ pub enum Query {
     TopUncovered(usize),
     /// The maintained seed set and its objective.
     Seeds,
+    /// A point-in-time metrics snapshot in the Prometheus text exposition
+    /// format: this server's per-endpoint request metrics followed by the
+    /// process-wide engine metrics. Answered from atomic reads only — the
+    /// writer thread is never involved.
+    Metrics,
 }
 
 /// The payload of a [`QueryAnswer`].
@@ -53,6 +59,8 @@ pub enum QueryValue {
         /// Gain-trace-sum objective of the maintained set.
         objective: f64,
     },
+    /// A rendered metrics snapshot (Prometheus text exposition format).
+    Metrics(String),
     /// The query was invalid against the answering snapshot (e.g. a node
     /// id outside the universe). The request still resolves — an invalid
     /// query must never take down a pool worker or strand its ticket.
@@ -64,8 +72,13 @@ pub enum QueryValue {
 pub struct QueryAnswer {
     /// Epoch of the snapshot that answered the query.
     pub epoch: u64,
-    /// Submission-to-answer latency (queueing included).
+    /// Submission-to-answer latency (`queue` + `service`, measured
+    /// end-to-end).
     pub latency: Duration,
+    /// Time the request sat in the queue before a worker dequeued it.
+    pub queue: Duration,
+    /// Time the worker spent answering (dequeue to answer).
+    pub service: Duration,
     /// The answer payload.
     pub value: QueryValue,
 }
@@ -75,8 +88,14 @@ pub struct QueryAnswer {
 pub struct ApplyOutcome {
     /// The engine's churn report (`report.epoch` is the published epoch).
     pub report: std::result::Result<BatchReport, String>,
-    /// Submission-to-publication latency.
+    /// Submission-to-publication latency (`queue` + `service`, measured
+    /// end-to-end).
     pub latency: Duration,
+    /// Time the batch sat in the queue before the writer dequeued it.
+    pub queue: Duration,
+    /// Time the writer spent applying and publishing (dequeue to
+    /// publication).
+    pub service: Duration,
 }
 
 /// A one-shot result handle: async-shaped without a runtime.
@@ -143,6 +162,7 @@ struct ApplyJob {
 
 struct Shared {
     current: RwLock<Snapshot>,
+    metrics: ServerMetrics,
 }
 
 impl Shared {
@@ -155,7 +175,7 @@ impl Shared {
     }
 }
 
-fn answer(snap: &Snapshot, query: &Query) -> QueryValue {
+fn answer(snap: &Snapshot, query: &Query, metrics: &ServerMetrics) -> QueryValue {
     // Validate node ids against the answering snapshot's universe here,
     // where the error can resolve the ticket: a panic inside a pool worker
     // would kill the worker and strand the submitter's `wait` forever.
@@ -178,6 +198,9 @@ fn answer(snap: &Snapshot, query: &Query) -> QueryValue {
             seeds: snap.seeds().to_vec(),
             objective: snap.objective(),
         },
+        // Rendered here, before this request's own record() — the snapshot
+        // reflects every request answered strictly before it.
+        Query::Metrics => QueryValue::Metrics(metrics.render()),
     }
 }
 
@@ -220,7 +243,13 @@ impl ServerHandle {
         };
         let subs = self.subs.read().expect("submitter lock poisoned");
         match subs.as_ref() {
-            Some(s) => s.query_tx.send(job).map_err(|_| ServeError::Closed)?,
+            Some(s) => {
+                self.shared.metrics.query_depth.inc();
+                s.query_tx.send(job).map_err(|_| {
+                    self.shared.metrics.query_depth.dec();
+                    ServeError::Closed
+                })?;
+            }
             None => return Err(ServeError::Closed),
         }
         Ok(ticket)
@@ -238,7 +267,13 @@ impl ServerHandle {
         };
         let subs = self.subs.read().expect("submitter lock poisoned");
         match subs.as_ref() {
-            Some(s) => s.apply_tx.send(job).map_err(|_| ServeError::Closed)?,
+            Some(s) => {
+                self.shared.metrics.apply_depth.inc();
+                s.apply_tx.send(job).map_err(|_| {
+                    self.shared.metrics.apply_depth.dec();
+                    ServeError::Closed
+                })?;
+            }
             None => return Err(ServeError::Closed),
         }
         Ok(ticket)
@@ -274,8 +309,12 @@ impl Server {
     }
 
     fn start_inner(engine: ServeEngine, query_workers: usize, fault: Option<FaultHook>) -> Server {
+        let metrics = ServerMetrics::new();
+        let initial = engine.snapshot();
+        metrics.published_epoch.set(initial.epoch() as i64);
         let shared = Arc::new(Shared {
-            current: RwLock::new(engine.snapshot()),
+            current: RwLock::new(initial),
+            metrics,
         });
         let (query_tx, query_rx) = channel::<QueryJob>();
         let (apply_tx, apply_rx) = channel::<ApplyJob>();
@@ -335,21 +374,40 @@ impl Server {
 }
 
 fn query_worker(shared: &Shared, rx: &Mutex<Receiver<QueryJob>>) {
+    let metrics = &shared.metrics;
     loop {
         // Hold the receiver lock only for the dequeue, not the answer.
         let job = match rx.lock().expect("query queue poisoned").recv() {
             Ok(job) => job,
             Err(_) => return, // all senders dropped: shutdown
         };
+        let dequeued = Instant::now();
+        metrics.query_depth.dec();
+        let queue = dequeued.duration_since(job.submitted);
         // Pin exactly one snapshot for the whole request — the coherence
         // contract (index, seeds, objective all from one epoch).
+        metrics.pinned_snapshots.inc();
         let snap = shared.pin();
-        let value = answer(&snap, &job.query);
+        let lag = metrics.published_epoch.get() - snap.epoch() as i64;
+        if lag > 0 {
+            metrics.epoch_lag.add(lag as u64);
+        }
+        let value = answer(&snap, &job.query, metrics);
+        // One end timestamp serves both durations, so latency is exactly
+        // queue + service and the split costs no extra clock read.
+        let end = Instant::now();
+        let service = end.duration_since(dequeued);
+        // Record before fulfilling: a waiter released by the fulfill must
+        // find its own request already counted in the next snapshot.
+        metrics.record(ServerMetrics::endpoint(&job.query), queue, service);
         job.ticket.fulfill(QueryAnswer {
             epoch: snap.epoch(),
-            latency: job.submitted.elapsed(),
+            latency: end.duration_since(job.submitted),
+            queue,
+            service,
             value,
         });
+        metrics.pinned_snapshots.dec();
     }
 }
 
@@ -359,7 +417,11 @@ fn write_loop(
     rx: &Receiver<ApplyJob>,
     mut fault: Option<FaultHook>,
 ) {
+    let metrics = &shared.metrics;
     while let Ok(job) = rx.recv() {
+        let dequeued = Instant::now();
+        metrics.apply_depth.dec();
+        let queue = dequeued.duration_since(job.submitted);
         // The engine is not unwind-safe in the type-system sense (interior
         // &mut), but a panic poisons the loop permanently below — the
         // possibly-inconsistent engine is never applied to or published
@@ -372,17 +434,30 @@ fn write_loop(
         }));
         match caught {
             Ok(report) => {
-                shared.publish(engine.snapshot());
+                let snap = engine.snapshot();
+                metrics.published_epoch.set(snap.epoch() as i64);
+                shared.publish(snap);
+                let end = Instant::now();
+                let service = end.duration_since(dequeued);
+                // Record before fulfilling (see `query_worker`).
+                metrics.record(BATCH_ENDPOINT, queue, service);
                 job.ticket.fulfill(ApplyOutcome {
                     report,
-                    latency: job.submitted.elapsed(),
+                    latency: end.duration_since(job.submitted),
+                    queue,
+                    service,
                 });
             }
             Err(panic) => {
                 let msg = panic_message(panic.as_ref());
+                let end = Instant::now();
+                let service = end.duration_since(dequeued);
+                metrics.record(BATCH_ENDPOINT, queue, service);
                 job.ticket.fulfill(ApplyOutcome {
                     report: Err(format!("writer poisoned: engine panicked mid-batch: {msg}")),
-                    latency: job.submitted.elapsed(),
+                    latency: end.duration_since(job.submitted),
+                    queue,
+                    service,
                 });
                 // Poisoned: the engine may be mid-mutation, so it must never
                 // apply or publish again. Queries keep answering from the
@@ -391,9 +466,13 @@ fn write_loop(
                 // the closed error instead of hanging its `wait`.
                 let closed = ServeError::Closed.to_string();
                 while let Ok(job) = rx.recv() {
+                    metrics.apply_depth.dec();
+                    let dequeued = Instant::now();
                     job.ticket.fulfill(ApplyOutcome {
                         report: Err(closed.clone()),
                         latency: job.submitted.elapsed(),
+                        queue: dequeued.duration_since(job.submitted),
+                        service: Duration::ZERO,
                     });
                 }
                 return;

@@ -210,6 +210,11 @@ impl DurableEngine {
         };
         let replay_ms = replay_start.elapsed().as_secs_f64() * 1e3;
 
+        let metrics = crate::obs::durable_metrics();
+        metrics.recoveries.inc();
+        metrics.recovery_replayed_batches.add(epochs_replayed);
+        metrics.recovery_ns.record_duration(load_start.elapsed());
+
         let report = RecoveryReport {
             snapshot_epoch,
             epochs_replayed,
@@ -354,6 +359,8 @@ fn find_numbered(dir: &Path, prefix: &str) -> Result<Vec<(u64, PathBuf)>> {
 /// Every file ends in a CRC-32 trailer and is fsync'd before the manifest
 /// lands.
 pub(crate) fn save_snapshot(engine: &StreamEngine, snap_dir: &Path) -> Result<()> {
+    let metrics = crate::obs::durable_metrics();
+    let timer = metrics.snapshot_write_ns.time();
     dio("snapshot dir create", std::fs::create_dir_all(snap_dir))?;
     let weighted = engine.weighted_graph().is_some();
 
@@ -436,6 +443,8 @@ pub(crate) fn save_snapshot(engine: &StreamEngine, snap_dir: &Path) -> Result<()
     if let Ok(d) = File::open(snap_dir) {
         d.sync_all().ok();
     }
+    timer.stop();
+    metrics.snapshots_written.inc();
     Ok(())
 }
 

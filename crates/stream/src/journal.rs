@@ -120,8 +120,14 @@ impl BatchJournal {
         record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         record.extend_from_slice(&crc32(&payload).to_le_bytes());
         record.extend_from_slice(&payload);
+        let metrics = crate::obs::durable_metrics();
+        let timer = metrics.journal_append_ns.time();
         self.file.write_all(&record)?;
-        self.file.sync_all()
+        self.file.sync_all()?;
+        timer.stop();
+        metrics.journal_bytes.add(record.len() as u64);
+        metrics.journal_appends.inc();
+        Ok(())
     }
 
     /// The journal's base epoch (its records start at `base_epoch + 1`).

@@ -58,6 +58,7 @@ pub mod engine;
 pub mod index;
 pub mod journal;
 pub mod maintain;
+pub(crate) mod obs;
 pub mod shard;
 
 pub use batch::{EdgeBatch, GraphDelta, WeightedGraphDelta};

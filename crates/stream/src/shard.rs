@@ -355,20 +355,25 @@ impl ShardSet {
                 shards: Vec::new(),
             });
         }
+        let metrics = crate::obs::stream_metrics();
         // Phase 1 — stage on every shard before touching any state.
+        let stage_start = Instant::now();
         let staged: Vec<StagedDelta> = self
             .shards
             .iter()
             .map(|s| s.stage(batch))
             .collect::<Result<_>>()?;
+        metrics.stage_ns.record_duration(stage_start.elapsed());
         // Write-ahead point: the batch is valid on every shard and the
         // epoch it will publish is known; journal it before any state
         // changes so a crash either loses the whole batch or none of it.
         if let Some(hook) = hook {
+            let journal_timer = metrics.journal_ns.time();
             hook(batch, self.epoch + 1).map_err(|e| StreamError::Durability {
                 context: "write-ahead journal append".into(),
                 source: e,
             })?;
+            journal_timer.stop();
         }
         // Phase 2 — commit every shard, gathering per-shard stats and the
         // per-shard posting edit scripts (absolute layers, so the
@@ -378,6 +383,7 @@ impl ShardSet {
         let (mut touched_nodes, mut edges) = (0usize, 0usize);
         for (shard, delta) in self.shards.iter_mut().zip(staged) {
             let (stats, posting_delta, touched, m) = shard.commit(delta);
+            metrics.refresh_ns.record((stats.refresh_ms * 1e6) as u64);
             shard_stats.push(stats);
             edits.push(posting_delta);
             (touched_nodes, edges) = (touched, m);
@@ -386,9 +392,16 @@ impl ShardSet {
         let refs: Vec<&WalkIndex> = self.shards.iter().map(|s| s.index.index()).collect();
         let maintain_start = Instant::now();
         let maintain = self.maintainer.maintain_sharded_warm(&refs, &edits);
-        let maintain_ms = maintain_start.elapsed().as_secs_f64() * 1e3;
+        let maintain_elapsed = maintain_start.elapsed();
+        let maintain_ms = maintain_elapsed.as_secs_f64() * 1e3;
+        if maintain.warm {
+            metrics.maintain_warm_ns.record_duration(maintain_elapsed);
+        } else {
+            metrics.maintain_cold_ns.record_duration(maintain_elapsed);
+        }
+        let publish_start = Instant::now();
         self.epoch += 1;
-        Ok(BatchReport {
+        let report = BatchReport {
             epoch: self.epoch,
             timestamp: batch.timestamp,
             insertions: batch.insertions.len(),
@@ -399,7 +412,30 @@ impl ShardSet {
             maintain,
             maintain_ms,
             shards: shard_stats,
-        })
+        };
+        // Churn counters folded out of the report, then the publish stamp.
+        metrics.batches.inc();
+        metrics.insertions.add(report.insertions as u64);
+        metrics.deletions.add(report.deletions as u64);
+        metrics.touched_nodes.add(report.touched_nodes as u64);
+        metrics
+            .groups_resampled
+            .add(report.refresh.groups_resampled as u64);
+        metrics
+            .postings_added
+            .add(report.refresh.postings_added as u64);
+        metrics
+            .postings_removed
+            .add(report.refresh.postings_removed as u64);
+        metrics
+            .seeds_swapped
+            .add(report.maintain.seeds_swapped as u64);
+        metrics
+            .replayed_rounds
+            .add(report.maintain.replayed_rounds as u64);
+        metrics.epoch.set(self.epoch as i64);
+        metrics.publish_ns.record_duration(publish_start.elapsed());
+        Ok(report)
     }
 
     /// Sums per-shard refresh stats into the whole-index view: every

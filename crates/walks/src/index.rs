@@ -1189,7 +1189,13 @@ impl WalkIndex {
     ) -> (RefreshStats, PostingDelta) {
         assert_eq!(g.n(), self.n, "refresh requires an unchanged node universe");
         let step = |u: NodeId, rng: &mut WalkRng| walker::step(g, u, rng);
-        self.refresh_with_step(touched, threads, &step)
+        let timer = crate::obs::metrics().refresh_ns.time();
+        let out = self.refresh_with_step(touched, threads, &step);
+        timer.stop();
+        crate::obs::metrics()
+            .groups_resampled
+            .add(out.0.groups_resampled as u64);
+        out
     }
 
     /// Weighted twin of [`WalkIndex::refresh`]: the index must have been
@@ -1227,7 +1233,13 @@ impl WalkIndex {
     ) -> (RefreshStats, PostingDelta) {
         assert_eq!(g.n(), self.n, "refresh requires an unchanged node universe");
         let step = |u: NodeId, rng: &mut WalkRng| walker::step_weighted(g, u, rng);
-        self.refresh_with_step(touched, threads, &step)
+        let timer = crate::obs::metrics().refresh_ns.time();
+        let out = self.refresh_with_step(touched, threads, &step);
+        timer.stop();
+        crate::obs::metrics()
+            .groups_resampled
+            .add(out.0.groups_resampled as u64);
+        out
     }
 
     /// Shared refresh driver: layers fan out over workers; each layer is

@@ -39,6 +39,7 @@ pub mod estimate;
 pub mod hitting;
 pub mod index;
 pub mod nodeset;
+pub(crate) mod obs;
 pub mod parallel;
 pub mod point;
 pub mod rng;

@@ -1,0 +1,31 @@
+//! Pre-registered handles into the process-wide metrics registry
+//! ([`rwd_obs::global`]), created once on first use so the refresh hot
+//! path only touches lock-free atomics.
+
+use std::sync::OnceLock;
+
+use rwd_obs::{Counter, Histogram};
+
+pub(crate) struct WalkMetrics {
+    /// Wall time of one selective-refresh call over a walk index.
+    pub refresh_ns: Histogram,
+    /// Walk groups re-sampled across every refresh in the process.
+    pub groups_resampled: Counter,
+}
+
+pub(crate) fn metrics() -> &'static WalkMetrics {
+    static METRICS: OnceLock<WalkMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = rwd_obs::global();
+        WalkMetrics {
+            refresh_ns: reg.histogram(
+                "rwd_walks_refresh_ns",
+                "Wall time of one walk-index selective refresh (nanoseconds)",
+            ),
+            groups_resampled: reg.counter(
+                "rwd_walks_groups_resampled_total",
+                "Walk (src, layer) groups re-sampled across all refreshes",
+            ),
+        }
+    })
+}
