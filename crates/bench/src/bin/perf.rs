@@ -36,16 +36,22 @@
 //!   record around it (the ratio feeding the ≤ 1.1x CI gate) — plus
 //!   cross-epoch answer-stability telemetry (per-epoch seed-set Jaccard,
 //!   seeds swapped, objective drift) over the churn trace,
+//! * the open path: bringing a saved index back — zero-copy `mmap` open
+//!   of an RWDIDX4 snapshot vs deserializing the same file vs rebuilding
+//!   from the graph, plus the restart drill end to end (DurableEngine
+//!   open in both modes through the first answered point query), with the
+//!   heap/mapped byte split and the deserializer's transient peak as the
+//!   RSS story — the mapped-vs-deserialize ratio feeding the CI gate,
 //!
-//! and writes the measurements as JSON (default `BENCH_9.json`, the PR-9
-//! snapshot; earlier `BENCH_<n>.json` files stay beside it so the
+//! and writes the measurements as JSON (default `BENCH_10.json`, the
+//! PR-10 snapshot; earlier `BENCH_<n>.json` files stay beside it so the
 //! trajectory is diffable).
 //!
-//! Schema `rwd-perf/8` (extends `rwd-perf/7` with the `metrics` block):
+//! Schema `rwd-perf/9` (extends `rwd-perf/8` with the `open` block):
 //! every timing records the worker count it actually ran with, and
 //! `available_parallelism` is a top-level field — so a snapshot taken
 //! on a 1-core container is self-describing instead of silently reporting
-//! ~1.0 speedups. All latency percentiles now come from `rwd-obs`'s
+//! ~1.0 speedups. All latency percentiles come from `rwd-obs`'s
 //! log-bucketed histograms (32 sub-buckets per octave, ≤ 3.2% relative
 //! error) — the exact quantile implementation the engine itself exposes —
 //! instead of a private sort-and-index.
@@ -160,6 +166,16 @@ fn fmt_ms(v: f64) -> String {
     format!("{v:.3}")
 }
 
+/// A number for the JSON snapshot: `null` when the measurement does not
+/// exist on this host (e.g. mapped opens off-unix).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        fmt_ms(v)
+    } else {
+        String::from("null")
+    }
+}
+
 /// One named timing with the worker count it actually ran with.
 struct Timing {
     name: &'static str,
@@ -181,7 +197,7 @@ fn percentile_us(samples_us: &[f64], q: f64) -> f64 {
 
 fn main() {
     let mut scale = FULL;
-    let mut out_path = String::from("BENCH_9.json");
+    let mut out_path = String::from("BENCH_10.json");
     let mut reps = 3usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -881,6 +897,94 @@ fn main() {
         scale.stream_batches, recovery_report.snapshot_epoch, recovery_report.epochs_replayed,
     );
     drop(recovered);
+
+    // --- open path: mmap open vs deserialize open vs rebuild -------------
+    // How fast a saved index comes back. Three ways to the same bits
+    // (asserted): `open_mapped` maps the RWDIDX4 file and validates the
+    // CRC once — no per-posting parse; `load` streams and deserializes
+    // every column to the heap; a rebuild re-samples every walk. The
+    // mapped-vs-deserialize ratio feeds the CI gate; the heap/mapped byte
+    // split plus the deserializer's transient peak is the RSS story the
+    // storage tests assert (peak ≤ 1.25x the final index).
+    let mapped_available = cfg!(unix) && cfg!(target_endian = "little");
+    let open_dir = durability_root.join("open");
+    std::fs::create_dir_all(&open_dir).expect("fresh open dir");
+    let index_path = open_dir.join("index.rwdidx");
+    idx.save_v4(&index_path).expect("index snapshot writes");
+    let index_file_bytes = std::fs::metadata(&index_path)
+        .expect("snapshot exists")
+        .len();
+
+    let (deser_open_ms, (loaded, load_stats)) = time_ms(reps, || {
+        WalkIndex::load_with_stats(&index_path, 0).expect("index snapshot loads")
+    });
+    assert_eq!(loaded, idx, "deserialize open drifted from the saved index");
+    record("index_open_deserialize", deser_open_ms, cores);
+    let load_peak_ratio =
+        (idx.memory_bytes() + load_stats.transient_peak_bytes) as f64 / idx.memory_bytes() as f64;
+
+    let (mapped_open_ms, mapped_heap, mapped_bytes) = if mapped_available {
+        let (ms, mapped) = time_ms(reps, || {
+            WalkIndex::open_mapped(&index_path).expect("index snapshot maps")
+        });
+        assert_eq!(mapped, idx, "mapped open drifted from the saved index");
+        record("index_open_mapped", ms, 1);
+        (ms, mapped.heap_bytes(), mapped.mapped_bytes())
+    } else {
+        (f64::NAN, 0, 0)
+    };
+    let mapped_vs_deserialize = deser_open_ms / mapped_open_ms.max(1e-9);
+    let mapped_vs_rebuild = uw_all / mapped_open_ms.max(1e-9);
+
+    // The restart drill end to end: DurableEngine::open in both modes on
+    // the durability section's data dir, through the first answered point
+    // query — time-to-first-answer after a process restart.
+    use rwd_stream::OpenMode;
+    let open_modes: &[(OpenMode, bool)] = &[
+        (OpenMode::Mapped, mapped_available),
+        (OpenMode::Deserialize, true),
+    ];
+    let mut engine_open_ms = [f64::NAN; 2];
+    let mut ttfa_ms = [f64::NAN; 2];
+    let mut first_bits: Option<(Vec<NodeId>, u64, u64)> = None;
+    for (slot, &(mode, available)) in open_modes.iter().enumerate() {
+        if !available {
+            continue;
+        }
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let (eng, rep) =
+                DurableEngine::open_with(&recovery_dir, DurabilityConfig::default(), mode)
+                    .expect("recovers");
+            let opened = t0.elapsed().as_secs_f64() * 1e3;
+            let snap = Snapshot::capture(eng.engine());
+            let first = snap.hit_time(NodeId(0));
+            let ttfa = t0.elapsed().as_secs_f64() * 1e3;
+            assert!(first.is_finite() || first.is_infinite());
+            assert!(rep.torn_tail.is_none(), "clean dir misread as torn");
+            engine_open_ms[slot] = engine_open_ms[slot].min(opened);
+            ttfa_ms[slot] = ttfa_ms[slot].min(ttfa);
+            let bits = (
+                eng.engine().seeds().to_vec(),
+                eng.engine().objective().to_bits(),
+                first.to_bits(),
+            );
+            match &first_bits {
+                None => first_bits = Some(bits),
+                Some(base) => assert_eq!(&bits, base, "{mode:?} open drifted"),
+            }
+        }
+    }
+    eprintln!(
+        "      open: {index_file_bytes} B index; mapped {} ms vs deserialize \
+         {deser_open_ms:.3} ms ({mapped_vs_deserialize:.1}x) vs rebuild {uw_all:.3} ms; \
+         {mapped_bytes} B mapped + {mapped_heap} B heap after mapped open; deserialize \
+         peak {load_peak_ratio:.3}x final; engine restart TTFA mapped {} ms vs \
+         deserialize {:.1} ms",
+        fmt_ms(mapped_open_ms),
+        fmt_ms(ttfa_ms[0]),
+        ttfa_ms[1],
+    );
     std::fs::remove_dir_all(&durability_root).ok();
 
     let unix_secs = std::time::SystemTime::now()
@@ -939,8 +1043,8 @@ fn main() {
 
     let json = format!(
         r#"{{
-  "schema": "rwd-perf/8",
-  "pr": 9,
+  "schema": "rwd-perf/9",
+  "pr": 10,
   "unix_secs": {unix_secs},
   "available_parallelism": {cores},
   "scale": "{scale_name}",
@@ -1021,6 +1125,24 @@ fn main() {
     "rebuild_ms": {durability_rebuild_s},
     "recovery_vs_rebuild": {recovery_speedup_s}
   }},
+  "open": {{
+    "mapped_available": {mapped_available},
+    "index_file_bytes": {index_file_bytes},
+    "index_memory_bytes": {mem},
+    "mapped_open_ms": {mapped_open_s},
+    "deserialize_open_ms": {deser_open_s},
+    "rebuild_ms": {rebuild_open_s},
+    "mapped_vs_deserialize": {mapped_vs_deser_s},
+    "mapped_vs_rebuild": {mapped_vs_rebuild_s},
+    "mapped_bytes_after_open": {mapped_bytes},
+    "heap_bytes_after_open": {mapped_heap},
+    "deserialize_transient_peak_bytes": {load_peak_bytes},
+    "deserialize_peak_vs_final": {load_peak_ratio_s},
+    "engine_open_mapped_ms": {engine_open_mapped_s},
+    "engine_open_deserialize_ms": {engine_open_deser_s},
+    "ttfa_mapped_ms": {ttfa_mapped_s},
+    "ttfa_deserialize_ms": {ttfa_deser_s}
+  }},
   "metrics": {{
     "probe_queries": {obs_queries},
     "point_p99_plain_us": {plain_p99_s},
@@ -1093,6 +1215,17 @@ fn main() {
         recovery_ms_s = fmt_ms(recovery_ms),
         durability_rebuild_s = fmt_ms(durability_rebuild_ms),
         recovery_speedup_s = fmt_ms(recovery_speedup),
+        mapped_open_s = json_num(mapped_open_ms),
+        deser_open_s = fmt_ms(deser_open_ms),
+        rebuild_open_s = fmt_ms(uw_all),
+        mapped_vs_deser_s = json_num(mapped_vs_deserialize),
+        mapped_vs_rebuild_s = json_num(mapped_vs_rebuild),
+        load_peak_bytes = load_stats.transient_peak_bytes,
+        load_peak_ratio_s = fmt_ms(load_peak_ratio),
+        engine_open_mapped_s = json_num(engine_open_ms[0]),
+        engine_open_deser_s = json_num(engine_open_ms[1]),
+        ttfa_mapped_s = json_num(ttfa_ms[0]),
+        ttfa_deser_s = json_num(ttfa_ms[1]),
         plain_p99_s = fmt_ms(plain_p99_us),
         instr_p99_s = fmt_ms(instr_p99_us),
         instr_ratio_s = fmt_ms(instrumentation_ratio),

@@ -5,8 +5,8 @@ use std::path::Path;
 use rwd_graph::weighted::WeightedCsrGraph;
 use rwd_graph::CsrGraph;
 use rwd_stream::{
-    BatchReport, DurabilityConfig, DurableEngine, EdgeBatch, RecoveryReport, StreamConfig,
-    StreamEngine,
+    BatchReport, DurabilityConfig, DurableEngine, EdgeBatch, OpenMode, RecoveryReport,
+    StreamConfig, StreamEngine,
 };
 
 use crate::snapshot::Snapshot;
@@ -141,6 +141,20 @@ impl ServeEngine {
         dcfg: DurabilityConfig,
     ) -> Result<(Self, RecoveryReport)> {
         let (durable, report) = DurableEngine::open(dir, dcfg)?;
+        Ok((Self::from_durable(durable), report))
+    }
+
+    /// [`ServeEngine::open_durable`] with an explicit shard-index
+    /// [`OpenMode`]: [`OpenMode::Mapped`] serves point queries straight
+    /// from `mmap`'d RWDIDX4 snapshot columns (published snapshots pin
+    /// the mapping alongside the epoch — unchanged pinning semantics),
+    /// [`OpenMode::Deserialize`] parses everything onto the heap first.
+    pub fn open_durable_with(
+        dir: impl AsRef<Path>,
+        dcfg: DurabilityConfig,
+        mode: OpenMode,
+    ) -> Result<(Self, RecoveryReport)> {
+        let (durable, report) = DurableEngine::open_with(dir, dcfg, mode)?;
         Ok((Self::from_durable(durable), report))
     }
 

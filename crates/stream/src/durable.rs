@@ -58,6 +58,23 @@ pub struct DurabilityConfig {
     pub snapshot_every: u64,
 }
 
+/// How [`DurableEngine::open`] brings shard indexes back from a snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OpenMode {
+    /// Zero-copy: RWDIDX4 shard files are `mmap(2)`-mapped in place
+    /// ([`WalkIndex::open_mapped`]) — the first point query is answerable
+    /// after a header walk and one CRC pass, no per-posting deserialize.
+    /// Older (V2/V3) shard files, and hosts without the mapped path, fall
+    /// back to [`OpenMode::Deserialize`] per shard. Journal replay then
+    /// promotes exactly the layers it touches to the heap; recovered
+    /// state stays bitwise equal to the deserializing open.
+    #[default]
+    Mapped,
+    /// Parse every shard index into heap-owned columns
+    /// ([`WalkIndex::load`]); higher open cost, no pinned file mappings.
+    Deserialize,
+}
+
 /// What [`DurableEngine::open`] did to get back to the live state.
 #[derive(Clone, Debug)]
 pub struct RecoveryReport {
@@ -75,6 +92,12 @@ pub struct RecoveryReport {
     pub snapshot_load_ms: f64,
     /// Wall time of the journal suffix replay.
     pub replay_ms: f64,
+    /// Heap-owned walk-index column bytes after recovery (replay included).
+    pub heap_bytes: usize,
+    /// Still-mapped (zero-copy) walk-index column bytes after recovery —
+    /// nonzero only for [`OpenMode::Mapped`] opens of RWDIDX4 snapshots,
+    /// and shrunk by whatever layers the journal replay promoted.
+    pub mapped_bytes: usize,
 }
 
 /// A [`StreamEngine`] bound to a data directory: every applied batch is
@@ -116,6 +139,7 @@ impl DurableEngine {
             BatchJournal::create(dir.join(format!("journal-{epoch}.wal")), epoch),
         )?;
         let undirected = is_undirected(&engine);
+        publish_footprint(&engine);
         Ok(DurableEngine {
             engine,
             dir,
@@ -126,12 +150,24 @@ impl DurableEngine {
         })
     }
 
-    /// Recovers the engine from `dir`: loads the newest loadable snapshot,
-    /// replays the journal suffix through the normal apply path, truncates
-    /// a torn tail (reported, never fatal), and resumes journaling where
-    /// the surviving history ends. Mid-journal corruption and unloadable
-    /// snapshots fail with named errors instead of serving drifted state.
+    /// Recovers the engine from `dir`: loads the newest loadable snapshot
+    /// (zero-copy by default — see [`OpenMode::Mapped`]), replays the
+    /// journal suffix through the normal apply path, truncates a torn tail
+    /// (reported, never fatal), and resumes journaling where the surviving
+    /// history ends. Mid-journal corruption and unloadable snapshots fail
+    /// with named errors instead of serving drifted state.
     pub fn open(dir: impl AsRef<Path>, dcfg: DurabilityConfig) -> Result<(Self, RecoveryReport)> {
+        Self::open_with(dir, dcfg, OpenMode::default())
+    }
+
+    /// [`DurableEngine::open`] with an explicit shard-index
+    /// [`OpenMode`]. Both modes recover the exact same state — the mode
+    /// only chooses where the posting columns live (mapped file vs heap).
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        dcfg: DurabilityConfig,
+        mode: OpenMode,
+    ) -> Result<(Self, RecoveryReport)> {
         let dir = dir.as_ref().to_path_buf();
         let snaps = find_numbered(&dir, "snap-")?;
         if snaps.is_empty() {
@@ -144,7 +180,7 @@ impl DurableEngine {
         let mut last_err = None;
         let mut loaded = None;
         for (epoch, path) in snaps.iter().rev() {
-            match load_snapshot(path) {
+            match load_snapshot(path, mode) {
                 Ok(engine) => {
                     loaded = Some((*epoch, engine));
                     break;
@@ -215,6 +251,7 @@ impl DurableEngine {
         metrics.recovery_replayed_batches.add(epochs_replayed);
         metrics.recovery_ns.record_duration(load_start.elapsed());
 
+        let (heap_bytes, mapped_bytes) = publish_footprint(&engine);
         let report = RecoveryReport {
             snapshot_epoch,
             epochs_replayed,
@@ -222,6 +259,8 @@ impl DurableEngine {
             torn_tail,
             snapshot_load_ms,
             replay_ms,
+            heap_bytes,
+            mapped_bytes,
         };
         let undirected = is_undirected(&engine);
         Ok((
@@ -260,6 +299,9 @@ impl DurableEngine {
             if self.dcfg.snapshot_every > 0 && self.since_snapshot >= self.dcfg.snapshot_every {
                 self.snapshot_now()?;
             }
+            // Commits may have promoted mapped layers to the heap; keep
+            // the resident-vs-mapped gauges truthful.
+            publish_footprint(&self.engine);
         }
         Ok(report)
     }
@@ -319,6 +361,18 @@ fn is_undirected(engine: &StreamEngine) -> bool {
         .graph()
         .map(|g| g.kind() == GraphKind::Undirected)
         .unwrap_or(true)
+}
+
+/// Pushes the engine's resident-vs-mapped column split to the global
+/// `rwd_storage_{heap,mapped}_bytes` gauges and returns it.
+fn publish_footprint(engine: &StreamEngine) -> (usize, usize) {
+    let (mut heap, mut mapped) = (0usize, 0usize);
+    for idx in engine.shard_indexes() {
+        heap += idx.heap_bytes();
+        mapped += idx.mapped_bytes();
+    }
+    rwd_walks::storage::record_storage_footprint(heap, mapped);
+    (heap, mapped)
 }
 
 /// Maps an I/O failure into the named durability error.
@@ -399,10 +453,17 @@ pub(crate) fn save_snapshot(engine: &StreamEngine, snap_dir: &Path) -> Result<()
     }
     write_with_crc(&snap_dir.join("graph.bin"), graph_bytes)?;
 
-    // Per-shard walk indexes, via the checksummed RWDIDX2/3 writer.
+    // Per-shard walk indexes, via the zero-copy-openable RWDIDX4 writer
+    // (a big-endian host falls back to the portable RWDIDX2/3 writer —
+    // both load, only V4 maps).
     for (i, idx) in engine.shard_indexes().iter().enumerate() {
         let path = snap_dir.join(format!("shard-{i}.rwdidx"));
-        dio("shard index save", idx.save(&path))?;
+        let saved = if cfg!(target_endian = "little") {
+            idx.save_v4(&path)
+        } else {
+            idx.save(&path)
+        };
+        dio("shard index save", saved)?;
         dio(
             "shard index sync",
             File::open(&path).and_then(|f| f.sync_all()),
@@ -458,6 +519,15 @@ fn write_with_crc(path: &Path, mut bytes: Vec<u8>) -> Result<()> {
     )
 }
 
+/// The first 8 bytes of `path`, if readable — the on-disk format magic.
+fn file_magic(path: &Path) -> Option<[u8; 8]> {
+    use std::io::Read;
+    let mut f = std::fs::File::open(path).ok()?;
+    let mut magic = [0u8; 8];
+    f.read_exact(&mut magic).ok()?;
+    Some(magic)
+}
+
 /// Reads a CRC-trailed snapshot file, verifying magic and checksum.
 fn read_with_crc(path: &Path, magic: &[u8; 8], what: &str) -> Result<Vec<u8>> {
     let bytes = match std::fs::read(path) {
@@ -488,7 +558,7 @@ fn read_with_crc(path: &Path, magic: &[u8; 8], what: &str) -> Result<Vec<u8>> {
 /// Loads one snapshot directory back into a [`StreamEngine`] at the
 /// snapshot's epoch. Every cross-field inconsistency is a named
 /// [`StreamError::CorruptSnapshot`].
-pub(crate) fn load_snapshot(snap_dir: &Path) -> Result<StreamEngine> {
+pub(crate) fn load_snapshot(snap_dir: &Path, mode: OpenMode) -> Result<StreamEngine> {
     let corrupt = |msg: String| StreamError::CorruptSnapshot(msg);
     let m = read_with_crc(&snap_dir.join("manifest.bin"), MANIFEST_MAGIC, "manifest")?;
     let fixed = 8 * 6 + 1 + 8 + 1 + 8 + 8;
@@ -637,12 +707,22 @@ pub(crate) fn load_snapshot(snap_dir: &Path) -> Result<StreamEngine> {
         EvolvingGraph::Unweighted(Arc::new(cg))
     };
 
-    // Per-shard indexes via the checksummed RWDIDX2/3 loader, cross-checked
-    // against the manifest's tiling.
+    // Per-shard indexes, cross-checked against the manifest's tiling.
+    // Mapped mode zero-copies RWDIDX4 shard files; anything else (older
+    // formats, hosts without the mapped path) deserializes.
     let mut shards = Vec::with_capacity(shard_count);
     for (i, &rg) in ranges.iter().enumerate() {
         let path = snap_dir.join(format!("shard-{i}.rwdidx"));
-        let idx = WalkIndex::load_with_threads(&path, cfg.threads).map_err(|e| {
+        let use_map = mode == OpenMode::Mapped
+            && cfg!(unix)
+            && cfg!(target_endian = "little")
+            && file_magic(&path).is_some_and(|m| &m == b"RWDIDX4\0");
+        let idx = if use_map {
+            WalkIndex::open_mapped(&path)
+        } else {
+            WalkIndex::load_with_threads(&path, cfg.threads)
+        }
+        .map_err(|e| {
             corrupt(format!(
                 "shard index {} failed to load: {e}",
                 path.display()
@@ -854,6 +934,42 @@ mod tests {
         assert!(report.torn_tail.is_none());
         assert_engines_equal(again.engine(), &live);
         assert_engines_equal(again.engine(), &prefix_engine);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mapped_open_zero_copies_a_v4_snapshot() {
+        let dir = tmp_dir("mapped");
+        let g0 = erdos_renyi_gnp(50, 0.08, 21).unwrap();
+        let engine = StreamEngine::with_shards(g0.clone(), cfg(), 2).unwrap();
+        let mut durable = DurableEngine::create(engine, &dir, DurabilityConfig::default()).unwrap();
+        for b in churn_batches(&g0, 3) {
+            durable.apply(&b).unwrap();
+        }
+        durable.snapshot_now().unwrap();
+        let live = durable.engine().clone();
+        drop(durable);
+
+        let (mapped, mrep) =
+            DurableEngine::open_with(&dir, DurabilityConfig::default(), OpenMode::Mapped).unwrap();
+        let (owned, orep) =
+            DurableEngine::open_with(&dir, DurabilityConfig::default(), OpenMode::Deserialize)
+                .unwrap();
+        assert_eq!(mrep.epochs_replayed, 0);
+        assert_engines_equal(mapped.engine(), &live);
+        assert_engines_equal(owned.engine(), &live);
+        // Deserialize mode owns everything; mapped mode (with nothing to
+        // replay) serves every posting column straight from the file, and
+        // the two accountings cover the same bytes.
+        assert_eq!(orep.mapped_bytes, 0);
+        if cfg!(all(unix, target_endian = "little")) {
+            assert!(mrep.mapped_bytes > 0, "V4 snapshot did not map");
+            assert_eq!(
+                mrep.heap_bytes + mrep.mapped_bytes,
+                orep.heap_bytes,
+                "mapped and owned opens account different column totals"
+            );
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -65,6 +65,104 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     h.finish()
 }
 
+/// Combines two independently computed checksums: for any split
+/// `m = a ++ b`, `crc32_combine(crc32(a), crc32(b), b.len()) == crc32(m)`.
+///
+/// CRC-32 is linear over GF(2): appending `len2` bytes to `a` multiplies
+/// its shift-register state by `x^(8·len2)` (mod the polynomial), and
+/// that operator is a 32×32 bit matrix applied by square-and-multiply —
+/// `O(log len2)` matrix squarings, independent of the data (zlib's
+/// `crc32_combine`). This is what lets one whole-file sweep be computed
+/// as parallel per-chunk sweeps and folded exactly.
+pub fn crc32_combine(crc1: u32, crc2: u32, len2: u64) -> u32 {
+    if len2 == 0 {
+        return crc1;
+    }
+    // odd = the operator advancing the register by ONE zero bit.
+    let mut odd = [0u32; 32];
+    odd[0] = 0xEDB8_8320;
+    let mut row = 1u32;
+    for slot in odd.iter_mut().skip(1) {
+        *slot = row;
+        row <<= 1;
+    }
+    let mut even = [0u32; 32];
+    gf2_matrix_square(&mut even, &odd); // 2 zero bits
+    gf2_matrix_square(&mut odd, &even); // 4 zero bits
+    let (mut crc1, mut len2) = (crc1, len2);
+    // Square-and-multiply over the bits of 8·len2 (the ×256 head start is
+    // why the loop starts from the 4-bit operator and squares first).
+    loop {
+        gf2_matrix_square(&mut even, &odd);
+        if len2 & 1 != 0 {
+            crc1 = gf2_matrix_times(&even, crc1);
+        }
+        len2 >>= 1;
+        if len2 == 0 {
+            break;
+        }
+        gf2_matrix_square(&mut odd, &even);
+        if len2 & 1 != 0 {
+            crc1 = gf2_matrix_times(&odd, crc1);
+        }
+        len2 >>= 1;
+        if len2 == 0 {
+            break;
+        }
+    }
+    crc1 ^ crc2
+}
+
+/// CRC-32 of an in-memory slice, computed by up to `threads` workers over
+/// contiguous chunks and folded with [`crc32_combine`] — bit-identical to
+/// [`crc32`] at any worker count. This is the mapped open's one content
+/// sweep: the checksum is the only O(file) work on that path, so it is
+/// the only part worth parallelizing. Chunks stay ≥ 1 MiB (below that,
+/// thread spawn costs more than the hash), and `threads <= 1` or a small
+/// input degrade to the sequential sweep.
+pub fn crc32_parallel(bytes: &[u8], threads: usize) -> u32 {
+    const MIN_CHUNK: usize = 1 << 20;
+    let workers = threads.clamp(1, bytes.len().div_ceil(MIN_CHUNK).max(1));
+    if workers <= 1 {
+        return crc32(bytes);
+    }
+    let chunk = bytes.len().div_ceil(workers);
+    let parts: Vec<(u32, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = bytes
+            .chunks(chunk)
+            .map(|c| scope.spawn(move || (crc32(c), c.len() as u64)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("crc worker"))
+            .collect()
+    });
+    let mut acc = 0u32;
+    for (c, len) in parts {
+        acc = crc32_combine(acc, c, len);
+    }
+    acc
+}
+
+fn gf2_matrix_times(mat: &[u32; 32], mut vec: u32) -> u32 {
+    let mut sum = 0;
+    let mut i = 0;
+    while vec != 0 {
+        if vec & 1 != 0 {
+            sum ^= mat[i];
+        }
+        vec >>= 1;
+        i += 1;
+    }
+    sum
+}
+
+fn gf2_matrix_square(square: &mut [u32; 32], mat: &[u32; 32]) {
+    for n in 0..32 {
+        square[n] = gf2_matrix_times(mat, mat[n]);
+    }
+}
+
 /// Reflected CRC-32 lookup tables for polynomial `0xEDB88320`, built at
 /// compile time. `TABLES[0]` is the classic one-byte table; `TABLES[k]`
 /// advances a byte `k` positions through the shift register, so the eight
@@ -124,6 +222,30 @@ mod tests {
             h.update(chunk);
         }
         assert_eq!(h.finish(), crc32(&data));
+    }
+
+    #[test]
+    fn combine_equals_one_shot_at_every_split() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(5_000).collect();
+        let whole = crc32(&data);
+        for split in [0, 1, 7, 64, 2_499, 4_999, 5_000] {
+            let (a, b) = data.split_at(split);
+            assert_eq!(
+                crc32_combine(crc32(a), crc32(b), b.len() as u64),
+                whole,
+                "split at {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential_at_any_worker_count() {
+        let data: Vec<u8> = (0..4_000_000usize).map(|i| (i * 31 % 251) as u8).collect();
+        let whole = crc32(&data);
+        for threads in [0, 1, 2, 3, 7, 16] {
+            assert_eq!(crc32_parallel(&data, threads), whole, "{threads} workers");
+        }
+        assert_eq!(crc32_parallel(b"", 8), 0);
     }
 
     #[test]

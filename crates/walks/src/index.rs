@@ -31,6 +31,7 @@
 //! forward view.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use rwd_graph::{CsrGraph, NodeId};
 
@@ -38,6 +39,7 @@ use crate::delta::{LayerDelta, PostingDelta};
 use crate::nodeset::NodeSet;
 use crate::parallel::resolve_threads;
 use crate::rng::WalkRng;
+use crate::storage::{Column, MmapRegion};
 use crate::walker;
 
 /// One inverted-list entry: the walk from `id` first reaches the list's
@@ -175,8 +177,26 @@ type Triple = (u32, u32, u16);
 /// lets incremental-gain repairs stop at the first hop that can no longer
 /// matter. The order is canonical: every construction path, including
 /// `load`, produces it.
+/// Each column is a [`Column`] — heap-owned after a build or refresh,
+/// zero-copy mapped after [`WalkIndex::open_mapped`]. Equality compares
+/// values, so a mapped layer equals the owned layer it was saved from.
 #[derive(Clone, Debug, PartialEq, Eq)]
 struct Layer {
+    offsets: Column<u32>,
+    ids: Column<u32>,
+    weights: Column<u16>,
+    fwd_offsets: Column<u32>,
+    fwd_ids: Column<u32>,
+    fwd_weights: Column<u16>,
+}
+
+/// The recycled heap buffers of a displaced [`Layer`] generation (see
+/// [`PatchScratch::buf`]). A mapped column has no heap buffer to recycle,
+/// so displacing a mapped layer yields empty vectors — the next patch
+/// simply allocates fresh, which is exactly the copy-on-write promotion
+/// cost.
+#[derive(Default)]
+struct LayerBufs {
     offsets: Vec<u32>,
     ids: Vec<u32>,
     weights: Vec<u16>,
@@ -186,6 +206,66 @@ struct Layer {
 }
 
 impl Layer {
+    /// A fully heap-owned layer from freshly built column vectors.
+    fn owned(
+        offsets: Vec<u32>,
+        ids: Vec<u32>,
+        weights: Vec<u16>,
+        fwd_offsets: Vec<u32>,
+        fwd_ids: Vec<u32>,
+        fwd_weights: Vec<u16>,
+    ) -> Layer {
+        Layer {
+            offsets: offsets.into(),
+            ids: ids.into(),
+            weights: weights.into(),
+            fwd_offsets: fwd_offsets.into(),
+            fwd_ids: fwd_ids.into(),
+            fwd_weights: fwd_weights.into(),
+        }
+    }
+
+    /// Reclaims the heap buffers for recycling (empty for mapped columns).
+    fn into_bufs(self) -> LayerBufs {
+        LayerBufs {
+            offsets: self.offsets.take_buffer(),
+            ids: self.ids.take_buffer(),
+            weights: self.weights.take_buffer(),
+            fwd_offsets: self.fwd_offsets.take_buffer(),
+            fwd_ids: self.fwd_ids.take_buffer(),
+            fwd_weights: self.fwd_weights.take_buffer(),
+        }
+    }
+
+    /// Whether any column still borrows from a mapped file.
+    fn is_mapped(&self) -> bool {
+        self.offsets.is_mapped()
+            || self.ids.is_mapped()
+            || self.weights.is_mapped()
+            || self.fwd_offsets.is_mapped()
+            || self.fwd_ids.is_mapped()
+            || self.fwd_weights.is_mapped()
+    }
+
+    /// Heap bytes owned by this layer's columns.
+    fn heap_bytes(&self) -> usize {
+        self.offsets.heap_bytes()
+            + self.ids.heap_bytes()
+            + self.weights.heap_bytes()
+            + self.fwd_offsets.heap_bytes()
+            + self.fwd_ids.heap_bytes()
+            + self.fwd_weights.heap_bytes()
+    }
+
+    /// Bytes this layer borrows from a mapped file.
+    fn mapped_bytes(&self) -> usize {
+        self.offsets.mapped_bytes()
+            + self.ids.mapped_bytes()
+            + self.weights.mapped_bytes()
+            + self.fwd_offsets.mapped_bytes()
+            + self.fwd_ids.mapped_bytes()
+            + self.fwd_weights.mapped_bytes()
+    }
     /// Packs the triples of one layer — supplied as consecutive node-chunk
     /// outputs, in ascending node order — into SoA CSR columns. Counting
     /// sort by owner keeps construction O(n + entries) and preserves the
@@ -277,14 +357,7 @@ impl Layer {
             fwd_weights[*slot as usize] = hop;
             *slot += 1;
         }
-        Layer {
-            offsets,
-            ids,
-            weights,
-            fwd_offsets,
-            fwd_ids,
-            fwd_weights,
-        }
+        Layer::owned(offsets, ids, weights, fwd_offsets, fwd_ids, fwd_weights)
     }
 
     #[inline]
@@ -439,11 +512,12 @@ pub struct WalkIndex {
     /// Per-node inverted-posting count across all layers
     /// (`Σ_i |I[i][v]|`), precomputed at construction — the `S = ∅`
     /// closed-form gain initializers read these instead of re-streaming
-    /// every list.
-    posting_counts: Vec<u64>,
+    /// every list. Mapped straight from an RWDIDX4 file on a zero-copy
+    /// open; promoted on the first refresh that changes any posting.
+    posting_counts: Column<u64>,
     /// Per-node sum of posting hop weights across all layers
     /// (`Σ_i Σ_{(src,w) ∈ I[i][v]} w`).
-    posting_hop_sums: Vec<u64>,
+    posting_hop_sums: Column<u64>,
 }
 
 /// Node chunks smaller than this are not worth a task of their own.
@@ -526,8 +600,10 @@ struct PatchScratch {
     /// here and swaps them with the layer's, so steady-state refreshes
     /// reuse two generations of allocations instead of mallocing ~12 bytes
     /// per posting per epoch. Together with the stamp arrays this keeps the
-    /// per-layer patch free of `O(n)` allocations.
-    buf: Layer,
+    /// per-layer patch free of `O(n)` allocations. A displaced *mapped*
+    /// layer contributes empty buffers (its bytes belong to the map), which
+    /// is precisely the one-time copy-on-write promotion cost.
+    buf: LayerBufs,
 }
 
 impl PatchScratch {
@@ -540,14 +616,7 @@ impl PatchScratch {
             agg_dcount: vec![0; n],
             agg_dhops: vec![0; n],
             adds: Vec::new(),
-            buf: Layer {
-                offsets: Vec::new(),
-                ids: Vec::new(),
-                weights: Vec::new(),
-                fwd_offsets: Vec::new(),
-                fwd_ids: Vec::new(),
-                fwd_weights: Vec::new(),
-            },
+            buf: LayerBufs::default(),
         }
     }
 
@@ -797,19 +866,15 @@ where
         fwd_offsets.push(fwd_ids.len() as u32);
     }
 
-    // Swap the fresh columns in and keep the displaced generation as the
-    // next patch's buffers.
-    ws.buf = std::mem::replace(
+    // Swap the fresh (always owned) columns in and keep the displaced
+    // generation as the next patch's buffers. When the displaced layer was
+    // mapped, this swap *is* the copy-on-write promotion: exactly this
+    // layer's columns leave the file region, untouched layers stay mapped.
+    let displaced = std::mem::replace(
         layer,
-        Layer {
-            offsets,
-            ids,
-            weights,
-            fwd_offsets,
-            fwd_ids,
-            fwd_weights,
-        },
+        Layer::owned(offsets, ids, weights, fwd_offsets, fwd_ids, fwd_weights),
     );
+    ws.buf = displaced.into_bufs();
     deltas.push(LayerDelta {
         layer: layer_idx,
         resampled: affected_srcs,
@@ -970,8 +1035,8 @@ impl WalkIndex {
             layers,
             seed,
             layer_base,
-            posting_counts,
-            posting_hop_sums,
+            posting_counts: posting_counts.into(),
+            posting_hop_sums: posting_hop_sums.into(),
         }
     }
 
@@ -1325,6 +1390,11 @@ impl WalkIndex {
         // scripts keeps the delta ascending by absolute layer — the same
         // canonical order a single-threaded refresh emits.
         let mut delta = PostingDelta::default();
+        // Any non-empty refresh may edit the aggregates, so promote them to
+        // owned up front (a 16 B/node copy at most — negligible next to the
+        // column surgery above, and a no-op for an already-owned index).
+        let counts = self.posting_counts.make_mut();
+        let hop_sums = self.posting_hop_sums.make_mut();
         for (p, deltas, dcount, dhops) in partials {
             stats.groups_resampled += p.groups_resampled;
             stats.postings_removed += p.postings_removed;
@@ -1332,10 +1402,10 @@ impl WalkIndex {
             delta.layers.extend(deltas);
             // Integer deltas commute, so application order (and hence the
             // worker layout) cannot change the aggregates.
-            for (slot, d) in self.posting_counts.iter_mut().zip(dcount) {
+            for (slot, d) in counts.iter_mut().zip(dcount) {
                 *slot = (*slot as i64 + d) as u64;
             }
-            for (slot, d) in self.posting_hop_sums.iter_mut().zip(dhops) {
+            for (slot, d) in hop_sums.iter_mut().zip(dhops) {
                 *slot = (*slot as i64 + d) as u64;
             }
         }
@@ -1473,22 +1543,39 @@ impl WalkIndex {
         self.posting_hop_sums[v.index()]
     }
 
-    /// Approximate resident bytes of the index: per layer, the inverted SoA
-    /// posting columns (4-byte ids + 2-byte hop weights) **and** the
-    /// forward-view columns of the same shape — 12 bytes per posting in
-    /// total — plus one 4-byte CSR offset per node per view.
+    /// Total bytes of index data: per layer, the inverted SoA posting
+    /// columns (4-byte ids + 2-byte hop weights) **and** the forward-view
+    /// columns of the same shape — 12 bytes per posting in total — plus
+    /// one 4-byte CSR offset per node per view and the per-node aggregate
+    /// tables. Always equals [`WalkIndex::heap_bytes`] `+`
+    /// [`WalkIndex::mapped_bytes`]; for a fully owned index it is all
+    /// heap, for a freshly mapped one almost all file-backed.
     pub fn memory_bytes(&self) -> usize {
-        let aggregates =
-            (self.posting_counts.len() + self.posting_hop_sums.len()) * std::mem::size_of::<u64>();
-        self.layers
-            .iter()
-            .map(|l| {
-                (l.ids.len() + l.fwd_ids.len()) * std::mem::size_of::<u32>()
-                    + (l.weights.len() + l.fwd_weights.len()) * std::mem::size_of::<u16>()
-                    + (l.offsets.len() + l.fwd_offsets.len()) * std::mem::size_of::<u32>()
-            })
-            .sum::<usize>()
-            + aggregates
+        self.heap_bytes() + self.mapped_bytes()
+    }
+
+    /// Bytes of index data owned on the heap (the resident-set cost the
+    /// process pays unconditionally). A freshly mapped index owns nothing;
+    /// every refresh that touches a layer moves that layer's share here.
+    pub fn heap_bytes(&self) -> usize {
+        self.layers.iter().map(Layer::heap_bytes).sum::<usize>()
+            + self.posting_counts.heap_bytes()
+            + self.posting_hop_sums.heap_bytes()
+    }
+
+    /// Bytes of index data borrowed zero-copy from a mapped file (paged in
+    /// on demand and evictable under memory pressure — the RSS the kernel
+    /// can reclaim). Zero for an owned index.
+    pub fn mapped_bytes(&self) -> usize {
+        self.layers.iter().map(Layer::mapped_bytes).sum::<usize>()
+            + self.posting_counts.mapped_bytes()
+            + self.posting_hop_sums.mapped_bytes()
+    }
+
+    /// How many of this index's layers still borrow their columns from a
+    /// mapped file (diagnostics for the lazy-promotion path).
+    pub fn mapped_layers(&self) -> usize {
+        self.layers.iter().filter(|la| la.is_mapped()).count()
     }
 
     /// Replays the index against an arbitrary target set: returns per-layer
@@ -1638,13 +1725,13 @@ impl WalkIndex {
             buf.clear();
             buf.reserve(8 + layer.offsets.len() * 4 + layer.ids.len() * 6);
             buf.extend_from_slice(&(layer.ids.len() as u64).to_le_bytes());
-            for &off in &layer.offsets {
+            for &off in layer.offsets.iter() {
                 buf.extend_from_slice(&off.to_le_bytes());
             }
-            for &id in &layer.ids {
+            for &id in layer.ids.iter() {
                 buf.extend_from_slice(&id.to_le_bytes());
             }
-            for &hw in &layer.weights {
+            for &hw in layer.weights.iter() {
                 buf.extend_from_slice(&hw.to_le_bytes());
             }
             crc.update(&buf);
@@ -1654,14 +1741,16 @@ impl WalkIndex {
         w.flush()
     }
 
-    /// Loads an index previously written by [`WalkIndex::save`].
+    /// Loads an index previously written by [`WalkIndex::save`] or
+    /// [`WalkIndex::save_v4`], deserializing every column to the heap.
     ///
-    /// Accepts the monolithic RWDIDX2 layout and the RWDIDX3 layer-range
-    /// extension; rejects the obsolete `RWDIDX1` (AoS) layout with a
-    /// dedicated error — rebuild and re-save such indexes with this
-    /// version.
+    /// Accepts the monolithic RWDIDX2 layout, the RWDIDX3 layer-range
+    /// extension and the aligned RWDIDX4 zero-copy layout (parsed, not
+    /// mapped — see [`WalkIndex::open_mapped`] for the zero-copy open);
+    /// rejects the obsolete `RWDIDX1` (AoS) layout with a dedicated
+    /// error — rebuild and re-save such indexes with this version.
     pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<WalkIndex> {
-        Self::load_impl(path.as_ref(), None, 0)
+        Self::load_impl(path.as_ref(), None, 0).map(|(idx, _)| idx)
     }
 
     /// [`WalkIndex::load`] with an explicit worker budget for the parallel
@@ -1673,247 +1762,1022 @@ impl WalkIndex {
         path: impl AsRef<std::path::Path>,
         threads: usize,
     ) -> std::io::Result<WalkIndex> {
+        Self::load_impl(path.as_ref(), None, threads).map(|(idx, _)| idx)
+    }
+
+    /// [`WalkIndex::load_with_threads`] that additionally reports the
+    /// load's transient-memory accounting (see [`LoadStats`]) — the
+    /// evidence behind the bounded-peak claim: a deserializing open never
+    /// holds the whole file *and* the parsed index at once.
+    pub fn load_with_stats(
+        path: impl AsRef<std::path::Path>,
+        threads: usize,
+    ) -> std::io::Result<(WalkIndex, LoadStats)> {
         Self::load_impl(path.as_ref(), None, threads)
     }
 
-    /// Loads only the layers of `range` from a **monolithic** (RWDIDX2)
-    /// index file, producing the shard-local partial index
-    /// `build_layer_range` would build: layers outside the range are
+    /// Loads only the layers of `range` from a **monolithic** (RWDIDX2 or
+    /// monolithic RWDIDX4) index file, producing the shard-local partial
+    /// index `build_layer_range` would build: layers outside the range are
     /// skipped without parsing, and the result's
     /// [`WalkIndex::layer_base`] is `range.start()`. Rejects files whose
-    /// layer count the range exceeds, and RWDIDX3 shard files (re-scoping a
-    /// shard of a shard would silently mis-key the RNG streams).
+    /// layer count the range exceeds, and already-sharded (RWDIDX3, or V4
+    /// with a nonzero layer base) files — re-scoping a shard of a shard
+    /// would silently mis-key the RNG streams.
     pub fn load_layer_range(
         path: impl AsRef<std::path::Path>,
         range: LayerRange,
     ) -> std::io::Result<WalkIndex> {
-        Self::load_impl(path.as_ref(), Some(range), 0)
+        Self::load_impl(path.as_ref(), Some(range), 0).map(|(idx, _)| idx)
     }
 
     fn load_impl(
         path: &std::path::Path,
         want: Option<LayerRange>,
         threads: usize,
-    ) -> std::io::Result<WalkIndex> {
-        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
-        let eof = || {
-            std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "walk-index file is truncated",
-            )
-        };
-        // The whole file is pulled into memory up front: the layer blocks
-        // can then be checksummed in one slicing-by-8 sweep and parsed in
-        // parallel, which is what keeps recovery-from-snapshot cheaper than
-        // a from-scratch rebuild. Every count in the file is still
-        // untrusted: header/block sizes are checked against the actual file
-        // length *before* any parse, so a corrupt or crafted file yields
-        // InvalidData, never a panic or an absurd allocation.
-        let bytes = std::fs::read(path)?;
-        let file_len = bytes.len() as u64;
-        // The last 4 bytes are the CRC-32 trailer; everything before it is
-        // checksummed content (skipped layers included).
-        let content_len = file_len.saturating_sub(4);
-        if bytes.len() < 8 {
-            return Err(bad("not a walk-index file (bad magic)"));
+    ) -> std::io::Result<(WalkIndex, LoadStats)> {
+        let file = std::fs::File::open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < 8 {
+            return Err(bad_file("not a walk-index file (bad magic)"));
         }
-        let magic: &[u8; 8] = bytes[..8].try_into().unwrap();
-        if magic == MAGIC_V1 {
-            return Err(bad(
+        let mut magic = [0u8; 8];
+        pread(&file, &mut magic, 0)?;
+        if &magic == MAGIC_V1 {
+            return Err(bad_file(
                 "walk-index file uses the obsolete RWDIDX1 (AoS) layout; \
                  rebuild the index and re-save it in the RWDIDX2 format",
             ));
         }
-        if magic != MAGIC_V2 && magic != MAGIC_V3 {
-            return Err(bad("not a walk-index file (bad magic)"));
+        if &magic == MAGIC_V4 {
+            return Self::load_v4(&file, file_len, want, threads);
         }
-        let mut consumed: usize = 8;
-        if bytes.len() < consumed + 32 {
-            return Err(eof());
+        if &magic != MAGIC_V2 && &magic != MAGIC_V3 {
+            return Err(bad_file("not a walk-index file (bad magic)"));
         }
-        let header: &[u8; 32] = bytes[consumed..consumed + 32].try_into().unwrap();
-        consumed += 32;
+        Self::load_v23(&file, file_len, &magic == MAGIC_V3, want, threads)
+    }
+
+    /// Deserializing loader for the RWDIDX2/RWDIDX3 layouts.
+    ///
+    /// The file is never pulled into memory whole: the boundary walk reads
+    /// only the 8-byte length prefixes, the CRC pass streams fixed-size
+    /// chunks, and the parallel parse positioned-reads one layer block at
+    /// a time into a per-worker reused buffer. The transient high-water
+    /// mark is therefore bounded by the largest layer block (plus its
+    /// transposition staging), not by the file — see [`LoadStats`]. Every
+    /// count in the file is still untrusted: header/block sizes are
+    /// checked against the actual file length *before* any payload read,
+    /// so a corrupt or crafted file yields `InvalidData`, never a panic or
+    /// an absurd allocation.
+    fn load_v23(
+        file: &std::fs::File,
+        file_len: u64,
+        v3: bool,
+        want: Option<LayerRange>,
+        threads: usize,
+    ) -> std::io::Result<(WalkIndex, LoadStats)> {
+        // The last 4 bytes are the CRC-32 trailer; everything before it is
+        // checksummed content (skipped layers included).
+        let content_len = file_len.saturating_sub(4);
+        let header_len: usize = if v3 { 40 } else { 32 };
+        if file_len < 8 + header_len as u64 {
+            return Err(truncated());
+        }
+        let mut header = [0u8; 40];
+        pread(file, &mut header[..header_len], 8)?;
         let u64_at = |i: usize| u64::from_le_bytes(header[i * 8..(i + 1) * 8].try_into().unwrap());
         let n64 = u64_at(0);
         let l64 = u64_at(1);
         let layer_count64 = u64_at(2);
         let seed = u64_at(3);
-        let file_base64 = if magic == MAGIC_V3 {
-            if bytes.len() < consumed + 8 {
-                return Err(eof());
-            }
-            let base = u64::from_le_bytes(bytes[consumed..consumed + 8].try_into().unwrap());
-            consumed += 8;
-            base
-        } else {
-            0
-        };
-        // Cross-field header validation: the three counts constrain each
-        // other and the posting encoding, so values no builder can produce
-        // are rejected here instead of yielding a nonsense index.
-        // * posting ids are u32, so an index over more than u32::MAX nodes
-        //   is unrepresentable (every id bound check would pass vacuously);
-        // * walks have 1 ≤ hop ≤ l ≤ u16::MAX (the builder asserts it and
-        //   hops are stored as u16), so l = 0 admits no posting at all;
-        // * every constructor requires r ≥ 1 — an index with zero layers
-        //   would make each estimator divide by zero.
-        if n64 > u32::MAX as u64 {
-            return Err(bad(
-                "corrupt walk-index file (node count exceeds the u32 posting-id range)",
-            ));
-        }
-        if l64 == 0 || l64 > u16::MAX as u64 {
-            return Err(bad(
-                "corrupt walk-index file (walk length outside 1..=65535)",
-            ));
-        }
-        if layer_count64 == 0 {
-            return Err(bad("corrupt walk-index file (zero walk layers)"));
-        }
-        if file_base64.saturating_add(layer_count64) > u32::MAX as u64 {
-            return Err(bad(
-                "corrupt walk-index file (layer base outside the representable range)",
-            ));
-        }
+        let file_base64 = if v3 { u64_at(4) } else { 0 };
+        check_header_fields(n64, l64, layer_count64, file_base64)?;
         if let Some(range) = want {
             if file_base64 != 0 {
-                return Err(bad(
+                return Err(bad_file(
                     "load_layer_range requires a monolithic (RWDIDX2) index file, \
                      not an already-sharded RWDIDX3 one",
                 ));
             }
             if range.end() as u64 > layer_count64 {
-                return Err(bad("requested layer range exceeds the file's layer count"));
+                return Err(bad_file(
+                    "requested layer range exceeds the file's layer count",
+                ));
             }
         }
         let l = l64 as u32;
         // A layer block stores (n + 1) 4-byte offsets, so n and layer_count
         // are bounded by the checksummed content length.
         if n64.saturating_mul(4) > content_len || layer_count64.saturating_mul(8) > content_len {
-            return Err(bad("corrupt walk-index file (header exceeds file size)"));
+            return Err(bad_file(
+                "corrupt walk-index file (header exceeds file size)",
+            ));
         }
         let n = n64 as usize;
         let layer_count = layer_count64 as usize;
         // Pass 1 — boundary walk: the length prefixes tile the content
         // region into layer blocks, so every block size is validated (and
         // the tiling shown to account for every content byte) before any
-        // payload is parsed.
-        let mut blocks: Vec<(usize, &[u8])> =
+        // payload is read. Only the 8-byte prefixes are touched here.
+        let mut consumed: u64 = 8 + header_len as u64;
+        let mut blocks: Vec<(usize, u64, usize)> =
             Vec::with_capacity(want.map_or(layer_count, |rg| rg.len()));
         for li in 0..layer_count {
-            if bytes.len() < consumed + 8 {
-                return Err(eof());
+            if file_len < consumed + 8 {
+                return Err(truncated());
             }
-            let entries64 = u64::from_le_bytes(bytes[consumed..consumed + 8].try_into().unwrap());
+            let mut prefix = [0u8; 8];
+            pread(file, &mut prefix, consumed)?;
             consumed += 8;
+            let entries64 = u64::from_le_bytes(prefix);
             let block64 = ((n64 + 1) * 4).saturating_add(entries64.saturating_mul(6));
             if block64 > content_len {
-                return Err(bad("corrupt walk-index file (layer exceeds file size)"));
+                return Err(bad_file(
+                    "corrupt walk-index file (layer exceeds file size)",
+                ));
             }
-            let block = block64 as usize;
-            if bytes.len() < consumed + block {
-                return Err(eof());
+            if file_len < consumed + block64 {
+                return Err(truncated());
             }
             if want.is_none_or(|rg| rg.contains(li)) {
-                blocks.push((entries64 as usize, &bytes[consumed..consumed + block]));
+                blocks.push((entries64 as usize, consumed, block64 as usize));
             }
-            consumed += block;
+            consumed += block64;
         }
         // Whole-file integrity: the layer tiling must account for every
         // content byte, and the CRC-32 trailer must match it (skipped
         // layers included). Bit rot anywhere — even in fields no
         // structural check constrains, like the RNG seed — surfaces here
         // instead of being served.
-        if consumed as u64 != content_len {
-            return Err(bad(
+        if consumed != content_len {
+            return Err(bad_file(
                 "corrupt walk-index file (size mismatch before checksum trailer)",
             ));
         }
-        let trailer = u32::from_le_bytes(bytes[consumed..consumed + 4].try_into().unwrap());
-        if trailer != crate::crc::crc32(&bytes[..consumed]) {
-            return Err(bad("corrupt walk-index file (content checksum mismatch)"));
-        }
-        // Pass 2 — parse. Blocks are independent, so they are decoded (and
-        // their forward views transposed) in parallel when the posting
-        // volume warrants the threads; results land in per-layer slots, so
-        // layer order and first-failing-layer error are scheduling-free.
-        let parse = |entries: usize, block: &[u8]| -> std::io::Result<Layer> {
-            let (off_bytes, rest) = block.split_at((n + 1) * 4);
-            let (id_bytes, weight_bytes) = rest.split_at(entries * 4);
-            let mut offsets: Vec<u32> = Vec::with_capacity(n + 1);
-            let mut monotone = true;
-            let mut prev = 0u32;
-            for c in off_bytes.chunks_exact(4) {
-                let v = u32::from_le_bytes(c.try_into().unwrap());
-                monotone &= v >= prev;
-                prev = v;
-                offsets.push(v);
-            }
-            if !monotone
-                || offsets.first() != Some(&0)
-                || *offsets.last().unwrap_or(&0) as usize != entries
-            {
-                return Err(bad("corrupt walk-index file (offset/posting mismatch)"));
-            }
-            let mut ids: Vec<u32> = Vec::with_capacity(entries);
-            let mut in_range = true;
-            for c in id_bytes.chunks_exact(4) {
-                let id = u32::from_le_bytes(c.try_into().unwrap());
-                in_range &= (id as usize) < n;
-                ids.push(id);
-            }
-            if !in_range {
-                return Err(bad("corrupt walk-index file (posting id out of range)"));
-            }
-            let mut weights: Vec<u16> = Vec::with_capacity(entries);
-            let mut hops_ok = true;
-            for c in weight_bytes.chunks_exact(2) {
-                let w = u16::from_le_bytes(c.try_into().unwrap());
-                hops_ok &= (w as u32).wrapping_sub(1) < l;
-                weights.push(w);
-            }
-            if !hops_ok {
-                return Err(bad("corrupt walk-index file (hop weight outside 1..=L)"));
-            }
-            Ok(Layer::from_inverted(n, offsets, ids, weights))
+        let crc_buf = verify_trailer(file, content_len)?;
+        // Pass 2 — parse. Blocks are independent, so they are re-read and
+        // decoded (and their forward views transposed) in parallel when the
+        // posting volume warrants the threads; results land in per-layer
+        // slots, so layer order and first-failing-layer error are
+        // scheduling-free.
+        let read_parse = |buf: &mut Vec<u8>, entries: usize, off: u64, len: usize| {
+            buf.clear();
+            buf.resize(len, 0);
+            pread(file, buf, off)?;
+            parse_layer_block(n, l, entries, buf)
         };
-        let total_postings: usize = blocks.iter().map(|&(e, _)| e).sum();
+        let total_postings: usize = blocks.iter().map(|&(e, _, _)| e).sum();
         let workers = if n + total_postings < crate::parallel::MIN_PARALLEL_SWEEP_WORK {
             1
         } else {
             resolve_threads(threads).min(blocks.len().max(1))
         };
-        let mut layers = Vec::with_capacity(blocks.len());
-        if workers <= 1 {
-            for &(entries, block) in &blocks {
-                layers.push(parse(entries, block)?);
+        // Off unix, positioned reads fall back to a shared-cursor seek.
+        let workers = if cfg!(unix) { workers } else { 1 };
+        // One worker's pass over its block chunk: a reused read buffer, and
+        // the chunk's transient high-water mark (block bytes + the 12 B per
+        // posting the forward transposition stages).
+        let run_chunk = |b_chunk: &[(usize, u64, usize)],
+                         s_chunk: &mut [Option<std::io::Result<Layer>>]|
+         -> usize {
+            let mut buf: Vec<u8> = Vec::new();
+            let mut peak = 0usize;
+            for (slot, &(entries, off, len)) in s_chunk.iter_mut().zip(b_chunk) {
+                peak = peak.max(len + 12 * entries);
+                *slot = Some(read_parse(&mut buf, entries, off, len));
             }
+            peak
+        };
+        let mut slots: Vec<Option<std::io::Result<Layer>>> = Vec::new();
+        slots.resize_with(blocks.len(), || None);
+        let parse_peak = if workers <= 1 {
+            run_chunk(&blocks, &mut slots)
         } else {
-            let mut slots: Vec<Option<std::io::Result<Layer>>> = Vec::new();
-            slots.resize_with(blocks.len(), || None);
             let chunk = blocks.len().div_ceil(workers);
             std::thread::scope(|scope| {
-                for (b_chunk, s_chunk) in blocks.chunks(chunk).zip(slots.chunks_mut(chunk)) {
-                    let parse = &parse;
-                    scope.spawn(move || {
-                        for (slot, &(entries, block)) in s_chunk.iter_mut().zip(b_chunk) {
-                            *slot = Some(parse(entries, block));
-                        }
-                    });
-                }
-            });
-            for slot in slots {
-                layers.push(slot.expect("every layer block has a parse slot")?);
-            }
+                let handles: Vec<_> = blocks
+                    .chunks(chunk)
+                    .zip(slots.chunks_mut(chunk))
+                    .map(|(b_chunk, s_chunk)| {
+                        let run_chunk = &run_chunk;
+                        scope.spawn(move || run_chunk(b_chunk, s_chunk))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("load worker panicked"))
+                    .sum()
+            })
+        };
+        let mut layers = Vec::with_capacity(blocks.len());
+        for slot in slots {
+            layers.push(slot.expect("every layer block has a parse slot")?);
         }
         let layer_base = want.map_or(file_base64 as usize, |rg| rg.start());
-        Ok(WalkIndex::assemble(n, l, layers, layer_base, seed, threads))
+        let stats = LoadStats {
+            transient_peak_bytes: crc_buf.max(parse_peak),
+        };
+        Ok((
+            WalkIndex::assemble(n, l, layers, layer_base, seed, threads),
+            stats,
+        ))
+    }
+
+    /// Deserializing loader for the RWDIDX4 layout: reads only the
+    /// inverted sections (the stored forward views and aggregates are
+    /// skipped — both are re-derived canonically, so the result is bitwise
+    /// equal to [`WalkIndex::open_mapped`] on the same file). Same bounded
+    /// transient memory as [`WalkIndex::load_v23`].
+    fn load_v4(
+        file: &std::fs::File,
+        file_len: u64,
+        want: Option<LayerRange>,
+        threads: usize,
+    ) -> std::io::Result<(WalkIndex, LoadStats)> {
+        if file_len < V4_FIXED_HEADER as u64 {
+            return Err(truncated());
+        }
+        let mut header = [0u8; V4_FIXED_HEADER];
+        pread(file, &mut header, 0)?;
+        let layer_count64 = u64::from_le_bytes(header[24..32].try_into().unwrap());
+        // Bound the entry-table allocation by the actual file size before
+        // trusting the header's layer count.
+        if layer_count64.saturating_mul(8) > file_len {
+            return Err(bad_file(
+                "corrupt walk-index file (header exceeds file size)",
+            ));
+        }
+        let mut table = vec![0u8; layer_count64 as usize * 8];
+        if file_len < V4_FIXED_HEADER as u64 + table.len() as u64 {
+            return Err(truncated());
+        }
+        pread(file, &mut table, V4_FIXED_HEADER as u64)?;
+        let entries: Vec<u64> = table
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let layout = v4_layout(&header, &entries, file_len)?;
+        check_v4_range(&layout, want)?;
+        let crc_buf = verify_trailer(file, layout.content_len)?;
+        let n = layout.n;
+        let l = layout.l;
+        let specs: Vec<&V4LayerSpec> = match want {
+            Some(rg) => layout.layers[rg.start()..rg.end()].iter().collect(),
+            None => layout.layers.iter().collect(),
+        };
+        // Re-read each selected layer's inverted sections into one
+        // contiguous [offsets | ids | weights] buffer — the same block
+        // shape V2/V3 store — and reuse their parser.
+        let read_parse = |buf: &mut Vec<u8>, spec: &V4LayerSpec| -> std::io::Result<Layer> {
+            let ob = (n + 1) * 4;
+            let ib = spec.entries * 4;
+            let wb = spec.entries * 2;
+            buf.clear();
+            buf.resize(ob + ib + wb, 0);
+            pread(file, &mut buf[..ob], spec.offsets as u64)?;
+            pread(file, &mut buf[ob..ob + ib], spec.ids as u64)?;
+            pread(file, &mut buf[ob + ib..], spec.weights as u64)?;
+            parse_layer_block(n, l, spec.entries, buf)
+        };
+        let total_postings: usize = specs.iter().map(|s| s.entries).sum();
+        let workers = if n + total_postings < crate::parallel::MIN_PARALLEL_SWEEP_WORK {
+            1
+        } else {
+            resolve_threads(threads).min(specs.len().max(1))
+        };
+        let workers = if cfg!(unix) { workers } else { 1 };
+        let run_chunk =
+            |b_chunk: &[&V4LayerSpec], s_chunk: &mut [Option<std::io::Result<Layer>>]| -> usize {
+                let mut buf: Vec<u8> = Vec::new();
+                let mut peak = 0usize;
+                for (slot, spec) in s_chunk.iter_mut().zip(b_chunk) {
+                    peak = peak.max((n + 1) * 4 + 18 * spec.entries);
+                    *slot = Some(read_parse(&mut buf, spec));
+                }
+                peak
+            };
+        let mut slots: Vec<Option<std::io::Result<Layer>>> = Vec::new();
+        slots.resize_with(specs.len(), || None);
+        let parse_peak = if workers <= 1 {
+            run_chunk(&specs, &mut slots)
+        } else {
+            let chunk = specs.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = specs
+                    .chunks(chunk)
+                    .zip(slots.chunks_mut(chunk))
+                    .map(|(b_chunk, s_chunk)| {
+                        let run_chunk = &run_chunk;
+                        scope.spawn(move || run_chunk(b_chunk, s_chunk))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("load worker panicked"))
+                    .sum()
+            })
+        };
+        let mut layers = Vec::with_capacity(specs.len());
+        for slot in slots {
+            layers.push(slot.expect("every layer has a parse slot")?);
+        }
+        let layer_base = want.map_or(layout.layer_base, |rg| rg.start());
+        let stats = LoadStats {
+            transient_peak_bytes: crc_buf.max(parse_peak),
+        };
+        Ok((
+            WalkIndex::assemble(n, l, layers, layer_base, layout.seed, threads),
+            stats,
+        ))
+    }
+
+    /// Persists the index in the 8-byte-aligned RWDIDX4 layout — the
+    /// zero-copy format [`WalkIndex::open_mapped`] serves straight from
+    /// the page cache. Unlike V2/V3 it stores *both* CSR views **and** the
+    /// per-node aggregate tables, so a mapped open computes nothing:
+    /// columns are reinterpreted in place. Layout: magic, a fixed header
+    /// (`n`, `L`, layer count, seed, layer base, declared section
+    /// alignment), a per-layer entry-count table, then per layer the six
+    /// column sections (each zero-padded to the declared alignment),
+    /// the two aggregate sections, and the same CRC-32 trailer V2/V3 end
+    /// in. Only little-endian hosts write V4 (the format *is* the LE
+    /// in-memory image); elsewhere use [`WalkIndex::save`].
+    pub fn save_v4(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        #[cfg(not(target_endian = "little"))]
+        {
+            let _ = path;
+            Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "RWDIDX4 is a little-endian zero-copy format; use save() (V2/V3) on this host",
+            ))
+        }
+        #[cfg(target_endian = "little")]
+        {
+            use crate::storage::pod_bytes;
+            use std::io::Write;
+            let file = std::fs::File::create(path)?;
+            let mut w = std::io::BufWriter::new(file);
+            let mut crc = crate::crc::Crc32::new();
+            let mut header = Vec::with_capacity(V4_FIXED_HEADER + self.layers.len() * 8);
+            header.extend_from_slice(MAGIC_V4);
+            for v in [
+                self.n as u64,
+                self.l as u64,
+                self.layers.len() as u64,
+                self.seed,
+                self.layer_base as u64,
+                V4_ALIGN,
+            ] {
+                header.extend_from_slice(&v.to_le_bytes());
+            }
+            for layer in &self.layers {
+                header.extend_from_slice(&(layer.ids.len() as u64).to_le_bytes());
+            }
+            crc.update(&header);
+            w.write_all(&header)?;
+            for layer in &self.layers {
+                write_v4_section(&mut w, &mut crc, pod_bytes(layer.offsets.as_slice()))?;
+                write_v4_section(&mut w, &mut crc, pod_bytes(layer.ids.as_slice()))?;
+                write_v4_section(&mut w, &mut crc, pod_bytes(layer.weights.as_slice()))?;
+                write_v4_section(&mut w, &mut crc, pod_bytes(layer.fwd_offsets.as_slice()))?;
+                write_v4_section(&mut w, &mut crc, pod_bytes(layer.fwd_ids.as_slice()))?;
+                write_v4_section(&mut w, &mut crc, pod_bytes(layer.fwd_weights.as_slice()))?;
+            }
+            write_v4_section(&mut w, &mut crc, pod_bytes(self.posting_counts.as_slice()))?;
+            write_v4_section(
+                &mut w,
+                &mut crc,
+                pod_bytes(self.posting_hop_sums.as_slice()),
+            )?;
+            w.write_all(&crc.finish().to_le_bytes())?;
+            w.flush()
+        }
+    }
+
+    /// Opens an RWDIDX4 file zero-copy: the file is mapped once
+    /// (`mmap(2)`), the CRC trailer and section layout are validated once,
+    /// and every posting column becomes a borrowed window into the map —
+    /// no per-element parse, no transposition, no allocation proportional
+    /// to postings. Pages fault in on first touch and remain evictable, so
+    /// a 100M-posting index answers its first point query at page-cache
+    /// speed. The opened index is **bitwise equal** (by value) to
+    /// [`WalkIndex::load`] of the same file; the first refresh that
+    /// touches a layer promotes exactly that layer's columns to the heap
+    /// (copy-on-write at layer grain).
+    ///
+    /// Requires a little-endian unix host (the on-disk columns are the LE
+    /// in-memory image); elsewhere, and for V2/V3 files, use
+    /// [`WalkIndex::load`].
+    pub fn open_mapped(path: impl AsRef<std::path::Path>) -> std::io::Result<WalkIndex> {
+        Self::open_mapped_impl(path.as_ref(), None)
+    }
+
+    /// [`WalkIndex::open_mapped`] scoped to the layers of `range`, the
+    /// zero-copy twin of [`WalkIndex::load_layer_range`]: requires a
+    /// monolithic (layer base 0) RWDIDX4 file. The selected layers stay
+    /// mapped; the per-node aggregates are recomputed for the range (the
+    /// file's aggregate sections cover all layers), which streams the
+    /// range's postings once.
+    pub fn open_mapped_layer_range(
+        path: impl AsRef<std::path::Path>,
+        range: LayerRange,
+    ) -> std::io::Result<WalkIndex> {
+        Self::open_mapped_impl(path.as_ref(), Some(range))
+    }
+
+    fn open_mapped_impl(
+        path: &std::path::Path,
+        want: Option<LayerRange>,
+    ) -> std::io::Result<WalkIndex> {
+        if cfg!(not(target_endian = "little")) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "zero-copy index opens require a little-endian host \
+                 (RWDIDX4 stores little-endian columns); use load() instead",
+            ));
+        }
+        let file = std::fs::File::open(path)?;
+        let region = Arc::new(MmapRegion::map(&file)?);
+        let bytes = region.as_bytes();
+        if bytes.len() < 8 {
+            return Err(bad_file("not a walk-index file (bad magic)"));
+        }
+        if &bytes[..8] == MAGIC_V1 {
+            return Err(bad_file(
+                "walk-index file uses the obsolete RWDIDX1 (AoS) layout; \
+                 rebuild the index and re-save it in the RWDIDX4 format",
+            ));
+        }
+        if &bytes[..8] == MAGIC_V2 || &bytes[..8] == MAGIC_V3 {
+            return Err(bad_file(
+                "walk-index file uses the RWDIDX2/RWDIDX3 layout, which has no \
+                 zero-copy open; load() it, or re-save with save_v4 for the mapped path",
+            ));
+        }
+        if &bytes[..8] != MAGIC_V4 {
+            return Err(bad_file("not a walk-index file (bad magic)"));
+        }
+        if bytes.len() < V4_FIXED_HEADER {
+            return Err(truncated());
+        }
+        let header = &bytes[..V4_FIXED_HEADER];
+        let layer_count64 = u64::from_le_bytes(header[24..32].try_into().unwrap());
+        if layer_count64.saturating_mul(8) > bytes.len() as u64 {
+            return Err(bad_file(
+                "corrupt walk-index file (header exceeds file size)",
+            ));
+        }
+        let table_end = V4_FIXED_HEADER + layer_count64 as usize * 8;
+        if bytes.len() < table_end {
+            return Err(truncated());
+        }
+        let entries: Vec<u64> = bytes[V4_FIXED_HEADER..table_end]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let layout = v4_layout(header, &entries, bytes.len() as u64)?;
+        check_v4_range(&layout, want)?;
+        // The one-and-only content scan: a chunked CRC sweep across all
+        // cores, folded exactly with crc32_combine — the checksum is the
+        // only O(file) work on this path, so it is the open time. After
+        // this, bulk payloads are trusted; only the structural offsets
+        // columns (which bound every later slice) are validated further.
+        let content = layout.content_len as usize;
+        let trailer = u32::from_le_bytes(bytes[content..content + 4].try_into().unwrap());
+        let cores = std::thread::available_parallelism().map_or(1, |t| t.get());
+        if trailer != crate::crc::crc32_parallel(&bytes[..content], cores) {
+            return Err(bad_file(
+                "corrupt walk-index file (content checksum mismatch)",
+            ));
+        }
+        let n = layout.n;
+        let selected: std::ops::Range<usize> = match want {
+            Some(rg) => rg.start()..rg.end(),
+            None => 0..layout.layers.len(),
+        };
+        let mut layers = Vec::with_capacity(selected.len());
+        for li in selected {
+            let spec = &layout.layers[li];
+            let offsets: Column<u32> = Column::mapped(region.clone(), spec.offsets, n + 1)?;
+            validate_mapped_offsets(&offsets, spec.entries)?;
+            let fwd_offsets: Column<u32> = Column::mapped(region.clone(), spec.fwd_offsets, n + 1)?;
+            validate_mapped_offsets(&fwd_offsets, spec.entries)?;
+            layers.push(Layer {
+                offsets,
+                ids: Column::mapped(region.clone(), spec.ids, spec.entries)?,
+                weights: Column::mapped(region.clone(), spec.weights, spec.entries)?,
+                fwd_offsets,
+                fwd_ids: Column::mapped(region.clone(), spec.fwd_ids, spec.entries)?,
+                fwd_weights: Column::mapped(region.clone(), spec.fwd_weights, spec.entries)?,
+            });
+        }
+        let (posting_counts, posting_hop_sums) = if want.is_none() {
+            // Whole-file open: the stored aggregates are exactly what
+            // assemble() would compute (save_v4 wrote them from a canonical
+            // index), so map them too.
+            (
+                Column::mapped(region.clone(), layout.counts, n)?,
+                Column::mapped(region.clone(), layout.hop_sums, n)?,
+            )
+        } else {
+            // Ranged open: the file's aggregates cover *all* layers, so the
+            // partial index recomputes its own over the mapped columns.
+            let (c, h) = Self::compute_aggregates(n, &layers, 0);
+            (c.into(), h.into())
+        };
+        Ok(WalkIndex {
+            n,
+            l: layout.l,
+            layers,
+            seed: layout.seed,
+            layer_base: want.map_or(layout.layer_base, |rg| rg.start()),
+            posting_counts,
+            posting_hop_sums,
+        })
     }
 }
 
 const MAGIC_V1: &[u8; 8] = b"RWDIDX1\0";
 const MAGIC_V2: &[u8; 8] = b"RWDIDX2\0";
 const MAGIC_V3: &[u8; 8] = b"RWDIDX3\0";
+const MAGIC_V4: &[u8; 8] = b"RWDIDX4\0";
+
+/// Section alignment RWDIDX4 declares in its header: every section start
+/// is a multiple of 8 within the file, and `mmap(2)` bases are
+/// page-aligned, so mapped element pointers inherit the alignment of the
+/// widest stored scalar (`u64`).
+const V4_ALIGN: u64 = 8;
+
+/// RWDIDX4 fixed header: magic + 6 `u64` fields (`n`, `l`, layer count,
+/// seed, layer base, section alignment). The per-layer entry table
+/// follows immediately.
+const V4_FIXED_HEADER: usize = 8 + 6 * 8;
+
+/// Transient-memory accounting of one deserializing load
+/// ([`WalkIndex::load_with_stats`]).
+///
+/// The load path never materializes the whole file: the CRC pass streams
+/// 64 KiB chunks and each parse worker positioned-reads one layer block
+/// at a time into a reused buffer. [`LoadStats::transient_peak_bytes`] is
+/// the high-water mark of those short-lived buffers — raw block bytes
+/// plus the 12-byte-per-posting forward-transposition staging — maximized
+/// over time per worker and summed across workers (workers peak
+/// independently, so the sum bounds any instant). Peak load memory is
+/// therefore bounded by `final index size + transient_peak_bytes`; the
+/// storage suite asserts the transient share stays ≤ 25% of
+/// [`WalkIndex::memory_bytes`] (peak ≤ 1.25× the final index), where the
+/// old whole-file-buffer-held-across-the-parse design peaked near 2×.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LoadStats {
+    /// High-water mark (bytes) of buffers that live only during the load.
+    pub transient_peak_bytes: usize,
+}
+
+fn bad_file(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+fn truncated() -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::UnexpectedEof,
+        "walk-index file is truncated",
+    )
+}
+
+/// Positioned read (`pread(2)`): fills `buf` from absolute offset `off`
+/// without touching the shared cursor, so parse workers can read one open
+/// file concurrently.
+fn pread(file: &std::fs::File, buf: &mut [u8], off: u64) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileExt;
+        file.read_exact_at(buf, off)
+    }
+    #[cfg(not(unix))]
+    {
+        // No positioned-read API: clone the handle and seek. Clones share
+        // the cursor, so off-unix loads keep a single reader.
+        use std::io::{Read, Seek, SeekFrom};
+        let mut f = file.try_clone()?;
+        f.seek(SeekFrom::Start(off))?;
+        f.read_exact(buf)
+    }
+}
+
+/// Streams the checksummed content region in fixed chunks, compares the
+/// CRC-32 trailer, and returns the chunk-buffer size it used (for the
+/// transient accounting). The caller has already validated that
+/// `content_len + 4` bytes exist.
+fn verify_trailer(file: &std::fs::File, content_len: u64) -> std::io::Result<usize> {
+    const CRC_CHUNK: u64 = 64 << 10;
+    let cap = content_len.clamp(1, CRC_CHUNK) as usize;
+    let mut buf = vec![0u8; cap];
+    let mut crc = crate::crc::Crc32::new();
+    let mut pos = 0u64;
+    while pos < content_len {
+        let take = cap.min((content_len - pos) as usize);
+        pread(file, &mut buf[..take], pos)?;
+        crc.update(&buf[..take]);
+        pos += take as u64;
+    }
+    let mut t = [0u8; 4];
+    pread(file, &mut t, content_len)?;
+    if u32::from_le_bytes(t) != crc.finish() {
+        return Err(bad_file(
+            "corrupt walk-index file (content checksum mismatch)",
+        ));
+    }
+    Ok(cap)
+}
+
+/// The cross-field header validation every format version shares: the
+/// counts constrain each other and the posting encoding, so values no
+/// builder can produce are rejected here instead of yielding a nonsense
+/// index.
+/// * posting ids are u32, so an index over more than `u32::MAX` nodes is
+///   unrepresentable (every id bound check would pass vacuously);
+/// * walks have `1 ≤ hop ≤ l ≤ u16::MAX` (the builder asserts it and hops
+///   are stored as u16), so `l = 0` admits no posting at all;
+/// * every constructor requires `r ≥ 1` — an index with zero layers would
+///   make each estimator divide by zero.
+fn check_header_fields(n64: u64, l64: u64, layer_count64: u64, base64: u64) -> std::io::Result<()> {
+    if n64 > u32::MAX as u64 {
+        return Err(bad_file(
+            "corrupt walk-index file (node count exceeds the u32 posting-id range)",
+        ));
+    }
+    if l64 == 0 || l64 > u16::MAX as u64 {
+        return Err(bad_file(
+            "corrupt walk-index file (walk length outside 1..=65535)",
+        ));
+    }
+    if layer_count64 == 0 {
+        return Err(bad_file("corrupt walk-index file (zero walk layers)"));
+    }
+    if base64.saturating_add(layer_count64) > u32::MAX as u64 {
+        return Err(bad_file(
+            "corrupt walk-index file (layer base outside the representable range)",
+        ));
+    }
+    Ok(())
+}
+
+/// Parses one `[offsets | ids | weights]` inverted block (the V2/V3 layer
+/// block body; V4 loads assemble the same shape from its sections) into a
+/// [`Layer`], validating structure as it decodes.
+fn parse_layer_block(n: usize, l: u32, entries: usize, block: &[u8]) -> std::io::Result<Layer> {
+    let (off_bytes, rest) = block.split_at((n + 1) * 4);
+    let (id_bytes, weight_bytes) = rest.split_at(entries * 4);
+    let mut offsets: Vec<u32> = Vec::with_capacity(n + 1);
+    let mut monotone = true;
+    let mut prev = 0u32;
+    for c in off_bytes.chunks_exact(4) {
+        let v = u32::from_le_bytes(c.try_into().unwrap());
+        monotone &= v >= prev;
+        prev = v;
+        offsets.push(v);
+    }
+    if !monotone || offsets.first() != Some(&0) || *offsets.last().unwrap_or(&0) as usize != entries
+    {
+        return Err(bad_file(
+            "corrupt walk-index file (offset/posting mismatch)",
+        ));
+    }
+    let mut ids: Vec<u32> = Vec::with_capacity(entries);
+    let mut in_range = true;
+    for c in id_bytes.chunks_exact(4) {
+        let id = u32::from_le_bytes(c.try_into().unwrap());
+        in_range &= (id as usize) < n;
+        ids.push(id);
+    }
+    if !in_range {
+        return Err(bad_file(
+            "corrupt walk-index file (posting id out of range)",
+        ));
+    }
+    let mut weights: Vec<u16> = Vec::with_capacity(entries);
+    let mut hops_ok = true;
+    for c in weight_bytes.chunks_exact(2) {
+        let w = u16::from_le_bytes(c.try_into().unwrap());
+        hops_ok &= (w as u32).wrapping_sub(1) < l;
+        weights.push(w);
+    }
+    if !hops_ok {
+        return Err(bad_file(
+            "corrupt walk-index file (hop weight outside 1..=L)",
+        ));
+    }
+    Ok(Layer::from_inverted(n, offsets, ids, weights))
+}
+
+/// Absolute file positions of one layer's six sections in an RWDIDX4 file.
+#[derive(Clone, Copy)]
+struct V4LayerSpec {
+    entries: usize,
+    offsets: usize,
+    ids: usize,
+    weights: usize,
+    fwd_offsets: usize,
+    fwd_ids: usize,
+    fwd_weights: usize,
+}
+
+/// Everything the RWDIDX4 fixed header + entry table determine: validated
+/// field values and the absolute position of every section. Shared by the
+/// mapped open, the deserializing load and [`inspect_index_file`], so all
+/// three agree on the format byte for byte.
+struct V4Layout {
+    n: usize,
+    l: u32,
+    seed: u64,
+    layer_base: usize,
+    layers: Vec<V4LayerSpec>,
+    counts: usize,
+    hop_sums: usize,
+    /// Checksummed bytes (everything before the 4-byte CRC trailer).
+    content_len: u64,
+}
+
+/// Walks the RWDIDX4 section structure, validating every size against the
+/// actual file length (checked arithmetic throughout — a crafted entry
+/// table yields `InvalidData`, never overflow or an absurd allocation)
+/// and requiring the tiling to account for every content byte.
+fn v4_layout(header: &[u8], entries: &[u64], file_len: u64) -> std::io::Result<V4Layout> {
+    let u64_at = |i: usize| u64::from_le_bytes(header[8 + i * 8..16 + i * 8].try_into().unwrap());
+    let n64 = u64_at(0);
+    let l64 = u64_at(1);
+    let layer_count64 = u64_at(2);
+    let seed = u64_at(3);
+    let base64 = u64_at(4);
+    let align = u64_at(5);
+    check_header_fields(n64, l64, layer_count64, base64)?;
+    if align != V4_ALIGN {
+        return Err(bad_file(
+            "corrupt walk-index file (unsupported section alignment; this build reads 8)",
+        ));
+    }
+    if entries.len() as u64 != layer_count64 {
+        return Err(truncated());
+    }
+    let pad8 = |x: u64| x.div_ceil(8) * 8;
+    let overflow = || bad_file("corrupt walk-index file (layer exceeds file size)");
+    let n = n64 as usize;
+    let off_bytes = pad8((n64 + 1) * 4);
+    let mut cur: u64 = V4_FIXED_HEADER as u64 + layer_count64 * 8;
+    let mut layers = Vec::with_capacity(entries.len());
+    for &e in entries {
+        if e > u32::MAX as u64 {
+            return Err(bad_file(
+                "corrupt walk-index file (layer posting count overflows u32 offsets)",
+            ));
+        }
+        let ids_bytes = pad8(e.checked_mul(4).ok_or_else(overflow)?);
+        let weight_bytes = pad8(e.checked_mul(2).ok_or_else(overflow)?);
+        let section = |len: u64, cur: &mut u64| -> std::io::Result<usize> {
+            let at = *cur;
+            *cur = cur.checked_add(len).ok_or_else(overflow)?;
+            if *cur > file_len {
+                return Err(overflow());
+            }
+            Ok(at as usize)
+        };
+        layers.push(V4LayerSpec {
+            entries: e as usize,
+            offsets: section(off_bytes, &mut cur)?,
+            ids: section(ids_bytes, &mut cur)?,
+            weights: section(weight_bytes, &mut cur)?,
+            fwd_offsets: section(off_bytes, &mut cur)?,
+            fwd_ids: section(ids_bytes, &mut cur)?,
+            fwd_weights: section(weight_bytes, &mut cur)?,
+        });
+    }
+    let agg_bytes = pad8(n64 * 8);
+    let counts = cur as usize;
+    cur = cur.checked_add(agg_bytes).ok_or_else(overflow)?;
+    let hop_sums = cur as usize;
+    cur = cur.checked_add(agg_bytes).ok_or_else(overflow)?;
+    if cur.checked_add(4) != Some(file_len) {
+        return Err(bad_file(
+            "corrupt walk-index file (size mismatch before checksum trailer)",
+        ));
+    }
+    Ok(V4Layout {
+        n,
+        l: l64 as u32,
+        seed,
+        layer_base: base64 as usize,
+        layers,
+        counts,
+        hop_sums,
+        content_len: cur,
+    })
+}
+
+/// The layer-range admissibility rules shared by the ranged V4 open paths.
+fn check_v4_range(layout: &V4Layout, want: Option<LayerRange>) -> std::io::Result<()> {
+    if let Some(range) = want {
+        if layout.layer_base != 0 {
+            return Err(bad_file(
+                "layer-range opens require a monolithic (layer base 0) index file, \
+                 not an already-sharded one",
+            ));
+        }
+        if range.end() > layout.layers.len() {
+            return Err(bad_file(
+                "requested layer range exceeds the file's layer count",
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Structural validation a mapped open performs on each CSR offsets
+/// column. The offsets bound every later postings slice, so they are
+/// checked eagerly (one pass over `n + 1` values per view); the bulk
+/// id/weight payloads are trusted under the CRC trailer — corruption that
+/// survives a CRC match can only produce wrong answers or a clean
+/// bounds-check panic, never out-of-bounds reads of the map.
+fn validate_mapped_offsets(offsets: &[u32], entries: usize) -> std::io::Result<()> {
+    let mut monotone = offsets.first() == Some(&0);
+    let mut prev = 0u32;
+    for &v in offsets {
+        monotone &= v >= prev;
+        prev = v;
+    }
+    if !monotone || offsets.last().map(|&e| e as usize) != Some(entries) {
+        return Err(bad_file(
+            "corrupt walk-index file (offset/posting mismatch)",
+        ));
+    }
+    Ok(())
+}
+
+/// What [`inspect_index_file`] reports: the facts the header and section
+/// structure encode, plus whether the CRC trailer matches — all without
+/// constructing a [`WalkIndex`].
+#[derive(Clone, Debug)]
+pub struct IndexFileInfo {
+    /// On-disk format version: 2 (RWDIDX2), 3 (RWDIDX3) or 4 (RWDIDX4).
+    pub version: u32,
+    /// Node-universe size `n`.
+    pub n: u64,
+    /// Walk-length bound `L`.
+    pub l: u64,
+    /// Number of layers the file stores (its `R`).
+    pub layer_count: u64,
+    /// Absolute index of the first stored layer (0 = monolithic).
+    pub layer_base: u64,
+    /// Build seed.
+    pub seed: u64,
+    /// Total inverted postings across the stored layers.
+    pub total_postings: u64,
+    /// Header-declared section alignment (V4 only).
+    pub section_align: Option<u64>,
+    /// Total file size in bytes.
+    pub file_bytes: u64,
+    /// Whether the CRC-32 content trailer matches.
+    pub crc_ok: bool,
+}
+
+/// Reads an index file's header and section structure — format version,
+/// dimensions, layer range, posting count, alignment — and verifies the
+/// CRC trailer, without constructing an index: no column parse, no
+/// transposition, `O(R)` memory and one streamed pass of I/O. Structural
+/// corruption (impossible sizes, bad tiling) errors out; a CRC mismatch
+/// is *reported* (`crc_ok: false`) so damaged files can still be triaged.
+pub fn inspect_index_file(path: impl AsRef<std::path::Path>) -> std::io::Result<IndexFileInfo> {
+    let file = std::fs::File::open(path.as_ref())?;
+    let file_len = file.metadata()?.len();
+    if file_len < 8 {
+        return Err(bad_file("not a walk-index file (bad magic)"));
+    }
+    let mut magic = [0u8; 8];
+    pread(&file, &mut magic, 0)?;
+    if &magic == MAGIC_V1 {
+        return Err(bad_file(
+            "walk-index file uses the obsolete RWDIDX1 (AoS) layout; \
+             rebuild the index and re-save it in the RWDIDX2 format",
+        ));
+    }
+    let crc_status = |content_len: u64| -> std::io::Result<bool> {
+        Ok(verify_trailer(&file, content_len).is_ok())
+    };
+    if &magic == MAGIC_V4 {
+        if file_len < V4_FIXED_HEADER as u64 {
+            return Err(truncated());
+        }
+        let mut header = [0u8; V4_FIXED_HEADER];
+        pread(&file, &mut header, 0)?;
+        let layer_count64 = u64::from_le_bytes(header[24..32].try_into().unwrap());
+        if layer_count64.saturating_mul(8) > file_len {
+            return Err(bad_file(
+                "corrupt walk-index file (header exceeds file size)",
+            ));
+        }
+        let mut table = vec![0u8; layer_count64 as usize * 8];
+        if file_len < V4_FIXED_HEADER as u64 + table.len() as u64 {
+            return Err(truncated());
+        }
+        pread(&file, &mut table, V4_FIXED_HEADER as u64)?;
+        let entries: Vec<u64> = table
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let layout = v4_layout(&header, &entries, file_len)?;
+        return Ok(IndexFileInfo {
+            version: 4,
+            n: layout.n as u64,
+            l: layout.l as u64,
+            layer_count: layout.layers.len() as u64,
+            layer_base: layout.layer_base as u64,
+            seed: layout.seed,
+            total_postings: entries.iter().sum(),
+            section_align: Some(V4_ALIGN),
+            file_bytes: file_len,
+            crc_ok: crc_status(layout.content_len)?,
+        });
+    }
+    if &magic != MAGIC_V2 && &magic != MAGIC_V3 {
+        return Err(bad_file("not a walk-index file (bad magic)"));
+    }
+    let v3 = &magic == MAGIC_V3;
+    let content_len = file_len.saturating_sub(4);
+    let header_len: usize = if v3 { 40 } else { 32 };
+    if file_len < 8 + header_len as u64 {
+        return Err(truncated());
+    }
+    let mut header = [0u8; 40];
+    pread(&file, &mut header[..header_len], 8)?;
+    let u64_at = |i: usize| u64::from_le_bytes(header[i * 8..(i + 1) * 8].try_into().unwrap());
+    let (n64, l64, layer_count64, seed) = (u64_at(0), u64_at(1), u64_at(2), u64_at(3));
+    let base64 = if v3 { u64_at(4) } else { 0 };
+    check_header_fields(n64, l64, layer_count64, base64)?;
+    if n64.saturating_mul(4) > content_len || layer_count64.saturating_mul(8) > content_len {
+        return Err(bad_file(
+            "corrupt walk-index file (header exceeds file size)",
+        ));
+    }
+    // Boundary walk over the length prefixes only.
+    let mut consumed: u64 = 8 + header_len as u64;
+    let mut total_postings = 0u64;
+    for _ in 0..layer_count64 {
+        if file_len < consumed + 8 {
+            return Err(truncated());
+        }
+        let mut prefix = [0u8; 8];
+        pread(&file, &mut prefix, consumed)?;
+        consumed += 8;
+        let entries64 = u64::from_le_bytes(prefix);
+        let block64 = ((n64 + 1) * 4).saturating_add(entries64.saturating_mul(6));
+        if block64 > content_len {
+            return Err(bad_file(
+                "corrupt walk-index file (layer exceeds file size)",
+            ));
+        }
+        if file_len < consumed + block64 {
+            return Err(truncated());
+        }
+        total_postings += entries64;
+        consumed += block64;
+    }
+    if consumed != content_len {
+        return Err(bad_file(
+            "corrupt walk-index file (size mismatch before checksum trailer)",
+        ));
+    }
+    Ok(IndexFileInfo {
+        version: if v3 { 3 } else { 2 },
+        n: n64,
+        l: l64,
+        layer_count: layer_count64,
+        layer_base: base64,
+        seed,
+        total_postings,
+        section_align: None,
+        file_bytes: file_len,
+        crc_ok: crc_status(content_len)?,
+    })
+}
+
+/// Writes one RWDIDX4 section: the raw little-endian column image,
+/// zero-padded to the declared 8-byte alignment, folded into the CRC.
+#[cfg(target_endian = "little")]
+fn write_v4_section<W: std::io::Write>(
+    w: &mut W,
+    crc: &mut crate::crc::Crc32,
+    bytes: &[u8],
+) -> std::io::Result<()> {
+    crc.update(bytes);
+    w.write_all(bytes)?;
+    let rem = bytes.len() % 8;
+    if rem != 0 {
+        let pad = [0u8; 8];
+        crc.update(&pad[..8 - rem]);
+        w.write_all(&pad[..8 - rem])?;
+    }
+    Ok(())
+}
 
 #[cfg(test)]
 mod tests {

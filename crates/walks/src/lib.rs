@@ -23,6 +23,9 @@
 //!   bit-identical to the full-sweep estimators (the serving-path entry
 //!   points),
 //! * [`parallel`] — the shared worker-count policy every fan-out uses,
+//! * [`storage`] — the column store behind the index: every posting column
+//!   is either heap-owned or a zero-copy window into an `mmap(2)`-backed
+//!   RWDIDX4 file, promoted to the heap only when first mutated,
 //! * [`crc`] — streaming CRC-32 backing the content checksums every
 //!   durable artifact (index files, snapshots, journal records) carries.
 //!
@@ -43,11 +46,16 @@ pub(crate) mod obs;
 pub mod parallel;
 pub mod point;
 pub mod rng;
+pub mod storage;
 pub mod walker;
 
 pub use delta::{LayerDelta, PostingDelta, PostingEdit};
 pub use estimate::{Estimates, SampleEstimator};
-pub use index::{LayerRange, Posting, PostingsRef, RefreshStats, WalkIndex};
+pub use index::{
+    inspect_index_file, IndexFileInfo, LayerRange, LoadStats, Posting, PostingsRef, RefreshStats,
+    WalkIndex,
+};
 pub use nodeset::NodeSet;
 pub use point::{top_m_from_counts, PartialContribution};
 pub use rng::WalkRng;
+pub use storage::{Column, MmapRegion};

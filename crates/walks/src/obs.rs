@@ -4,13 +4,17 @@
 
 use std::sync::OnceLock;
 
-use rwd_obs::{Counter, Histogram};
+use rwd_obs::{Counter, Gauge, Histogram};
 
 pub(crate) struct WalkMetrics {
     /// Wall time of one selective-refresh call over a walk index.
     pub refresh_ns: Histogram,
     /// Walk groups re-sampled across every refresh in the process.
     pub groups_resampled: Counter,
+    /// Heap-owned posting-column bytes across the process's indexes.
+    pub storage_heap_bytes: Gauge,
+    /// Mapped (zero-copy, page-cache-backed) posting-column bytes.
+    pub storage_mapped_bytes: Gauge,
 }
 
 pub(crate) fn metrics() -> &'static WalkMetrics {
@@ -25,6 +29,14 @@ pub(crate) fn metrics() -> &'static WalkMetrics {
             groups_resampled: reg.counter(
                 "rwd_walks_groups_resampled_total",
                 "Walk (src, layer) groups re-sampled across all refreshes",
+            ),
+            storage_heap_bytes: reg.gauge(
+                "rwd_storage_heap_bytes",
+                "Heap-owned walk-index column bytes across the process",
+            ),
+            storage_mapped_bytes: reg.gauge(
+                "rwd_storage_mapped_bytes",
+                "Memory-mapped (zero-copy) walk-index column bytes across the process",
             ),
         }
     })
